@@ -1,0 +1,130 @@
+// Shared helpers for the experiment harnesses. Each bench binary regenerates
+// one table/figure of the paper (see DESIGN.md §3 and EXPERIMENTS.md); these
+// helpers run the common workloads (pings, bulk TCP transfers) on a Testbed
+// and print aligned tables of *simulated* metrics.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/scenario/testbed.h"
+#include "src/util/stats.h"
+
+namespace upr {
+namespace bench {
+
+inline void PrintHeader(const std::string& title, const std::vector<std::string>& cols,
+                        int width = 14) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::string row;
+  for (const auto& c : cols) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-*s", width, c.c_str());
+    row += buf;
+  }
+  std::printf("%s\n", row.c_str());
+  std::printf("%s\n", std::string(row.size(), '-').c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  std::string row;
+  for (const auto& c : cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-*s", width, c.c_str());
+    row += buf;
+  }
+  std::printf("%s\n", row.c_str());
+}
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string FmtInt(std::uint64_t v) { return std::to_string(v); }
+
+// Runs a single ping and returns the RTT, or nullopt on timeout.
+inline std::optional<SimTime> RunPing(Simulator* sim, NetStack* from, IpV4Address to,
+                                      std::size_t payload, SimTime timeout,
+                                      SimTime deadline_slack = Seconds(60)) {
+  std::optional<SimTime> result;
+  bool done = false;
+  from->icmp().Ping(to, payload,
+                    [&](bool ok, SimTime rtt) {
+                      done = true;
+                      if (ok) {
+                        result = rtt;
+                      }
+                    },
+                    timeout);
+  SimTime deadline = sim->Now() + timeout + deadline_slack;
+  while (!done && sim->Now() < deadline && sim->Step()) {
+  }
+  return result;
+}
+
+struct TransferResult {
+  bool completed = false;
+  SimTime elapsed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t spurious_retransmissions = 0;
+  std::uint64_t segments_sent = 0;
+  SimTime final_srtt = 0;
+  double goodput_bps = 0.0;
+};
+
+// Bulk one-way TCP transfer: `from` connects to a sink on `to_stack` and
+// sends `bytes`. Runs the simulator until delivery completes or `deadline`.
+inline TransferResult RunBulkTransfer(Simulator* sim, Tcp* from, Tcp* to_tcp,
+                                      IpV4Address to_ip, std::size_t bytes,
+                                      SimTime deadline, std::uint16_t port = 5001) {
+  TransferResult result;
+  std::size_t received = 0;
+  to_tcp->Listen(port, [&](TcpConnection* c) {
+    c->set_data_handler([&](const Bytes& d) { received += d.size(); });
+  });
+  TcpConnection* conn = from->Connect(to_ip, port);
+  if (conn == nullptr) {
+    return result;
+  }
+  Bytes payload(bytes, 0x42);
+  SimTime start = sim->Now();
+  std::size_t queued = 0;
+  conn->set_connected_handler([&, conn] {
+    queued += conn->Send(payload);
+  });
+  while (received < bytes && sim->Now() < deadline && sim->Step()) {
+    // Keep the send buffer topped up if the first Send didn't fit.
+    if (queued < bytes && conn->state() == TcpState::kEstablished &&
+        conn->unsent_bytes() == 0) {
+      Bytes chunk(payload.begin() + static_cast<std::ptrdiff_t>(queued),
+                  payload.end());
+      queued += conn->Send(chunk);
+    }
+    if (conn->state() == TcpState::kClosed) {
+      break;
+    }
+  }
+  result.completed = received >= bytes;
+  result.elapsed = sim->Now() - start;
+  result.retransmissions = conn->stats().retransmissions;
+  result.spurious_retransmissions = conn->stats().spurious_retransmissions;
+  result.segments_sent = conn->stats().segments_sent;
+  result.final_srtt = conn->rto().srtt();
+  if (result.elapsed > 0) {
+    result.goodput_bps =
+        static_cast<double>(received) * 8.0 / ToSeconds(result.elapsed);
+  }
+  to_tcp->StopListening(port);
+  return result;
+}
+
+}  // namespace bench
+}  // namespace upr
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// X1 — ablation: Van Jacobson's slow start / congestion avoidance
+// (contemporary with the paper — presented at the same era of meetings the
+// bibliography cites; 4.3BSD-Tahoe shipped it months later).
+//
+// The paper's gateway has a deep mismatch: a 10 Mb/s Ethernet feeding a
+// 1200 bps radio. A LAN TCP opens with a full window, which lands as a burst
+// on the gateway's serial queue; slow start feels the path out instead. We
+// measure the transfer with congestion control off (stock 4.3BSD, as in the
+// paper) vs on, across send-window sizes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace {
+
+struct X1Result {
+  bool completed = false;
+  double elapsed_s = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t gw_output_drops = 0;
+  std::uint64_t gw_input_drops = 0;
+};
+
+X1Result RunOne(bool slow_start, std::uint16_t window, std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 1;
+  cfg.ether_hosts = 1;
+  cfg.radio_bit_rate = 1200;
+  cfg.mac.turnaround = 0;
+  cfg.tcp.slow_start = slow_start;
+  cfg.tcp.receive_window = window;
+  cfg.tcp.rto_algorithm = RtoAlgorithm::kJacobson;
+  cfg.tcp.max_retries = 100;
+  cfg.seed = seed;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  // A shallow serial backlog cap makes queue pressure visible, like a real
+  // IFQ in front of a 1200 bps pipe.
+  // (Driver config is fixed at build; the default 16 KB cap still shows the
+  // effect through queueing delay and retransmissions.)
+
+  TransferResult tr = RunBulkTransfer(&tb.sim(), &tb.host(0).tcp(), &tb.pc(0).tcp(),
+                                      Testbed::RadioPcIp(0), 16 * 1024,
+                                      Seconds(3600 * 8));
+  X1Result r;
+  r.completed = tr.completed;
+  r.elapsed_s = ToSeconds(tr.elapsed);
+  r.retransmissions = tr.retransmissions;
+  r.gw_output_drops = tb.gateway().radio_if()->driver_stats().output_drops;
+  r.gw_input_drops = tb.gateway().stack().ip_stats().input_drops;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("X1: slow start ablation — 16 KB Ethernet -> radio PC at 1200 bps\n");
+  for (bool slow_start : {false, true}) {
+    PrintHeader(slow_start ? "with slow start (Jacobson '88)"
+                           : "no congestion control (stock 4.3BSD, as in the paper)",
+                {"window_B", "done", "time_s", "rexmit", "gw_drops"}, 12);
+    for (std::uint16_t window : {2048, 4096, 8192, 16384}) {
+      X1Result r = RunOne(slow_start, window, 19);
+      PrintRow({FmtInt(window), r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
+                FmtInt(r.retransmissions),
+                FmtInt(r.gw_output_drops + r.gw_input_drops)},
+               12);
+    }
+  }
+  std::printf("\nShape check: without congestion control, larger windows dump\n"
+              "bigger bursts into the gateway; queueing delay inflates the RTT\n"
+              "seen by the estimator and drops force retransmissions. Slow start\n"
+              "paces the opening burst, so time and retransmissions stay flat as\n"
+              "the window grows — the fix the Internet adopted the same year.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// X5 — ablation: IP over UI datagrams (the paper's choice, §2.2) vs IP over
+// AX.25 virtual circuits (KA9Q's VC mode).
+//
+// The era's running argument: datagram mode leaves loss recovery to TCP
+// end-to-end (cheap on a clean channel, brutal timeouts on a dirty one);
+// VC mode adds link-layer ARQ per hop (fast local recovery, but connection
+// overhead, and two retransmission timers that can fight). We run the same
+// TCP transfer both ways across a loss sweep.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/driver/vc_ip_interface.h"
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace {
+
+struct X5Result {
+  bool completed = false;
+  double elapsed_s = 0;
+  std::uint64_t tcp_rexmit = 0;
+  std::uint64_t link_resent = 0;  // VC only
+};
+
+// --- UI datagram mode: the standard testbed ---------------------------------
+X5Result RunUi(double loss, std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 2;
+  cfg.ether_hosts = 0;
+  cfg.radio_bit_rate = 9600;
+  cfg.radio_loss_rate = loss;
+  cfg.mac.turnaround = 0;
+  cfg.tcp.max_retries = 60;
+  cfg.seed = seed;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  TransferResult tr =
+      RunBulkTransfer(&tb.sim(), &tb.pc(0).tcp(), &tb.pc(1).tcp(),
+                      Testbed::RadioPcIp(1), 8 * 1024, Seconds(3600 * 4));
+  X5Result r;
+  r.completed = tr.completed;
+  r.elapsed_s = ToSeconds(tr.elapsed);
+  r.tcp_rexmit = tr.retransmissions;
+  return r;
+}
+
+// --- VC mode: two stations with Ax25VcIpInterface ----------------------------
+struct VcStation {
+  std::unique_ptr<NetStack> stack;
+  std::unique_ptr<SerialLine> serial;
+  std::unique_ptr<KissTnc> tnc;
+  PacketRadioInterface* driver = nullptr;
+  Ax25VcIpInterface* vc = nullptr;
+  std::unique_ptr<Tcp> tcp;
+};
+
+std::unique_ptr<VcStation> MakeVcStation(Simulator* sim, RadioChannel* channel,
+                                         const char* name, const char* call,
+                                         IpV4Address ip, std::uint64_t seed) {
+  auto st = std::make_unique<VcStation>();
+  st->stack = std::make_unique<NetStack>(sim, name);
+  st->serial = std::make_unique<SerialLine>(sim, 9600);
+  TncConfig tnc_cfg;
+  tnc_cfg.mac.turnaround = 0;
+  tnc_cfg.local_addresses.push_back(*Ax25Address::Parse(call));
+  st->tnc = std::make_unique<KissTnc>(sim, channel, &st->serial->b(), name, tnc_cfg,
+                                      seed * 100 + 1);
+  PacketRadioConfig drv;
+  drv.local_address = *Ax25Address::Parse(call);
+  auto driver =
+      std::make_unique<PacketRadioInterface>(sim, &st->serial->a(), "pr0", drv);
+  st->driver =
+      static_cast<PacketRadioInterface*>(st->stack->AddInterface(std::move(driver)));
+  Ax25LinkConfig lc;
+  lc.t1 = Seconds(8);
+  lc.n2 = 40;
+  auto vc = std::make_unique<Ax25VcIpInterface>(sim, st->driver, "vc0", lc);
+  vc->Configure(ip, 24);
+  st->vc = static_cast<Ax25VcIpInterface*>(st->stack->AddInterface(std::move(vc)));
+  TcpConfig tc;
+  tc.max_retries = 60;
+  st->tcp = std::make_unique<Tcp>(st->stack.get(), tc, seed * 100 + 2);
+  return st;
+}
+
+X5Result RunVc(double loss, std::uint64_t seed) {
+  Simulator sim;
+  RadioChannelConfig rc;
+  rc.bit_rate = 9600;
+  rc.loss_rate = loss;
+  RadioChannel channel(&sim, rc, seed);
+  auto a = MakeVcStation(&sim, &channel, "a", "KD7AA", IpV4Address(44, 24, 11, 1),
+                         seed + 1);
+  auto b = MakeVcStation(&sim, &channel, "b", "KD7AB", IpV4Address(44, 24, 11, 2),
+                         seed + 2);
+  a->vc->MapIpToCallsign(IpV4Address(44, 24, 11, 2), *Ax25Address::Parse("KD7AB"));
+  b->vc->MapIpToCallsign(IpV4Address(44, 24, 11, 1), *Ax25Address::Parse("KD7AA"));
+  X5Result r;
+  TransferResult tr = RunBulkTransfer(&sim, a->tcp.get(), b->tcp.get(),
+                                      IpV4Address(44, 24, 11, 2), 8 * 1024,
+                                      Seconds(3600 * 4));
+  r.completed = tr.completed;
+  r.elapsed_s = ToSeconds(tr.elapsed);
+  r.tcp_rexmit = tr.retransmissions;
+  if (Ax25Connection* circuit =
+          a->vc->link().FindConnection(*Ax25Address::Parse("KD7AB"))) {
+    r.link_resent = circuit->i_frames_resent();
+  }
+  if (Ax25Connection* back =
+          b->vc->link().FindConnection(*Ax25Address::Parse("KD7AA"))) {
+    r.link_resent += back->i_frames_resent();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("X5: IP encapsulation — UI datagrams (the paper, KA9Q default) vs\n"
+              "AX.25 virtual circuits (KA9Q VC mode); 8 KB TCP transfer, 9600 bps\n");
+  PrintHeader("per frame-loss rate",
+              {"loss", "mode", "done", "time_s", "tcp_rexmit", "link_resent"},
+              12);
+  for (double loss : {0.0, 0.10, 0.25, 0.40}) {
+    X5Result ui = RunUi(loss, 91);
+    PrintRow({Fmt(loss, 2), "ui-dgram", ui.completed ? "yes" : "NO",
+              Fmt(ui.elapsed_s, 0), FmtInt(ui.tcp_rexmit), "-"},
+             12);
+    X5Result vc = RunVc(loss, 92);
+    PrintRow({Fmt(loss, 2), "ax25-vc", vc.completed ? "yes" : "NO",
+              Fmt(vc.elapsed_s, 0), FmtInt(vc.tcp_rexmit), FmtInt(vc.link_resent)},
+             12);
+  }
+  std::printf("\nShape check: on a clean channel UI wins (no SABM handshake, no RR\n"
+              "chatter). As loss grows, VC's per-hop ARQ recovers in one link\n"
+              "round trip what costs TCP a full backed-off RTO — total time and\n"
+              "TCP retransmissions grow much faster in datagram mode. This is the\n"
+              "trade Karn's KA9Q exposed as a per-route mode switch, and the\n"
+              "reason dirty paths ran VC while clean ones ran datagram.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// The pre-IP world of §1: terminal users, digipeaters, and a packet BBS over
+// connected-mode AX.25 — all running above the driver's non-IP path, plus
+// the §2.4 application gateway giving one of those users a bridged telnet
+// session on an Internet host without running IP themselves.
+#include <cstdio>
+
+#include "src/apps/app_gateway.h"
+#include "src/apps/bbs.h"
+#include "src/apps/telnet.h"
+#include "src/scenario/testbed.h"
+
+using namespace upr;
+
+int main() {
+  TestbedConfig config;
+  config.radio_pcs = 3;  // station 0: BBS host; 1, 2: users
+  config.ether_hosts = 1;
+  config.digipeaters = 1;
+  config.radio_bit_rate = 1200;
+  Testbed tb(config);
+  tb.PopulateRadioArp();
+
+  Ax25LinkConfig link_config;
+  link_config.t1 = Seconds(12);
+
+  // The BBS station.
+  auto bbs_link = BindAx25LinkToDriver(&tb.sim(), tb.pc(0).radio_if(), link_config);
+  Ax25Bbs bbs(bbs_link.get(), "[Seattle Packet BBS - messages welcome]");
+  bbs.Post(BbsMessage{.from = "N7AKR", .to = "", .subject = "IP gateway online",
+                      .body = {"The MicroVAX now gateways net 44 to the Internet.",
+                               "Point your default route at 44.24.0.28."}});
+
+  // User 1 connects directly; user 2 goes through the digipeater.
+  auto user1_link = BindAx25LinkToDriver(&tb.sim(), tb.pc(1).radio_if(), link_config);
+  auto user2_link = BindAx25LinkToDriver(&tb.sim(), tb.pc(2).radio_if(), link_config);
+
+  BbsTerminal user1(user1_link.get(), Testbed::PcCallsign(0));
+  user1.set_line_handler([](const std::string& line) {
+    std::printf("  [user1] %s\n", line.c_str());
+  });
+  std::printf("user1 (%s) connecting to the BBS directly...\n",
+              Testbed::PcCallsign(1).ToString().c_str());
+  tb.sim().RunUntil(Seconds(120));
+
+  user1.SendLine("L");
+  tb.sim().RunUntil(Seconds(240));
+  user1.SendLine("R 1");
+  tb.sim().RunUntil(Seconds(420));
+  user1.SendLine("S KD7AC antenna party");
+  tb.sim().RunUntil(Seconds(500));
+  user1.SendLine("Saturday at the club site. Bring coax.");
+  user1.SendLine("/EX");
+  tb.sim().RunUntil(Seconds(700));
+  user1.SendLine("B");
+  tb.sim().RunUntil(Seconds(800));
+
+  std::printf("\nuser2 (%s) connecting via digipeater %s...\n",
+              Testbed::PcCallsign(2).ToString().c_str(),
+              Testbed::DigiCallsign(0).ToString().c_str());
+  BbsTerminal user2(user2_link.get(), Testbed::PcCallsign(0),
+                    {Ax25Digipeater{Testbed::DigiCallsign(0), false}});
+  user2.set_line_handler([](const std::string& line) {
+    std::printf("  [user2] %s\n", line.c_str());
+  });
+  tb.sim().RunUntil(Seconds(1000));
+  user2.SendLine("L");
+  tb.sim().RunUntil(Seconds(1300));
+  user2.SendLine("R 2");
+  tb.sim().RunUntil(Seconds(1600));
+  user2.SendLine("B");
+  tb.sim().RunUntil(Seconds(1700));
+
+  std::printf("\nBBS stats: %llu sessions, %llu commands, %zu messages stored\n",
+              static_cast<unsigned long long>(bbs.sessions()),
+              static_cast<unsigned long long>(bbs.commands()), bbs.messages().size());
+  std::printf("digipeater repeated %llu frames\n",
+              static_cast<unsigned long long>(tb.digi(0).frames_repeated()));
+
+  // --- §2.4: the same terminal user reaches a real telnet host through the
+  // application gateway, still without IP on their own station. ------------
+  std::printf("\nuser1 now telnets to an Internet host via the application "
+              "gateway (%s)...\n",
+              Testbed::GatewayCallsign().ToString().c_str());
+  TelnetServer telnetd(&tb.host(0).tcp(), "june.cs.washington.edu");
+  Ax25TelnetGateway appgw(&tb.sim(), tb.gateway().radio_if(), &tb.gateway().tcp(),
+                          Testbed::EtherHostIp(0), kTelnetPort, link_config);
+  Ax25Connection* session = user1_link->Connect(Testbed::GatewayCallsign());
+  session->set_data_handler([](const Bytes& d) {
+    std::fwrite(d.data(), 1, d.size(), stdout);
+  });
+  tb.sim().RunUntil(Seconds(2200));
+  session->Send(BytesFromString("kd7ab\r\n"));
+  tb.sim().RunUntil(Seconds(2700));
+  session->Send(BytesFromString("echo no IP stack was harmed\r\n"));
+  tb.sim().RunUntil(Seconds(3300));
+  session->Send(BytesFromString("logout\r\n"));
+  tb.sim().RunUntil(Seconds(3900));
+  std::printf("\napplication gateway bridged %llu session(s), %llu B to net, "
+              "%llu B to radio\n",
+              static_cast<unsigned long long>(appgw.sessions_bridged()),
+              static_cast<unsigned long long>(appgw.bytes_radio_to_net()),
+              static_cast<unsigned long long>(appgw.bytes_net_to_radio()));
+  return 0;
+}

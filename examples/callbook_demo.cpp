@@ -1,0 +1,64 @@
+// §5's distributed callbook: "data for a particular country, or part of a
+// country, could be maintained on a system local to that area. Given a call
+// sign, an application running on a PC could determine what area the call
+// sign is from, and then send off a query to the appropriate server."
+//
+// Two regional servers live on the Ethernet; a packet-radio PC queries them
+// through the gateway, and prints the bearing-ready grid squares (§5's
+// automatic antenna rotation idea).
+#include <cstdio>
+
+#include "src/apps/callbook.h"
+#include "src/scenario/testbed.h"
+
+using namespace upr;
+
+int main() {
+  TestbedConfig config;
+  config.radio_pcs = 1;
+  config.ether_hosts = 2;
+  config.radio_bit_rate = 1200;
+  Testbed tb(config);
+  tb.PopulateRadioArp();
+
+  // Region 7 (Pacific Northwest) server on host 0.
+  CallbookServer region7(&tb.host(0).udp());
+  region7.AddEntry({"N7AKR", "Bob Albrightson", "Seattle WA", "CN87"});
+  region7.AddEntry({"KB7DZ", "Dennis Goodwin", "Tacoma WA", "CN87"});
+  region7.AddEntry({"KD7NM", "Bob Donnell", "Seattle WA", "CN87"});
+
+  // Region 1 (New England) server on host 1.
+  CallbookServer region1(&tb.host(1).udp());
+  region1.AddEntry({"W1GOH", "Steve Ward", "Cambridge MA", "FN42"});
+
+  CallbookClient client(&tb.sim(), &tb.pc(0).udp());
+  client.AddRegionServer('7', Testbed::EtherHostIp(0));
+  client.AddRegionServer('1', Testbed::EtherHostIp(1));
+
+  const char* queries[] = {"N7AKR", "W1GOH", "KB7DZ", "K7QQQ", "NOCALL"};
+  int outstanding = 0;
+  for (const char* call : queries) {
+    ++outstanding;
+    std::string callsign = call;
+    client.Query(callsign, [callsign, &outstanding](std::optional<CallbookEntry> e) {
+      if (e) {
+        std::printf("%-6s -> %s, %s (grid %s)\n", callsign.c_str(), e->name.c_str(),
+                    e->city.c_str(), e->grid.c_str());
+      } else {
+        std::printf("%-6s -> not found\n", callsign.c_str());
+      }
+      --outstanding;
+    });
+    // Stagger the queries: the 1200 bps channel serializes them anyway.
+    tb.sim().RunUntil(tb.sim().Now() + Seconds(120));
+  }
+  tb.sim().RunUntil(tb.sim().Now() + Seconds(600));
+
+  std::printf("\nclient sent %llu queries (%llu timeouts); region 7 served %llu, "
+              "region 1 served %llu\n",
+              static_cast<unsigned long long>(client.queries_sent()),
+              static_cast<unsigned long long>(client.timeouts()),
+              static_cast<unsigned long long>(region7.queries_served()),
+              static_cast<unsigned long long>(region1.queries_served()));
+  return outstanding == 0 ? 0 : 1;
+}

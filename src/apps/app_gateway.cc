@@ -1,0 +1,66 @@
+#include "src/apps/app_gateway.h"
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "appgw";
+}  // namespace
+
+Ax25TelnetGateway::Ax25TelnetGateway(Simulator* sim, PacketRadioInterface* driver,
+                                     Tcp* tcp, IpV4Address telnet_host,
+                                     std::uint16_t telnet_port,
+                                     Ax25LinkConfig link_config)
+    : sim_(sim), tcp_(tcp), telnet_host_(telnet_host), telnet_port_(telnet_port) {
+  link_ = BindAx25LinkToDriver(sim, driver, link_config);
+  link_->set_accept_handler([](const Ax25Address&) { return true; });
+  link_->set_connection_handler([this](Ax25Connection* c) { OnAx25Connection(c); });
+}
+
+void Ax25TelnetGateway::OnAx25Connection(Ax25Connection* conn) {
+  ++sessions_;
+  auto bridge = std::make_unique<Bridge>();
+  Bridge* b = bridge.get();
+  b->ax25 = conn;
+  b->tcp = tcp_->Connect(telnet_host_, telnet_port_);
+  if (b->tcp == nullptr) {
+    UPR_WARN(kTag, "no route to telnet host %s", telnet_host_.ToString().c_str());
+    conn->Disconnect();
+    return;
+  }
+  UPR_INFO(kTag, "bridging %s <-> %s:%u", conn->peer().ToString().c_str(),
+           telnet_host_.ToString().c_str(), telnet_port_);
+
+  // Radio -> net.
+  b->ax25->set_data_handler([this, b](const Bytes& data) {
+    radio_to_net_ += data.size();
+    b->tcp->Send(data);
+  });
+  // Net -> radio.
+  b->tcp->set_data_handler([this, b](const Bytes& data) {
+    net_to_radio_ += data.size();
+    b->ax25->Send(data);
+  });
+
+  // Teardown coupling.
+  b->ax25->set_disconnected_handler([b] {
+    if (!b->closing) {
+      b->closing = true;
+      b->tcp->Close();
+    }
+  });
+  auto close_ax25 = [b] {
+    if (!b->closing) {
+      b->closing = true;
+      b->ax25->Disconnect();
+    }
+  };
+  b->tcp->set_remote_closed_handler(close_ax25);
+  b->tcp->set_closed_handler(close_ax25);
+  b->tcp->set_error_handler([close_ax25](const std::string&) { close_ax25(); });
+
+  bridges_.push_back(std::move(bridge));
+}
+
+}  // namespace upr

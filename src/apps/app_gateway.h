@@ -1,0 +1,63 @@
+// The §2.4 application-layer gateway: "we would like our gateway to be able
+// to serve as a gateway between applications running on top of other
+// protocols. Such a gateway would be at the application layer, and specific
+// to remote login and electronic mail. ... Packets that are received from
+// the TNC that are not of type IP can be placed on the input queue for the
+// appropriate tty line. A user program can then read from this line, and
+// maintain the state required to keep track of AX.25 [connected-mode]
+// connections. Data can then be passed to a pseudo terminal to support
+// remote login."
+//
+// Ax25TelnetGateway is that user program: it accepts AX.25 connected-mode
+// sessions from terminal users (no IP required on their side) and bridges
+// each one to a TCP telnet session with a configured Internet host, piping
+// bytes both ways and tying the two teardown paths together.
+#ifndef SRC_APPS_APP_GATEWAY_H_
+#define SRC_APPS_APP_GATEWAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/apps/bbs.h"
+#include "src/ax25/lapb.h"
+#include "src/driver/packet_radio_interface.h"
+#include "src/tcp/tcp.h"
+
+namespace upr {
+
+class Ax25TelnetGateway {
+ public:
+  // AX.25 side: a link bound to `driver` (the gateway's callsign). TCP side:
+  // each accepted session connects to `telnet_host`:`telnet_port`.
+  Ax25TelnetGateway(Simulator* sim, PacketRadioInterface* driver, Tcp* tcp,
+                    IpV4Address telnet_host, std::uint16_t telnet_port = 23,
+                    Ax25LinkConfig link_config = {});
+
+  std::uint64_t sessions_bridged() const { return sessions_; }
+  std::uint64_t bytes_radio_to_net() const { return radio_to_net_; }
+  std::uint64_t bytes_net_to_radio() const { return net_to_radio_; }
+
+ private:
+  struct Bridge {
+    Ax25Connection* ax25 = nullptr;
+    TcpConnection* tcp = nullptr;
+    bool closing = false;
+  };
+
+  void OnAx25Connection(Ax25Connection* conn);
+
+  Simulator* sim_;
+  Tcp* tcp_;
+  IpV4Address telnet_host_;
+  std::uint16_t telnet_port_;
+  std::unique_ptr<Ax25Link> link_;
+  std::vector<std::unique_ptr<Bridge>> bridges_;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t radio_to_net_ = 0;
+  std::uint64_t net_to_radio_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_APPS_APP_GATEWAY_H_

@@ -1,0 +1,126 @@
+// Packet bulletin board over AX.25 connected mode (§1: "some users connected
+// their TNCs to computers on which they ran packet bulletin board software
+// ... Users with terminals were able to leave messages and read messages").
+//
+// Runs entirely above the driver's non-IP path: the BBS binds an Ax25Link to
+// a PacketRadioInterface (connected-mode frames arrive on the tty queue,
+// responses leave via SendRawFrame), demonstrating the paper's point that
+// AX.25 services "do not require kernel support" (§2.4).
+#ifndef SRC_APPS_BBS_H_
+#define SRC_APPS_BBS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+#include "src/apps/line_codec.h"
+#include "src/ax25/lapb.h"
+#include "src/driver/packet_radio_interface.h"
+
+namespace upr {
+
+// Wires an Ax25Link to a driver: link output -> SendRawFrame; driver tty
+// queue -> link input. Returns the link, which the caller owns.
+std::unique_ptr<Ax25Link> BindAx25LinkToDriver(Simulator* sim,
+                                               PacketRadioInterface* driver,
+                                               Ax25LinkConfig config = {});
+
+struct BbsMessage {
+  std::string from;
+  std::string to;  // recipient callsign
+  std::string subject;
+  std::vector<std::string> body;
+  bool forwarded = false;  // already pushed to the recipient's home BBS
+};
+
+class Ax25Bbs {
+ public:
+  // The BBS accepts every incoming connection on `link`'s address.
+  Ax25Bbs(Ax25Link* link, std::string banner);
+
+  const std::vector<BbsMessage>& messages() const { return messages_; }
+  void Post(BbsMessage message) { messages_.push_back(std::move(message)); }
+  std::uint64_t sessions() const { return sessions_; }
+  std::uint64_t commands() const { return commands_; }
+
+  // --- Store-and-forward between BBSs (§1 footnote 2: "one or two BBSs in
+  // each area would connect to [a] station in different parts of the
+  // country in order to forward messages ... In this way, connectivity for
+  // electronic mail was achieved on a world wide level.") ------------------
+
+  // Declares that `user` reads mail at `home_bbs`. Messages addressed to a
+  // user homed elsewhere are pushed there on the forwarding cycle.
+  void SetUserHome(const std::string& user, const Ax25Address& home_bbs);
+  // Starts the periodic forwarding cycle (and runs one immediately when
+  // anything is pending). `digis` applies to all forwarding connects.
+  void StartForwarding(SimTime interval, std::vector<Ax25Digipeater> digis = {});
+  // Runs one forwarding pass now.
+  void ForwardPending();
+
+  std::uint64_t messages_forwarded() const { return forwarded_out_; }
+  std::uint64_t messages_received_by_forwarding() const { return forwarded_in_; }
+
+ private:
+  enum class Mode { kCommand, kComposing, kForwardReceiving };
+  struct Session {
+    Ax25Connection* conn;
+    std::unique_ptr<LineBuffer> lines;
+    Mode mode = Mode::kCommand;
+    BbsMessage draft;
+  };
+  struct ForwardSession {
+    Ax25Connection* conn = nullptr;
+    std::unique_ptr<LineBuffer> lines;
+    std::vector<std::size_t> message_indices;  // into messages_
+  };
+
+  void OnConnection(Ax25Connection* conn);
+  void OnLine(Session* s, const std::string& line);
+  void SendPrompt(Session* s);
+  void StartForwardSession(const Ax25Address& peer_bbs,
+                           std::vector<std::size_t> indices);
+
+  Ax25Link* link_;
+  std::string banner_;
+  std::vector<std::unique_ptr<Session>> sessions_list_;
+  std::vector<BbsMessage> messages_;
+  std::map<std::string, Ax25Address> user_homes_;
+  std::vector<std::unique_ptr<ForwardSession>> forward_sessions_;
+  std::unique_ptr<Timer> forward_timer_;
+  std::vector<Ax25Digipeater> forward_digis_;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t commands_ = 0;
+  std::uint64_t forwarded_out_ = 0;
+  std::uint64_t forwarded_in_ = 0;
+};
+
+// A terminal user's side of a BBS session: connect, send command lines,
+// collect response lines.
+class BbsTerminal {
+ public:
+  BbsTerminal(Ax25Link* link, Ax25Address bbs,
+              std::vector<Ax25Digipeater> digis = {});
+
+  void SendLine(const std::string& line);
+  void Disconnect();
+  bool connected() const;
+
+  const std::vector<std::string>& transcript() const { return transcript_; }
+  using LineHandler = std::function<void(const std::string&)>;
+  void set_line_handler(LineHandler h) { on_line_ = std::move(h); }
+
+ private:
+  Ax25Connection* conn_;
+  std::unique_ptr<LineBuffer> lines_;
+  std::vector<std::string> transcript_;
+  LineHandler on_line_;
+};
+
+}  // namespace upr
+
+#endif  // SRC_APPS_BBS_H_

@@ -1,0 +1,29 @@
+#include "src/apps/beacon.h"
+
+namespace upr {
+
+BeaconService::BeaconService(Simulator* sim, PacketRadioInterface* driver,
+                             std::string text, SimTime interval,
+                             Ax25Address destination)
+    : sim_(sim),
+      driver_(driver),
+      text_(std::move(text)),
+      interval_(interval),
+      destination_(std::move(destination)) {
+  timer_ = std::make_unique<Timer>(sim_, [this] {
+    SendBeacon();
+    timer_->Restart(interval_);
+  });
+  timer_->Restart(interval_);
+}
+
+void BeaconService::Stop() { timer_->Stop(); }
+
+void BeaconService::SendBeacon() {
+  Ax25Frame f = Ax25Frame::MakeUi(destination_, driver_->local_ax25(), kPidNoLayer3,
+                                  BytesFromString(text_));
+  driver_->SendRawFrame(f);
+  ++sent_;
+}
+
+}  // namespace upr

@@ -1,0 +1,46 @@
+// Station beacon service. Period-accurate necessity: FCC Part 97 requires a
+// station to identify every ten minutes, and packet stations did it with a
+// UI frame to a broadcast destination ("BEACON EVERY n" on a TNC-2). Also
+// the standing source of the background traffic §3 complains about: every
+// beacon on the channel interrupts every promiscuous-TNC host once per
+// byte.
+#ifndef SRC_APPS_BEACON_H_
+#define SRC_APPS_BEACON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/ax25/frame.h"
+#include "src/driver/packet_radio_interface.h"
+#include "src/sim/simulator.h"
+
+namespace upr {
+
+class BeaconService {
+ public:
+  // Beacons `text` every `interval` as a UI frame to `destination`
+  // (default the QST broadcast), starting one interval from now.
+  BeaconService(Simulator* sim, PacketRadioInterface* driver, std::string text,
+                SimTime interval = Seconds(600),
+                Ax25Address destination = Ax25Address::Broadcast());
+
+  void Stop();
+  void set_text(std::string text) { text_ = std::move(text); }
+  std::uint64_t beacons_sent() const { return sent_; }
+
+ private:
+  void SendBeacon();
+
+  Simulator* sim_;
+  PacketRadioInterface* driver_;
+  std::string text_;
+  SimTime interval_;
+  Ax25Address destination_;
+  std::unique_ptr<Timer> timer_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_APPS_BEACON_H_

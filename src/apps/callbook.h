@@ -1,0 +1,100 @@
+// The distributed callbook service proposed in §5: "data for a particular
+// country, or part of a country, could be maintained on a system local to
+// that area. Given a call sign, an application running on a PC could
+// determine what area the call sign is from, and then send off a query to
+// the appropriate server."
+//
+// Region derivation follows US callsign structure: the digit in the callsign
+// is the call district ("N7AKR" -> region '7'). Clients keep a static map of
+// region -> server address and query over UDP with retries.
+#ifndef SRC_APPS_CALLBOOK_H_
+#define SRC_APPS_CALLBOOK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/udp/udp.h"
+
+namespace upr {
+
+inline constexpr std::uint16_t kCallbookPort = 1177;
+
+struct CallbookEntry {
+  std::string callsign;
+  std::string name;
+  std::string city;
+  std::string grid;  // Maidenhead locator, for §5's antenna-rotation idea
+
+  Bytes Encode() const;
+  static std::optional<CallbookEntry> Decode(const Bytes& wire);
+};
+
+// Returns the call district digit of a callsign, or nullopt.
+std::optional<char> CallsignRegion(const std::string& callsign);
+
+class CallbookServer {
+ public:
+  CallbookServer(Udp* udp, std::uint16_t port = kCallbookPort);
+
+  void AddEntry(CallbookEntry entry);
+  std::size_t entry_count() const { return entries_.size(); }
+  std::uint64_t queries_served() const { return served_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  void OnQuery(IpV4Address src, std::uint16_t sport, const Bytes& data);
+
+  Udp* udp_;
+  std::uint16_t port_;
+  std::map<std::string, CallbookEntry> entries_;
+  std::uint64_t served_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class CallbookClient {
+ public:
+  using QueryHandler = std::function<void(std::optional<CallbookEntry>)>;
+
+  CallbookClient(Simulator* sim, Udp* udp, std::uint16_t local_port = 1178);
+
+  // Maps a call district to the server responsible for it.
+  void AddRegionServer(char region, IpV4Address server);
+
+  // Looks up `callsign`, retrying over UDP; the handler fires with the entry
+  // or nullopt (unknown callsign / unroutable region / timeout).
+  void Query(const std::string& callsign, QueryHandler handler,
+             SimTime timeout = Seconds(120), int retries = 3);
+
+  std::uint64_t queries_sent() const { return sent_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct Pending {
+    QueryHandler handler;
+    IpV4Address server;
+    std::string callsign;
+    int retries_left;
+    SimTime retry_delay;
+    std::unique_ptr<Timer> timer;
+  };
+
+  void OnReply(IpV4Address src, std::uint16_t sport, const Bytes& data);
+  void SendQuery(Pending* p);
+
+  Simulator* sim_;
+  Udp* udp_;
+  std::uint16_t local_port_;
+  std::map<char, IpV4Address> regions_;
+  std::map<std::string, std::unique_ptr<Pending>> pending_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_APPS_CALLBOOK_H_

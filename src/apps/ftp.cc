@@ -1,0 +1,279 @@
+#include "src/apps/ftp.h"
+
+#include <cstdlib>
+
+namespace upr {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Splits "PUT name 123" into words.
+std::vector<std::string> Words(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> FileStore::List() const {
+  std::vector<std::string> out;
+  for (const auto& [name, data] : files_) {
+    out.push_back(name + " " + std::to_string(data.size()));
+  }
+  return out;
+}
+
+MiniFtpServer::MiniFtpServer(Tcp* tcp, std::string hostname, std::uint16_t port)
+    : tcp_(tcp), hostname_(std::move(hostname)) {
+  tcp_->Listen(port, [this](TcpConnection* c) { OnAccept(c); });
+}
+
+void MiniFtpServer::OnAccept(TcpConnection* conn) {
+  auto session = std::make_unique<Session>();
+  Session* raw = session.get();
+  raw->conn = conn;
+  raw->lines = std::make_unique<LineBuffer>(
+      [this, raw](const std::string& line) { OnLine(raw, line); });
+  conn->set_data_handler([this, raw](const Bytes& d) { OnRaw(raw, d); });
+  conn->set_connected_handler([this, raw] {
+    raw->conn->Send(Line("220 " + hostname_ + " FTP ready"));
+  });
+  conn->set_remote_closed_handler([raw] { raw->conn->Close(); });
+  sessions_.push_back(std::move(session));
+}
+
+void MiniFtpServer::OnRaw(Session* s, const Bytes& data) {
+  std::size_t offset = 0;
+  // Raw upload bytes take precedence until the announced count is consumed;
+  // anything after that returns to the command parser. Because the client
+  // waits for our "150" before sending data, a command line and upload bytes
+  // never share a segment in the other order.
+  while (offset < data.size()) {
+    if (s->mode == Mode::kReceivingData) {
+      std::size_t take = std::min(s->upload_remaining, data.size() - offset);
+      s->upload_data.insert(s->upload_data.end(),
+                            data.begin() + static_cast<std::ptrdiff_t>(offset),
+                            data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+      s->upload_remaining -= take;
+      offset += take;
+      if (s->upload_remaining == 0) {
+        store_.Put(s->upload_name, std::move(s->upload_data));
+        s->upload_data = Bytes{};
+        s->mode = Mode::kCommand;
+        ++transfers_;
+        s->conn->Send(Line("226 Transfer complete"));
+      }
+    } else {
+      s->lines->Feed(Bytes{data[offset]});
+      ++offset;
+      // OnLine may have flipped the mode mid-buffer (PUT ... then data).
+    }
+  }
+}
+
+void MiniFtpServer::OnLine(Session* s, const std::string& line) {
+  auto words = Words(line);
+  if (words.empty()) {
+    return;
+  }
+  const std::string& cmd = words[0];
+  if (cmd == "PUT" && words.size() == 3) {
+    s->upload_name = words[1];
+    s->upload_remaining = static_cast<std::size_t>(std::strtoul(words[2].c_str(),
+                                                                nullptr, 10));
+    s->upload_data.clear();
+    if (s->upload_remaining == 0) {
+      store_.Put(s->upload_name, Bytes{});
+      ++transfers_;
+      s->conn->Send(Line("226 Transfer complete"));
+      return;
+    }
+    s->mode = Mode::kReceivingData;
+    s->conn->Send(Line("150 Send data"));
+  } else if (cmd == "GET" && words.size() == 2) {
+    const Bytes* file = store_.Get(words[1]);
+    if (file == nullptr) {
+      s->conn->Send(Line("550 " + words[1] + ": No such file"));
+      return;
+    }
+    s->conn->Send(Line("150 " + std::to_string(file->size())));
+    s->conn->Send(*file);
+    s->conn->Send(Line("226 Transfer complete"));
+    ++transfers_;
+  } else if (cmd == "LIST") {
+    s->conn->Send(Line("150 Listing"));
+    for (const auto& entry : store_.List()) {
+      s->conn->Send(Line(entry));
+    }
+    s->conn->Send(Line("226 End of list"));
+  } else if (cmd == "QUIT") {
+    s->conn->Send(Line("221 Goodbye"));
+    s->conn->Close();
+  } else {
+    s->conn->Send(Line("500 Unknown command"));
+  }
+}
+
+bool MiniFtpClient::Connect(IpV4Address server, DoneHandler on_ready,
+                            std::uint16_t port) {
+  on_ready_ = std::move(on_ready);
+  conn_ = tcp_->Connect(server, port);
+  if (conn_ == nullptr) {
+    if (on_ready_) {
+      on_ready_(false);
+    }
+    return false;
+  }
+  lines_ = std::make_unique<LineBuffer>([this](const std::string& l) { OnLine(l); });
+  conn_->set_data_handler([this](const Bytes& d) { OnData(d); });
+  conn_->set_error_handler([this](const std::string&) {
+    if (!ready_ && on_ready_) {
+      on_ready_(false);
+    }
+  });
+  return true;
+}
+
+void MiniFtpClient::OnData(const Bytes& data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    if (mode_ == Mode::kReceiving) {
+      std::size_t take = std::min(receive_remaining_, data.size() - offset);
+      receive_buffer_.insert(receive_buffer_.end(),
+                             data.begin() + static_cast<std::ptrdiff_t>(offset),
+                             data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+      receive_remaining_ -= take;
+      offset += take;
+      if (receive_remaining_ == 0) {
+        mode_ = Mode::kIdle;  // awaiting the trailing 226
+        if (get_done_) {
+          GetHandler done = std::move(get_done_);
+          get_done_ = nullptr;
+          done(true, receive_buffer_);
+        }
+        receive_buffer_.clear();
+      }
+    } else {
+      lines_->Feed(Bytes{data[offset]});
+      ++offset;
+    }
+  }
+}
+
+void MiniFtpClient::OnLine(const std::string& line) {
+  if (StartsWith(line, "220")) {
+    ready_ = true;
+    if (on_ready_) {
+      on_ready_(true);
+    }
+    return;
+  }
+  if (mode_ == Mode::kListing) {
+    if (StartsWith(line, "226")) {
+      mode_ = Mode::kIdle;
+      if (list_done_) {
+        list_done_(list_lines_);
+        list_done_ = nullptr;
+      }
+      list_lines_.clear();
+    } else if (!StartsWith(line, "150")) {
+      list_lines_.push_back(line);
+    }
+    return;
+  }
+  if (StartsWith(line, "150")) {
+    if (mode_ == Mode::kAwaitPutAck) {
+      // Cleared to send the upload body (queued in Put()).
+      return;
+    }
+    if (mode_ == Mode::kAwaitGetHeader) {
+      receive_remaining_ = static_cast<std::size_t>(
+          std::strtoul(line.substr(4).c_str(), nullptr, 10));
+      receive_buffer_.clear();
+      if (receive_remaining_ == 0) {
+        mode_ = Mode::kIdle;
+        if (get_done_) {
+          GetHandler done = std::move(get_done_);
+          get_done_ = nullptr;
+          done(true, Bytes{});
+        }
+      } else {
+        mode_ = Mode::kReceiving;
+      }
+      return;
+    }
+    return;
+  }
+  if (StartsWith(line, "226")) {
+    if (mode_ == Mode::kAwaitPutAck) {
+      mode_ = Mode::kIdle;
+      if (put_done_) {
+        DoneHandler done = std::move(put_done_);
+        put_done_ = nullptr;
+        done(true);
+      }
+    }
+    return;
+  }
+  if (StartsWith(line, "550")) {
+    mode_ = Mode::kIdle;
+    if (get_done_) {
+      GetHandler done = std::move(get_done_);
+      get_done_ = nullptr;
+      done(false, Bytes{});
+    }
+    if (put_done_) {
+      DoneHandler done = std::move(put_done_);
+      put_done_ = nullptr;
+      done(false);
+    }
+  }
+}
+
+void MiniFtpClient::Put(const std::string& name, const Bytes& data, DoneHandler done) {
+  put_done_ = std::move(done);
+  mode_ = Mode::kAwaitPutAck;
+  conn_->Send(Line("PUT " + name + " " + std::to_string(data.size())));
+  // The server ignores bytes until it has said 150, but TCP preserves order:
+  // data queued now arrives after the command line, and the server enters
+  // receive mode upon parsing the command — so we may queue immediately.
+  conn_->Send(data);
+}
+
+void MiniFtpClient::Get(const std::string& name, GetHandler done) {
+  get_done_ = std::move(done);
+  mode_ = Mode::kAwaitGetHeader;
+  conn_->Send(Line("GET " + name));
+}
+
+void MiniFtpClient::List(ListHandler done) {
+  list_done_ = std::move(done);
+  mode_ = Mode::kListing;
+  conn_->Send(Line("LIST"));
+}
+
+void MiniFtpClient::Quit() {
+  if (conn_ != nullptr) {
+    conn_->Send(Line("QUIT"));
+    conn_->Close();
+  }
+}
+
+}  // namespace upr

@@ -1,0 +1,22 @@
+#include "src/apps/line_codec.h"
+
+namespace upr {
+
+void LineBuffer::Feed(const Bytes& data) {
+  for (std::uint8_t b : data) {
+    if (b == '\n') {
+      std::string line = std::move(partial_);
+      partial_.clear();
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      handler_(line);
+    } else {
+      partial_.push_back(static_cast<char>(b));
+    }
+  }
+}
+
+Bytes Line(const std::string& text) { return BytesFromString(text + "\r\n"); }
+
+}  // namespace upr

@@ -1,0 +1,34 @@
+// Line assembly shared by the text protocols (telnet, SMTP, FTP, BBS):
+// accumulates a byte stream and emits complete lines with CR/LF stripped.
+#ifndef SRC_APPS_LINE_CODEC_H_
+#define SRC_APPS_LINE_CODEC_H_
+
+#include <functional>
+#include <string>
+
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+class LineBuffer {
+ public:
+  using LineHandler = std::function<void(const std::string&)>;
+
+  explicit LineBuffer(LineHandler handler) : handler_(std::move(handler)) {}
+
+  void Feed(const Bytes& data);
+  // Bytes accumulated but not yet terminated.
+  const std::string& partial() const { return partial_; }
+  void Clear() { partial_.clear(); }
+
+ private:
+  LineHandler handler_;
+  std::string partial_;
+};
+
+// Formats a line with the network line terminator.
+Bytes Line(const std::string& text);
+
+}  // namespace upr
+
+#endif  // SRC_APPS_LINE_CODEC_H_

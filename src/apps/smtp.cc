@@ -1,0 +1,193 @@
+#include "src/apps/smtp.h"
+
+namespace upr {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Extracts the address from "MAIL FROM:<x>" / "RCPT TO:<x>" forms.
+std::string ExtractAddress(const std::string& line, std::size_t prefix_len) {
+  std::string rest = line.substr(prefix_len);
+  std::string out;
+  for (char c : rest) {
+    if (c == '<' || c == ' ') {
+      continue;
+    }
+    if (c == '>') {
+      break;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+MiniSmtpServer::MiniSmtpServer(Tcp* tcp, std::string hostname, std::uint16_t port)
+    : tcp_(tcp), hostname_(std::move(hostname)) {
+  tcp_->Listen(port, [this](TcpConnection* c) { OnAccept(c); });
+}
+
+void MiniSmtpServer::OnAccept(TcpConnection* conn) {
+  auto session = std::make_unique<Session>();
+  Session* raw = session.get();
+  raw->conn = conn;
+  raw->lines = std::make_unique<LineBuffer>(
+      [this, raw](const std::string& line) { OnLine(raw, line); });
+  conn->set_data_handler([raw](const Bytes& d) { raw->lines->Feed(d); });
+  conn->set_connected_handler([this, raw] {
+    raw->conn->Send(Line("220 " + hostname_ + " SMTP ready"));
+  });
+  conn->set_remote_closed_handler([raw] { raw->conn->Close(); });
+  sessions_.push_back(std::move(session));
+}
+
+void MiniSmtpServer::OnLine(Session* s, const std::string& line) {
+  if (s->state == State::kData) {
+    if (line == ".") {
+      mailbox_.push_back(s->current);
+      s->current = MailMessage{};
+      s->state = State::kCommand;
+      s->conn->Send(Line("250 Message accepted for delivery"));
+    } else {
+      // RFC 821 dot-stuffing: a leading ".." is one literal dot.
+      s->current.body.push_back(StartsWith(line, "..") ? line.substr(1) : line);
+    }
+    return;
+  }
+  if (StartsWith(line, "HELO")) {
+    s->greeted = true;
+    s->conn->Send(Line("250 " + hostname_ + " Hello"));
+  } else if (StartsWith(line, "MAIL FROM:")) {
+    if (!s->greeted) {
+      ++protocol_errors_;
+      s->conn->Send(Line("503 Polite people say HELO first"));
+      return;
+    }
+    s->current.from = ExtractAddress(line, 10);
+    s->conn->Send(Line("250 Sender ok"));
+  } else if (StartsWith(line, "RCPT TO:")) {
+    if (s->current.from.empty()) {
+      ++protocol_errors_;
+      s->conn->Send(Line("503 Need MAIL before RCPT"));
+      return;
+    }
+    s->current.recipients.push_back(ExtractAddress(line, 8));
+    s->conn->Send(Line("250 Recipient ok"));
+  } else if (line == "DATA") {
+    if (s->current.recipients.empty()) {
+      ++protocol_errors_;
+      s->conn->Send(Line("503 Need RCPT before DATA"));
+      return;
+    }
+    s->state = State::kData;
+    s->conn->Send(Line("354 Enter mail, end with \".\" on a line by itself"));
+  } else if (line == "QUIT") {
+    s->conn->Send(Line("221 " + hostname_ + " closing connection"));
+    s->conn->Close();
+  } else if (line == "RSET") {
+    s->current = MailMessage{};
+    s->conn->Send(Line("250 Reset state"));
+  } else if (line == "NOOP") {
+    s->conn->Send(Line("250 OK"));
+  } else {
+    ++protocol_errors_;
+    s->conn->Send(Line("500 Command unrecognized"));
+  }
+}
+
+bool MiniSmtpClient::Send(IpV4Address server, const MailMessage& message,
+                          DoneHandler done, std::uint16_t port) {
+  auto t = std::make_unique<Transaction>();
+  Transaction* raw = t.get();
+  raw->message = message;
+  raw->done = std::move(done);
+  raw->conn = tcp_->Connect(server, port);
+  if (raw->conn == nullptr) {
+    raw->done(false, "no route");
+    return false;
+  }
+  raw->lines = std::make_unique<LineBuffer>(
+      [this, raw](const std::string& line) { OnLine(raw, line); });
+  raw->conn->set_data_handler([raw](const Bytes& d) { raw->lines->Feed(d); });
+  raw->conn->set_error_handler([this, raw](const std::string& e) {
+    Finish(raw, false, e);
+  });
+  raw->conn->set_closed_handler([this, raw] {
+    if (raw->phase != Phase::kDone) {
+      Finish(raw, false, "connection closed mid-transaction");
+    }
+  });
+  transactions_.push_back(std::move(t));
+  return true;
+}
+
+void MiniSmtpClient::Finish(Transaction* t, bool success, const std::string& detail) {
+  if (t->finished) {
+    return;
+  }
+  t->finished = true;
+  t->phase = Phase::kDone;
+  t->done(success, detail);
+}
+
+void MiniSmtpClient::OnLine(Transaction* t, const std::string& line) {
+  if (line.size() < 3) {
+    return;
+  }
+  char klass = line[0];
+  if (klass == '4' || klass == '5') {
+    t->conn->Send(Line("QUIT"));
+    t->conn->Close();
+    Finish(t, false, line);
+    return;
+  }
+  switch (t->phase) {
+    case Phase::kGreeting:  // 220 banner
+      t->conn->Send(Line("HELO client"));
+      t->phase = Phase::kHelo;
+      break;
+    case Phase::kHelo:
+      t->conn->Send(Line("MAIL FROM:<" + t->message.from + ">"));
+      t->phase = Phase::kMail;
+      break;
+    case Phase::kMail:
+    case Phase::kRcpt:
+      if (t->next_rcpt < t->message.recipients.size()) {
+        t->conn->Send(Line("RCPT TO:<" + t->message.recipients[t->next_rcpt++] + ">"));
+        t->phase = Phase::kRcpt;
+      } else {
+        t->conn->Send(Line("DATA"));
+        t->phase = Phase::kData;
+      }
+      break;
+    case Phase::kData: {  // 354 go ahead
+      for (const auto& body_line : t->message.body) {
+        // Dot-stuff.
+        if (!body_line.empty() && body_line[0] == '.') {
+          t->conn->Send(Line("." + body_line));
+        } else {
+          t->conn->Send(Line(body_line));
+        }
+      }
+      t->conn->Send(Line("."));
+      t->phase = Phase::kBody;
+      break;
+    }
+    case Phase::kBody:  // 250 accepted
+      t->conn->Send(Line("QUIT"));
+      t->phase = Phase::kQuit;
+      break;
+    case Phase::kQuit:  // 221 bye
+      t->conn->Close();
+      Finish(t, true, line);
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+}  // namespace upr

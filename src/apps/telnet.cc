@@ -1,0 +1,104 @@
+#include "src/apps/telnet.h"
+
+#include "src/sim/simulator.h"
+
+namespace upr {
+
+TelnetServer::TelnetServer(Tcp* tcp, std::string hostname, std::uint16_t port)
+    : tcp_(tcp), hostname_(std::move(hostname)) {
+  tcp_->Listen(port, [this](TcpConnection* c) { OnAccept(c); });
+}
+
+void TelnetServer::OnAccept(TcpConnection* conn) {
+  ++sessions_;
+  auto session = std::make_unique<Session>();
+  Session* raw = session.get();
+  raw->conn = conn;
+  raw->lines = std::make_unique<LineBuffer>(
+      [this, raw](const std::string& line) { OnLine(raw, line); });
+  conn->set_data_handler([raw](const Bytes& d) { raw->lines->Feed(d); });
+  conn->set_connected_handler([this, raw] {
+    raw->conn->Send(Line(hostname_ + " Ultrix-32 V2.0"));
+    raw->conn->Send(BytesFromString("login: "));
+  });
+  conn->set_remote_closed_handler([raw] { raw->conn->Close(); });
+  sessions_list_.push_back(std::move(session));
+}
+
+void TelnetServer::OnLine(Session* s, const std::string& line) {
+  if (!s->logged_in) {
+    if (line.empty()) {
+      s->conn->Send(BytesFromString("login: "));
+      return;
+    }
+    s->logged_in = true;
+    s->user = line;
+    ++logins_;
+    s->conn->Send(Line("Welcome to " + hostname_ + ", " + s->user + "."));
+    s->conn->Send(BytesFromString("% "));
+    return;
+  }
+  ++commands_;
+  if (line.rfind("echo ", 0) == 0) {
+    s->conn->Send(Line(line.substr(5)));
+  } else if (line == "whoami") {
+    s->conn->Send(Line(s->user));
+  } else if (line == "hostname") {
+    s->conn->Send(Line(hostname_));
+  } else if (line == "uptime") {
+    s->conn->Send(Line("up " + std::to_string(ToSeconds(
+                           s->conn->config().initial_rtt)) +  // arbitrary but stable
+                       " users 1"));
+  } else if (line == "logout" || line == "exit" || line == "quit") {
+    s->conn->Send(Line("Connection closed."));
+    s->conn->Close();
+    return;
+  } else if (!line.empty()) {
+    s->conn->Send(Line(line + ": Command not found."));
+  }
+  s->conn->Send(BytesFromString("% "));
+}
+
+bool TelnetClient::Connect(IpV4Address server, std::string username,
+                           std::uint16_t port) {
+  username_ = std::move(username);
+  conn_ = tcp_->Connect(server, port);
+  if (conn_ == nullptr) {
+    return false;
+  }
+  lines_ = std::make_unique<LineBuffer>([this](const std::string& line) {
+    transcript_.push_back(line);
+    if (on_line_) {
+      on_line_(line);
+    }
+  });
+  conn_->set_data_handler([this](const Bytes& d) {
+    lines_->Feed(d);
+    // Prompts ("login: ", "% ") do not end in newline: check the partial.
+    if (!sent_username_ && lines_->partial() == "login: ") {
+      sent_username_ = true;
+      conn_->Send(Line(username_));
+      lines_->Clear();
+    }
+  });
+  conn_->set_closed_handler([this] {
+    if (on_closed_) {
+      on_closed_();
+    }
+  });
+  return true;
+}
+
+void TelnetClient::SendCommand(const std::string& command) {
+  if (conn_ != nullptr) {
+    conn_->Send(Line(command));
+  }
+}
+
+void TelnetClient::Quit() { SendCommand("logout"); }
+
+bool TelnetClient::connected() const {
+  return conn_ != nullptr && conn_->state() == TcpState::kEstablished;
+}
+
+}  // namespace upr

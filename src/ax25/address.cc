@@ -1,0 +1,116 @@
+#include "src/ax25/address.h"
+
+#include <cctype>
+
+namespace upr {
+
+namespace {
+
+bool ValidCallsignChar(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+Ax25Address::Ax25Address(std::string_view callsign, std::uint8_t ssid) {
+  if (callsign.empty() || callsign.size() > 6 || ssid > 15) {
+    return;
+  }
+  std::string up;
+  up.reserve(callsign.size());
+  for (char c : callsign) {
+    char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (!ValidCallsignChar(u)) {
+      return;
+    }
+    up.push_back(u);
+  }
+  callsign_ = std::move(up);
+  ssid_ = ssid;
+}
+
+std::optional<Ax25Address> Ax25Address::Parse(std::string_view text) {
+  std::string_view call = text;
+  std::uint8_t ssid = 0;
+  auto dash = text.find('-');
+  if (dash != std::string_view::npos) {
+    call = text.substr(0, dash);
+    std::string_view num = text.substr(dash + 1);
+    if (num.empty() || num.size() > 2) {
+      return std::nullopt;
+    }
+    int v = 0;
+    for (char c : num) {
+      if (c < '0' || c > '9') {
+        return std::nullopt;
+      }
+      v = v * 10 + (c - '0');
+    }
+    if (v > 15) {
+      return std::nullopt;
+    }
+    ssid = static_cast<std::uint8_t>(v);
+  }
+  Ax25Address a(call, ssid);
+  if (a.IsNull()) {
+    return std::nullopt;
+  }
+  return a;
+}
+
+Ax25Address Ax25Address::Broadcast() { return Ax25Address("QST", 0); }
+
+bool Ax25Address::IsBroadcast() const {
+  return (callsign_ == "QST" || callsign_ == "CQ") && ssid_ == 0;
+}
+
+std::string Ax25Address::ToString() const {
+  if (IsNull()) {
+    return "<null>";
+  }
+  if (ssid_ == 0) {
+    return callsign_;
+  }
+  return callsign_ + "-" + std::to_string(ssid_);
+}
+
+std::array<std::uint8_t, kAx25AddressBytes> Ax25Address::Encode(bool c_or_h_bit,
+                                                                bool last) const {
+  std::array<std::uint8_t, kAx25AddressBytes> out{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    char c = i < callsign_.size() ? callsign_[i] : ' ';
+    out[i] = static_cast<std::uint8_t>(static_cast<std::uint8_t>(c) << 1);
+  }
+  // SSID octet: C/H bit | reserved bits (set) | SSID<<1 | extension.
+  out[6] = static_cast<std::uint8_t>((c_or_h_bit ? 0x80 : 0x00) | 0x60 |
+                                     ((ssid_ & 0x0F) << 1) | (last ? 0x01 : 0x00));
+  return out;
+}
+
+std::optional<Ax25Address::Decoded> Ax25Address::Decode(const std::uint8_t* wire) {
+  std::string call;
+  for (std::size_t i = 0; i < 6; ++i) {
+    // Low bit must be clear in the callsign characters.
+    if (wire[i] & 0x01) {
+      return std::nullopt;
+    }
+    char c = static_cast<char>(wire[i] >> 1);
+    if (c == ' ') {
+      continue;  // padding; legal callsigns have no embedded spaces
+    }
+    if (!ValidCallsignChar(c)) {
+      return std::nullopt;
+    }
+    call.push_back(c);
+  }
+  if (call.empty()) {
+    return std::nullopt;
+  }
+  Decoded d;
+  d.address = Ax25Address(call, static_cast<std::uint8_t>((wire[6] >> 1) & 0x0F));
+  d.c_or_h_bit = (wire[6] & 0x80) != 0;
+  d.last = (wire[6] & 0x01) != 0;
+  return d;
+}
+
+}  // namespace upr

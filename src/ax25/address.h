@@ -1,0 +1,82 @@
+// AX.25 link-layer addresses: an amateur radio callsign (up to six
+// characters) plus a 4-bit SSID ("system ID"), e.g. "N7AKR-5". On the wire
+// each address occupies seven bytes with the ASCII characters shifted left
+// one bit; the final byte packs the SSID together with the C/H bit and the
+// address-extension bit (AX.25 v2.0 §2.2.13).
+#ifndef SRC_AX25_ADDRESS_H_
+#define SRC_AX25_ADDRESS_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+inline constexpr std::size_t kAx25AddressBytes = 7;
+
+class Ax25Address {
+ public:
+  Ax25Address() = default;
+  // callsign: 1..6 characters from [A-Z0-9] (lowercase is upcased);
+  // ssid: 0..15. Invalid input yields the null address (empty callsign).
+  Ax25Address(std::string_view callsign, std::uint8_t ssid);
+
+  // Parses "CALL" or "CALL-SSID" text form.
+  static std::optional<Ax25Address> Parse(std::string_view text);
+
+  // The AX.25 broadcast destination used for UI beacons and ARP ("QST-0").
+  static Ax25Address Broadcast();
+
+  const std::string& callsign() const { return callsign_; }
+  std::uint8_t ssid() const { return ssid_; }
+  bool IsNull() const { return callsign_.empty(); }
+  bool IsBroadcast() const;
+
+  // "CALL" if ssid==0, otherwise "CALL-SSID".
+  std::string ToString() const;
+
+  bool operator==(const Ax25Address& o) const {
+    return callsign_ == o.callsign_ && ssid_ == o.ssid_;
+  }
+  bool operator!=(const Ax25Address& o) const { return !(*this == o); }
+  bool operator<(const Ax25Address& o) const {
+    if (callsign_ != o.callsign_) {
+      return callsign_ < o.callsign_;
+    }
+    return ssid_ < o.ssid_;
+  }
+
+  // Encodes the 7-byte wire form. `c_or_h_bit` sets bit 7 of the SSID octet
+  // (the C bit for destination/source, the H "has been repeated" bit for a
+  // digipeater). `last` sets the extension bit marking the final address.
+  std::array<std::uint8_t, kAx25AddressBytes> Encode(bool c_or_h_bit, bool last) const;
+
+  struct Decoded;
+  // Decodes 7 wire bytes; nullopt on malformed characters.
+  static std::optional<Decoded> Decode(const std::uint8_t* wire);
+
+ private:
+  std::string callsign_;
+  std::uint8_t ssid_ = 0;
+};
+
+struct Ax25Address::Decoded {
+  Ax25Address address;
+  bool c_or_h_bit = false;
+  bool last = false;
+};
+
+struct Ax25AddressHash {
+  std::size_t operator()(const Ax25Address& a) const {
+    std::size_t h = std::hash<std::string>()(a.callsign());
+    return h * 31 + a.ssid();
+  }
+};
+
+}  // namespace upr
+
+#endif  // SRC_AX25_ADDRESS_H_

@@ -1,0 +1,285 @@
+#include "src/ax25/frame.h"
+
+#include <cstdio>
+
+namespace upr {
+
+namespace {
+
+// Unnumbered-frame control values with the P/F bit masked out.
+constexpr std::uint8_t kCtlSabm = 0x2F;
+constexpr std::uint8_t kCtlDisc = 0x43;
+constexpr std::uint8_t kCtlUa = 0x63;
+constexpr std::uint8_t kCtlDm = 0x0F;
+constexpr std::uint8_t kCtlUi = 0x03;
+constexpr std::uint8_t kCtlFrmr = 0x87;
+constexpr std::uint8_t kPfBit = 0x10;
+
+}  // namespace
+
+const char* Ax25FrameTypeName(Ax25FrameType t) {
+  switch (t) {
+    case Ax25FrameType::kI:
+      return "I";
+    case Ax25FrameType::kRr:
+      return "RR";
+    case Ax25FrameType::kRnr:
+      return "RNR";
+    case Ax25FrameType::kRej:
+      return "REJ";
+    case Ax25FrameType::kSabm:
+      return "SABM";
+    case Ax25FrameType::kDisc:
+      return "DISC";
+    case Ax25FrameType::kUa:
+      return "UA";
+    case Ax25FrameType::kDm:
+      return "DM";
+    case Ax25FrameType::kUi:
+      return "UI";
+    case Ax25FrameType::kFrmr:
+      return "FRMR";
+    case Ax25FrameType::kUnknown:
+      return "?";
+  }
+  return "?";
+}
+
+Ax25Frame Ax25Frame::MakeUi(const Ax25Address& dst, const Ax25Address& src,
+                            std::uint8_t pid, Bytes info,
+                            std::vector<Ax25Digipeater> digis) {
+  Ax25Frame f;
+  f.destination = dst;
+  f.source = src;
+  f.digipeaters = std::move(digis);
+  f.command = true;
+  f.type = Ax25FrameType::kUi;
+  f.pid = pid;
+  f.info = std::move(info);
+  return f;
+}
+
+bool Ax25Frame::DigipeatingComplete() const {
+  for (const auto& d : digipeaters) {
+    if (!d.repeated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const Ax25Digipeater* Ax25Frame::NextDigipeater() const {
+  for (const auto& d : digipeaters) {
+    if (!d.repeated) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+Ax25Digipeater* Ax25Frame::NextDigipeater() {
+  for (auto& d : digipeaters) {
+    if (!d.repeated) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+Bytes Ax25Frame::Encode() const {
+  Bytes out;
+  out.reserve(14 + digipeaters.size() * kAx25AddressBytes + 2 + info.size());
+
+  // Address field. AX.25 v2.0 command/response encoding: a command frame has
+  // the C bit set in the destination and clear in the source; a response the
+  // opposite.
+  bool last_is_dst_src = digipeaters.empty();
+  auto dst = destination.Encode(command, false);
+  out.insert(out.end(), dst.begin(), dst.end());
+  auto src = source.Encode(!command, last_is_dst_src);
+  out.insert(out.end(), src.begin(), src.end());
+  for (std::size_t i = 0; i < digipeaters.size(); ++i) {
+    bool last = (i + 1 == digipeaters.size());
+    auto d = digipeaters[i].address.Encode(digipeaters[i].repeated, last);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+
+  // Control field.
+  std::uint8_t pf = poll_final ? kPfBit : 0;
+  std::uint8_t ctl = 0;
+  switch (type) {
+    case Ax25FrameType::kI:
+      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | (ns & 7) << 1);
+      break;
+    case Ax25FrameType::kRr:
+      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | 0x01);
+      break;
+    case Ax25FrameType::kRnr:
+      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | 0x05);
+      break;
+    case Ax25FrameType::kRej:
+      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | 0x09);
+      break;
+    case Ax25FrameType::kSabm:
+      ctl = kCtlSabm | pf;
+      break;
+    case Ax25FrameType::kDisc:
+      ctl = kCtlDisc | pf;
+      break;
+    case Ax25FrameType::kUa:
+      ctl = kCtlUa | pf;
+      break;
+    case Ax25FrameType::kDm:
+      ctl = kCtlDm | pf;
+      break;
+    case Ax25FrameType::kUi:
+      ctl = kCtlUi | pf;
+      break;
+    case Ax25FrameType::kFrmr:
+      ctl = kCtlFrmr | pf;
+      break;
+    case Ax25FrameType::kUnknown:
+      ctl = kCtlUi;
+      break;
+  }
+  out.push_back(ctl);
+
+  if (HasPid()) {
+    out.push_back(pid);
+  }
+  if (type == Ax25FrameType::kI || type == Ax25FrameType::kUi ||
+      type == Ax25FrameType::kFrmr) {
+    out.insert(out.end(), info.begin(), info.end());
+  }
+  return out;
+}
+
+std::optional<Ax25Frame> Ax25Frame::Decode(const Bytes& wire) {
+  // Minimum: dst + src + control.
+  if (wire.size() < 2 * kAx25AddressBytes + 1) {
+    return std::nullopt;
+  }
+  Ax25Frame f;
+  std::size_t pos = 0;
+
+  auto dst = Ax25Address::Decode(wire.data() + pos);
+  if (!dst) {
+    return std::nullopt;
+  }
+  pos += kAx25AddressBytes;
+  auto src = Ax25Address::Decode(wire.data() + pos);
+  if (!src) {
+    return std::nullopt;
+  }
+  pos += kAx25AddressBytes;
+
+  f.destination = dst->address;
+  f.source = src->address;
+  // C bits: command when dst C=1 / src C=0. Old (v1) frames set both the
+  // same; treat those as commands.
+  f.command = dst->c_or_h_bit || !src->c_or_h_bit;
+
+  bool last = src->last;
+  while (!last) {
+    if (f.digipeaters.size() >= kMaxDigipeaters ||
+        pos + kAx25AddressBytes > wire.size()) {
+      return std::nullopt;
+    }
+    auto digi = Ax25Address::Decode(wire.data() + pos);
+    if (!digi) {
+      return std::nullopt;
+    }
+    pos += kAx25AddressBytes;
+    f.digipeaters.push_back(Ax25Digipeater{digi->address, digi->c_or_h_bit});
+    last = digi->last;
+  }
+
+  if (pos >= wire.size()) {
+    return std::nullopt;
+  }
+  std::uint8_t ctl = wire[pos++];
+  f.poll_final = (ctl & kPfBit) != 0;
+  if ((ctl & 0x01) == 0) {
+    f.type = Ax25FrameType::kI;
+    f.ns = (ctl >> 1) & 7;
+    f.nr = (ctl >> 5) & 7;
+  } else if ((ctl & 0x03) == 0x01) {
+    f.nr = (ctl >> 5) & 7;
+    switch (ctl & 0x0F) {
+      case 0x01:
+        f.type = Ax25FrameType::kRr;
+        break;
+      case 0x05:
+        f.type = Ax25FrameType::kRnr;
+        break;
+      case 0x09:
+        f.type = Ax25FrameType::kRej;
+        break;
+      default:
+        f.type = Ax25FrameType::kUnknown;
+        break;
+    }
+  } else {
+    switch (ctl & ~kPfBit) {
+      case kCtlSabm:
+        f.type = Ax25FrameType::kSabm;
+        break;
+      case kCtlDisc:
+        f.type = Ax25FrameType::kDisc;
+        break;
+      case kCtlUa:
+        f.type = Ax25FrameType::kUa;
+        break;
+      case kCtlDm:
+        f.type = Ax25FrameType::kDm;
+        break;
+      case kCtlUi:
+        f.type = Ax25FrameType::kUi;
+        break;
+      case kCtlFrmr:
+        f.type = Ax25FrameType::kFrmr;
+        break;
+      default:
+        f.type = Ax25FrameType::kUnknown;
+        break;
+    }
+  }
+
+  if (f.HasPid()) {
+    if (pos >= wire.size()) {
+      return std::nullopt;
+    }
+    f.pid = wire[pos++];
+  }
+  f.info.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos), wire.end());
+  return f;
+}
+
+std::string Ax25Frame::ToString() const {
+  std::string out = source.ToString() + ">" + destination.ToString();
+  for (const auto& d : digipeaters) {
+    out += "," + d.address.ToString();
+    if (d.repeated) {
+      out += "*";
+    }
+  }
+  out += " ";
+  out += Ax25FrameTypeName(type);
+  if (type == Ax25FrameType::kI) {
+    out += " NS=" + std::to_string(ns) + " NR=" + std::to_string(nr);
+  } else if (type == Ax25FrameType::kRr || type == Ax25FrameType::kRnr ||
+             type == Ax25FrameType::kRej) {
+    out += " NR=" + std::to_string(nr);
+  }
+  if (HasPid()) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), " PID=%02x", pid);
+    out += buf;
+  }
+  if (!info.empty()) {
+    out += " len=" + std::to_string(info.size());
+  }
+  return out;
+}
+
+}  // namespace upr

@@ -1,0 +1,95 @@
+// AX.25 v2.0 frame encode/decode (Fox, ARRL 1984).
+//
+// A frame is: destination(7) source(7) [digipeaters, up to 8 x 7] control(1)
+// [PID(1) for I and UI frames] [info]. The FCS is *not* part of this codec:
+// on the air the TNC appends/verifies it (see src/tnc), and KISS data frames
+// exclude it, matching the paper's split of responsibilities.
+#ifndef SRC_AX25_FRAME_H_
+#define SRC_AX25_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ax25/address.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+// Layer-3 protocol IDs carried in I and UI frames.
+inline constexpr std::uint8_t kPidNoLayer3 = 0xF0;
+inline constexpr std::uint8_t kPidIp = 0xCC;       // ARPA Internet Protocol
+inline constexpr std::uint8_t kPidArp = 0xCD;      // ARPA Address Resolution
+inline constexpr std::uint8_t kPidNetRom = 0xCF;   // NET/ROM
+
+// The protocol limits the digipeater list to eight entries (§1 of the paper).
+inline constexpr std::size_t kMaxDigipeaters = 8;
+
+// Default maximum I/UI info field length (AX.25 N1).
+inline constexpr std::size_t kAx25MaxInfo = 256;
+
+enum class Ax25FrameType {
+  kI,     // information
+  kRr,    // receive ready
+  kRnr,   // receive not ready
+  kRej,   // reject
+  kSabm,  // set asynchronous balanced mode (connect request)
+  kDisc,  // disconnect
+  kUa,    // unnumbered acknowledge
+  kDm,    // disconnected mode
+  kUi,    // unnumbered information (used for IP/ARP datagrams)
+  kFrmr,  // frame reject
+  kUnknown,
+};
+
+const char* Ax25FrameTypeName(Ax25FrameType t);
+
+struct Ax25Digipeater {
+  Ax25Address address;
+  bool repeated = false;  // H bit: set once the digipeater has relayed it
+
+  bool operator==(const Ax25Digipeater& o) const {
+    return address == o.address && repeated == o.repeated;
+  }
+};
+
+struct Ax25Frame {
+  Ax25Address destination;
+  Ax25Address source;
+  std::vector<Ax25Digipeater> digipeaters;
+  bool command = true;  // v2.0 C-bit: true=command, false=response
+
+  Ax25FrameType type = Ax25FrameType::kUi;
+  bool poll_final = false;
+  std::uint8_t ns = 0;  // N(S), I frames only (mod 8)
+  std::uint8_t nr = 0;  // N(R), I and S frames (mod 8)
+
+  std::uint8_t pid = kPidNoLayer3;  // I and UI frames only
+  Bytes info;                       // I, UI and FRMR frames
+
+  // Builds a UI datagram frame (how IP and ARP ride AX.25 in the paper).
+  static Ax25Frame MakeUi(const Ax25Address& dst, const Ax25Address& src,
+                          std::uint8_t pid, Bytes info,
+                          std::vector<Ax25Digipeater> digis = {});
+
+  Bytes Encode() const;
+  static std::optional<Ax25Frame> Decode(const Bytes& wire);
+
+  // True when every listed digipeater has already repeated the frame (or the
+  // list is empty) — i.e. the frame is ready for its final destination.
+  bool DigipeatingComplete() const;
+  // Next digipeater that has not yet repeated, or nullptr.
+  const Ax25Digipeater* NextDigipeater() const;
+  Ax25Digipeater* NextDigipeater();
+
+  std::string ToString() const;
+
+  bool HasPid() const {
+    return type == Ax25FrameType::kI || type == Ax25FrameType::kUi;
+  }
+};
+
+}  // namespace upr
+
+#endif  // SRC_AX25_FRAME_H_

@@ -1,0 +1,410 @@
+#include "src/ax25/lapb.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "ax25.l2";
+
+std::uint8_t Mod8(int v) { return static_cast<std::uint8_t>(v & 7); }
+
+// Number of frames in the window between va (inclusive) and vs (exclusive).
+std::uint8_t Outstanding(std::uint8_t vs, std::uint8_t va) { return Mod8(vs - va); }
+
+}  // namespace
+
+Ax25Link::Ax25Link(Simulator* sim, Ax25Address local, FrameSender sender,
+                   Ax25LinkConfig config)
+    : sim_(sim), local_(std::move(local)), sender_(std::move(sender)), config_(config) {}
+
+Ax25Link::~Ax25Link() = default;
+
+Ax25Connection* Ax25Link::Connect(const Ax25Address& remote,
+                                  std::vector<Ax25Digipeater> digis) {
+  auto& slot = connections_[remote];
+  if (!slot) {
+    slot = std::make_unique<Ax25Connection>(this, remote, std::move(digis));
+  }
+  if (slot->state() == Ax25Connection::State::kDisconnected) {
+    slot->StartConnect();
+  }
+  return slot.get();
+}
+
+Ax25Connection* Ax25Link::FindConnection(const Ax25Address& peer) {
+  auto it = connections_.find(peer);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void Ax25Link::ReapClosed() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second->state() == Ax25Connection::State::kDisconnected) {
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Ax25Link::HandleFrame(const Ax25Frame& frame) {
+  if (frame.destination != local_) {
+    return false;
+  }
+  if (frame.type == Ax25FrameType::kUi) {
+    return false;  // datagram traffic is not ours
+  }
+  auto it = connections_.find(frame.source);
+  if (it != connections_.end()) {
+    it->second->HandleFrame(frame);
+    return true;
+  }
+  // Unknown peer. A SABM may open a new connection; anything else gets DM.
+  if (frame.type == Ax25FrameType::kSabm) {
+    if (accept_ && accept_(frame.source)) {
+      // Reverse the digipeater path for our responses.
+      std::vector<Ax25Digipeater> path;
+      for (auto rit = frame.digipeaters.rbegin(); rit != frame.digipeaters.rend();
+           ++rit) {
+        path.push_back(Ax25Digipeater{rit->address, false});
+      }
+      auto conn = std::make_unique<Ax25Connection>(this, frame.source, std::move(path));
+      Ax25Connection* raw = conn.get();
+      connections_[frame.source] = std::move(conn);
+      raw->HandleFrame(frame);  // processes the SABM, sends UA
+      if (on_connection_) {
+        on_connection_(raw);
+      }
+      return true;
+    }
+  }
+  // Not accepted / no connection: respond DM (except to DM itself).
+  if (frame.type != Ax25FrameType::kDm) {
+    Ax25Frame dm;
+    dm.destination = frame.source;
+    dm.source = local_;
+    dm.command = false;
+    dm.type = Ax25FrameType::kDm;
+    dm.poll_final = frame.poll_final;
+    sender_(dm);
+  }
+  return true;
+}
+
+Ax25Connection::Ax25Connection(Ax25Link* link, Ax25Address peer,
+                               std::vector<Ax25Digipeater> digis)
+    : link_(link),
+      peer_(std::move(peer)),
+      digis_(std::move(digis)),
+      t1_(link->sim(), [this] { OnT1Expiry(); }),
+      t3_(link->sim(), [this] { OnT3Expiry(); }) {}
+
+Ax25Frame Ax25Connection::BaseFrame(bool command) const {
+  Ax25Frame f;
+  f.destination = peer_;
+  f.source = link_->local_address();
+  f.command = command;
+  for (const auto& d : digis_) {
+    f.digipeaters.push_back(Ax25Digipeater{d.address, false});
+  }
+  return f;
+}
+
+void Ax25Connection::StartConnect() {
+  state_ = State::kConnecting;
+  retry_count_ = 0;
+  SendU(Ax25FrameType::kSabm, /*command=*/true, /*pf=*/true);
+  t1_.Restart(link_->config().t1);
+}
+
+void Ax25Connection::Send(const Bytes& data) {
+  // Segment into PACLEN chunks.
+  std::size_t paclen = link_->config().paclen;
+  for (std::size_t off = 0; off < data.size(); off += paclen) {
+    std::size_t n = std::min(paclen, data.size() - off);
+    send_queue_.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(off),
+                             data.begin() + static_cast<std::ptrdiff_t>(off + n));
+  }
+  if (state_ == State::kConnected) {
+    PumpSendQueue();
+  }
+}
+
+void Ax25Connection::Disconnect() {
+  if (state_ == State::kConnected || state_ == State::kConnecting) {
+    state_ = State::kDisconnecting;
+    retry_count_ = 0;
+    SendU(Ax25FrameType::kDisc, /*command=*/true, /*pf=*/true);
+    t1_.Restart(link_->config().t1);
+  }
+}
+
+void Ax25Connection::EnterConnected() {
+  state_ = State::kConnected;
+  vs_ = va_ = vr_ = 0;
+  rej_outstanding_ = false;
+  peer_busy_ = false;
+  retry_count_ = 0;
+  outstanding_.clear();
+  t1_.Stop();
+  RestartT3();
+  if (on_connected_) {
+    on_connected_();
+  }
+  PumpSendQueue();
+}
+
+void Ax25Connection::EnterDisconnected() {
+  state_ = State::kDisconnected;
+  t1_.Stop();
+  t3_.Stop();
+  send_queue_.clear();
+  outstanding_.clear();
+  if (on_disconnected_) {
+    on_disconnected_();
+  }
+}
+
+void Ax25Connection::PumpSendQueue() {
+  while (!send_queue_.empty() && !peer_busy_ &&
+         Outstanding(vs_, va_) < link_->config().window) {
+    Bytes info = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    outstanding_[vs_] = info;
+    SendIFrame(vs_, /*retransmission=*/false);
+    vs_ = Mod8(vs_ + 1);
+  }
+  if (!outstanding_.empty() && !t1_.running()) {
+    t1_.Restart(link_->config().t1);
+  }
+}
+
+void Ax25Connection::SendIFrame(std::uint8_t ns, bool retransmission, bool poll) {
+  auto it = outstanding_.find(ns);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  Ax25Frame f = BaseFrame(/*command=*/true);
+  f.type = Ax25FrameType::kI;
+  f.ns = ns;
+  f.nr = vr_;
+  f.pid = link_->config().pid;
+  f.info = it->second;
+  // AX.25 v2.0 checkpointing: a T1 retransmission polls, so a peer that has
+  // already seen the frame (ACK or REJ lost) must answer RR/REJ with F set —
+  // without this a lost supervisory frame deadlocks a k=1 link.
+  f.poll_final = poll;
+  if (retransmission) {
+    ++i_resent_;
+  } else {
+    ++i_sent_;
+  }
+  link_->SendFrame(f);
+}
+
+void Ax25Connection::SendSupervisory(Ax25FrameType type, bool response, bool pf) {
+  Ax25Frame f = BaseFrame(/*command=*/!response);
+  f.type = type;
+  f.nr = vr_;
+  f.poll_final = pf;
+  link_->SendFrame(f);
+}
+
+void Ax25Connection::SendU(Ax25FrameType type, bool command, bool pf) {
+  Ax25Frame f = BaseFrame(command);
+  f.type = type;
+  f.poll_final = pf;
+  link_->SendFrame(f);
+}
+
+void Ax25Connection::RestartT3() {
+  if (link_->config().t3 > 0 && state_ == State::kConnected) {
+    t3_.Restart(link_->config().t3);
+  }
+}
+
+void Ax25Connection::OnT3Expiry() {
+  if (state_ != State::kConnected) {
+    return;
+  }
+  // Idle link check: poll the peer. The response (or anything else from the
+  // peer) re-arms T3 in HandleFrame; repeated silence runs the retry counter
+  // up in OnT1Expiry until link failure.
+  if (!t1_.running()) {
+    SendSupervisory(Ax25FrameType::kRr, /*response=*/false, /*pf=*/true);
+    t1_.Restart(link_->config().t1);
+  }
+  RestartT3();
+}
+
+void Ax25Connection::OnT1Expiry() {
+  ++retry_count_;
+  if (retry_count_ > link_->config().n2) {
+    UPR_WARN(kTag, "%s: retry limit exceeded, link failure",
+             peer_.ToString().c_str());
+    if (state_ != State::kDisconnected) {
+      SendU(Ax25FrameType::kDm, /*command=*/false, /*pf=*/true);
+      EnterDisconnected();
+    }
+    return;
+  }
+  switch (state_) {
+    case State::kConnecting:
+      SendU(Ax25FrameType::kSabm, true, true);
+      t1_.Restart(link_->config().t1);
+      break;
+    case State::kDisconnecting:
+      SendU(Ax25FrameType::kDisc, true, true);
+      t1_.Restart(link_->config().t1);
+      break;
+    case State::kConnected:
+      // Retransmit everything outstanding starting at V(A) (go-back-N); the
+      // head frame carries the P bit as a checkpoint.
+      for (std::uint8_t i = 0; i < Outstanding(vs_, va_); ++i) {
+        SendIFrame(Mod8(va_ + i), /*retransmission=*/true, /*poll=*/i == 0);
+      }
+      if (outstanding_.empty()) {
+        // Nothing outstanding: poll the peer.
+        SendSupervisory(Ax25FrameType::kRr, /*response=*/false, /*pf=*/true);
+      }
+      t1_.Restart(link_->config().t1);
+      break;
+    case State::kDisconnected:
+      break;
+  }
+}
+
+void Ax25Connection::HandleAck(std::uint8_t nr) {
+  // N(R) acknowledges all frames with N(S) < N(R). Validate that N(R) is in
+  // [va, vs] before applying.
+  if (Mod8(nr - va_) > Outstanding(vs_, va_)) {
+    return;  // invalid N(R); a full FRMR recovery is out of scope
+  }
+  bool advanced = false;
+  while (va_ != nr) {
+    outstanding_.erase(va_);
+    va_ = Mod8(va_ + 1);
+    advanced = true;
+  }
+  if (advanced) {
+    retry_count_ = 0;
+    if (outstanding_.empty()) {
+      t1_.Stop();
+    } else {
+      t1_.Restart(link_->config().t1);
+    }
+  }
+}
+
+void Ax25Connection::HandleI(const Ax25Frame& f) {
+  HandleAck(f.nr);
+  if (f.ns == vr_) {
+    vr_ = Mod8(vr_ + 1);
+    rej_outstanding_ = false;
+    bytes_delivered_ += f.info.size();
+    if (on_data_) {
+      on_data_(f.info);
+    }
+    // Acknowledge. (No delayed-ack / piggyback sophistication: one RR per I
+    // frame, as simple TNC implementations do.)
+    SendSupervisory(Ax25FrameType::kRr, /*response=*/true, f.poll_final);
+  } else {
+    // Out of sequence: reject once until it clears.
+    if (!rej_outstanding_) {
+      rej_outstanding_ = true;
+      SendSupervisory(Ax25FrameType::kRej, /*response=*/true, f.poll_final);
+    } else if (f.poll_final) {
+      SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+    }
+  }
+  PumpSendQueue();
+}
+
+void Ax25Connection::HandleFrame(const Ax25Frame& f) {
+  RestartT3();
+  switch (f.type) {
+    case Ax25FrameType::kSabm:
+      // Connection (re)establishment from the peer.
+      SendU(Ax25FrameType::kUa, /*command=*/false, f.poll_final);
+      if (state_ == State::kConnected) {
+        UPR_DEBUG(kTag, "%s: link reset by peer", peer_.ToString().c_str());
+      }
+      EnterConnected();
+      break;
+    case Ax25FrameType::kUa:
+      if (state_ == State::kConnecting) {
+        EnterConnected();
+      } else if (state_ == State::kDisconnecting) {
+        EnterDisconnected();
+      }
+      break;
+    case Ax25FrameType::kDm:
+      if (state_ != State::kDisconnected) {
+        EnterDisconnected();
+      }
+      break;
+    case Ax25FrameType::kDisc:
+      SendU(Ax25FrameType::kUa, /*command=*/false, f.poll_final);
+      if (state_ != State::kDisconnected) {
+        EnterDisconnected();
+      }
+      break;
+    case Ax25FrameType::kI:
+      if (state_ == State::kConnected) {
+        HandleI(f);
+      } else {
+        SendU(Ax25FrameType::kDm, /*command=*/false, f.poll_final);
+      }
+      break;
+    case Ax25FrameType::kRr:
+      if (state_ == State::kConnected) {
+        peer_busy_ = false;
+        HandleAck(f.nr);
+        if (f.command && f.poll_final) {
+          SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+        } else if (!f.command && f.poll_final && outstanding_.empty()) {
+          // F-bit answer to our keepalive poll: the link is alive.
+          retry_count_ = 0;
+          t1_.Stop();
+        }
+        PumpSendQueue();
+      }
+      break;
+    case Ax25FrameType::kRnr:
+      if (state_ == State::kConnected) {
+        peer_busy_ = true;
+        HandleAck(f.nr);
+        if (f.command && f.poll_final) {
+          SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+        }
+      }
+      break;
+    case Ax25FrameType::kRej:
+      if (state_ == State::kConnected) {
+        peer_busy_ = false;
+        HandleAck(f.nr);
+        // Retransmit from N(R).
+        for (std::uint8_t i = 0; i < Outstanding(vs_, va_); ++i) {
+          SendIFrame(Mod8(va_ + i), /*retransmission=*/true);
+        }
+        if (!outstanding_.empty()) {
+          t1_.Restart(link_->config().t1);
+        }
+        PumpSendQueue();
+      }
+      break;
+    case Ax25FrameType::kFrmr:
+      // Unrecoverable per v2.0: re-establish.
+      if (state_ == State::kConnected) {
+        StartConnect();
+      }
+      break;
+    case Ax25FrameType::kUi:
+    case Ax25FrameType::kUnknown:
+      break;
+  }
+}
+
+}  // namespace upr

@@ -1,0 +1,175 @@
+// AX.25 v2.0 connected mode ("level 2"): the balanced link-layer state
+// machine used by TNCs for interactive connections (what the paper's §2.4
+// calls "AX.25 level 3 connections" kept by a user program, and what the BBS
+// scenarios in §1 run over).
+//
+// Implements the SABM/UA/DISC/DM handshake, mod-8 I-frame sequencing with a
+// configurable window, RR/RNR/REJ supervisory handling, the T1 retransmission
+// timer with N2 retry limit, and outbound segmentation into PACLEN-sized
+// I frames. SREJ and mod-128 extended mode are not implemented (they are not
+// in AX.25 v2.0 either).
+#ifndef SRC_AX25_LAPB_H_
+#define SRC_AX25_LAPB_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/ax25/frame.h"
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+struct Ax25LinkConfig {
+  SimTime t1 = Seconds(10);        // retransmission timeout (frame ack wait)
+  // T3: idle-link probe. After this long with no frames from the peer, poll
+  // with RR P=1; an unresponsive peer is declared down after N2 retries.
+  // Zero disables keepalive.
+  SimTime t3 = Seconds(300);
+  int n2 = 10;                     // max retries before declaring link failure
+  std::uint8_t window = 4;         // k: max outstanding I frames (1..7)
+  std::size_t paclen = 128;        // max info bytes per I frame
+  // Protocol ID carried in I frames: kPidNoLayer3 for plain connected-mode
+  // text, kPidIp when the circuit carries IP datagrams (KA9Q "VC mode").
+  std::uint8_t pid = kPidNoLayer3;
+};
+
+class Ax25Connection;
+
+// Demultiplexes connected-mode traffic for one local address over one
+// transmitter. Owns the per-peer connections.
+class Ax25Link {
+ public:
+  using FrameSender = std::function<void(const Ax25Frame&)>;
+  // Invoked for an incoming SABM from an unknown peer; return true to accept.
+  using AcceptHandler = std::function<bool(const Ax25Address& peer)>;
+  using ConnectionHandler = std::function<void(Ax25Connection*)>;
+
+  Ax25Link(Simulator* sim, Ax25Address local, FrameSender sender,
+           Ax25LinkConfig config = {});
+  ~Ax25Link();
+
+  const Ax25Address& local_address() const { return local_; }
+
+  // Initiates an outgoing connection. `digis` is the source-routed digipeater
+  // path. Returns the (link-owned) connection, already in the connecting
+  // state.
+  Ax25Connection* Connect(const Ax25Address& remote,
+                          std::vector<Ax25Digipeater> digis = {});
+
+  // Incoming-connection policy; default rejects (sends DM).
+  void set_accept_handler(AcceptHandler h) { accept_ = std::move(h); }
+  // Called when an accepted incoming connection reaches the connected state.
+  void set_connection_handler(ConnectionHandler h) { on_connection_ = std::move(h); }
+
+  // Feed a received frame addressed to `local_`. Returns true if consumed.
+  bool HandleFrame(const Ax25Frame& frame);
+
+  Ax25Connection* FindConnection(const Ax25Address& peer);
+  std::size_t connection_count() const { return connections_.size(); }
+
+  Simulator* sim() { return sim_; }
+  const Ax25LinkConfig& config() const { return config_; }
+  void SendFrame(const Ax25Frame& f) { sender_(f); }
+
+  // Removes fully disconnected connections (called by users or tests; live
+  // Ax25Connection pointers are invalidated).
+  void ReapClosed();
+
+ private:
+  friend class Ax25Connection;
+
+  Simulator* sim_;
+  Ax25Address local_;
+  FrameSender sender_;
+  Ax25LinkConfig config_;
+  AcceptHandler accept_;
+  ConnectionHandler on_connection_;
+  std::map<Ax25Address, std::unique_ptr<Ax25Connection>> connections_;
+};
+
+class Ax25Connection {
+ public:
+  enum class State {
+    kDisconnected,
+    kConnecting,    // SABM sent, awaiting UA
+    kConnected,
+    kDisconnecting,  // DISC sent, awaiting UA
+  };
+
+  using DataHandler = std::function<void(const Bytes&)>;
+  using EventHandler = std::function<void()>;
+
+  Ax25Connection(Ax25Link* link, Ax25Address peer, std::vector<Ax25Digipeater> digis);
+
+  State state() const { return state_; }
+  const Ax25Address& peer() const { return peer_; }
+
+  // Queues data; it is segmented into PACLEN I frames and delivered reliably
+  // and in order.
+  void Send(const Bytes& data);
+  void Disconnect();
+
+  void set_data_handler(DataHandler h) { on_data_ = std::move(h); }
+  void set_connected_handler(EventHandler h) { on_connected_ = std::move(h); }
+  void set_disconnected_handler(EventHandler h) { on_disconnected_ = std::move(h); }
+
+  // Statistics.
+  std::uint64_t i_frames_sent() const { return i_sent_; }
+  std::uint64_t i_frames_resent() const { return i_resent_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  friend class Ax25Link;
+
+  void StartConnect();
+  void HandleFrame(const Ax25Frame& f);
+  void HandleI(const Ax25Frame& f);
+  void HandleAck(std::uint8_t nr);
+  void PumpSendQueue();
+  void SendIFrame(std::uint8_t ns, bool retransmission, bool poll = false);
+  void SendSupervisory(Ax25FrameType type, bool response, bool pf);
+  void SendU(Ax25FrameType type, bool command, bool pf);
+  void OnT1Expiry();
+  void OnT3Expiry();
+  void RestartT3();
+  void EnterConnected();
+  void EnterDisconnected();
+  Ax25Frame BaseFrame(bool command) const;
+  std::vector<Ax25Digipeater> ReturnPath() const;
+
+  Ax25Link* link_;
+  Ax25Address peer_;
+  std::vector<Ax25Digipeater> digis_;
+  State state_ = State::kDisconnected;
+
+  // Sequence variables (all mod 8).
+  std::uint8_t vs_ = 0;  // next N(S) to assign
+  std::uint8_t va_ = 0;  // oldest unacknowledged N(S)
+  std::uint8_t vr_ = 0;  // next expected N(S) from peer
+  bool rej_outstanding_ = false;
+  bool peer_busy_ = false;
+
+  std::deque<Bytes> send_queue_;               // not yet assigned sequence numbers
+  std::map<std::uint8_t, Bytes> outstanding_;  // ns -> info, awaiting ack
+
+  Timer t1_;
+  Timer t3_;
+  int retry_count_ = 0;
+
+  DataHandler on_data_;
+  EventHandler on_connected_;
+  EventHandler on_disconnected_;
+
+  std::uint64_t i_sent_ = 0;
+  std::uint64_t i_resent_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_AX25_LAPB_H_

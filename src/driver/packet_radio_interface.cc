@@ -1,0 +1,152 @@
+#include "src/driver/packet_radio_interface.h"
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "prdrv";
+}  // namespace
+
+PacketRadioInterface::PacketRadioInterface(Simulator* sim, SerialEndpoint* serial,
+                                           std::string name, PacketRadioConfig config)
+    : NetInterface(std::move(name), config.mtu),
+      sim_(sim),
+      serial_(serial),
+      config_(std::move(config)),
+      decoder_([this](const KissFrame& f) { OnKissFrame(f); }) {
+  ArpConfig arp_config;
+  arp_config.hardware_type = kArpHtypeAx25;
+  arp_config.broadcast_hw = Ax25HwAddr{Ax25Address::Broadcast(), {}};
+  // The radio subnet is slow: space retries out accordingly.
+  arp_config.retry_interval = Seconds(15);
+  arp_config.max_retries = 4;
+  arp_ = std::make_unique<ArpResolver>(
+      sim_, arp_config, [this] { return address(); },
+      HwAddress(Ax25HwAddr{config_.local_address, {}}),
+      /*transmit_arp=*/
+      [this](const Bytes& arp_packet, const std::optional<HwAddress>& dst) {
+        Ax25HwAddr to = dst ? std::get<Ax25HwAddr>(*dst)
+                            : Ax25HwAddr{Ax25Address::Broadcast(), {}};
+        TransmitUi(kPidArp, arp_packet, to);
+      },
+      /*send_resolved=*/
+      [this](const Bytes& ip_datagram, const HwAddress& dst) {
+        TransmitUi(kPidIp, ip_datagram, std::get<Ax25HwAddr>(dst));
+      });
+  serial_->set_receive_handler([this](std::uint8_t b) { OnSerialByte(b); });
+}
+
+void PacketRadioInterface::Output(const Bytes& ip_datagram, IpV4Address next_hop) {
+  if (!up_) {
+    ++stats_.oerrors;
+    return;
+  }
+  ++stats_.opackets;
+  stats_.obytes += ip_datagram.size();
+  arp_->Send(ip_datagram, next_hop);
+}
+
+void PacketRadioInterface::AddArpEntry(IpV4Address ip, const Ax25Address& station,
+                                       std::vector<Ax25Address> digipeaters) {
+  arp_->AddStatic(ip, Ax25HwAddr{station, std::move(digipeaters)});
+}
+
+void PacketRadioInterface::TransmitUi(std::uint8_t pid, const Bytes& payload,
+                                      const Ax25HwAddr& dst) {
+  std::vector<Ax25Digipeater> digis;
+  digis.reserve(dst.digipeaters.size());
+  for (const auto& d : dst.digipeaters) {
+    digis.push_back(Ax25Digipeater{d, false});
+  }
+  Ax25Frame frame = Ax25Frame::MakeUi(dst.station, config_.local_address, pid, payload,
+                                      std::move(digis));
+  SendRawFrame(frame);
+}
+
+void PacketRadioInterface::SendRawFrame(const Ax25Frame& frame) {
+  WriteKiss(frame.Encode());
+}
+
+void PacketRadioInterface::WriteKiss(const Bytes& ax25_wire) {
+  if (serial_->backlog() > config_.max_serial_backlog) {
+    ++dstats_.output_drops;
+    ++stats_.odrops;
+    return;
+  }
+  serial_->Write(KissEncodeData(ax25_wire));
+}
+
+void PacketRadioInterface::OnSerialByte(std::uint8_t byte) {
+  // One receive interrupt per character (§2.2).
+  ++dstats_.interrupts;
+  dstats_.interrupt_cpu_time += config_.per_interrupt_cost;
+  decoder_.Feed(byte);
+}
+
+void PacketRadioInterface::OnKissFrame(const KissFrame& kiss) {
+  if (kiss.command != KissCommand::kData) {
+    return;  // TNC-to-host command frames do not exist in plain KISS
+  }
+  ++dstats_.frames_in;
+  auto frame = Ax25Frame::Decode(kiss.payload);
+  if (!frame) {
+    ++dstats_.decode_errors;
+    ++stats_.ierrors;
+    return;
+  }
+  // Frames still being source-routed through digipeaters are not for final
+  // recipients yet.
+  if (!frame->DigipeatingComplete()) {
+    ++dstats_.frames_in_transit;
+    return;
+  }
+  // The paper's address check: ours or broadcast. (The stock TNC passes every
+  // frame up, so this runs once per heard packet — the §3 load problem.)
+  bool for_us = frame->destination == config_.local_address ||
+                frame->destination.IsBroadcast();
+  if (!for_us) {
+    for (const auto& alias : config_.broadcast_aliases) {
+      if (frame->destination == alias) {
+        for_us = true;
+        break;
+      }
+    }
+  }
+  if (!for_us) {
+    ++dstats_.frames_not_for_us;
+    return;
+  }
+  if (frame->type == Ax25FrameType::kUi && frame->pid == kPidIp) {
+    ++dstats_.ip_in;
+    DeliverToStack(frame->info);
+    return;
+  }
+  if (frame->type == Ax25FrameType::kUi && frame->pid == kPidArp) {
+    ++dstats_.arp_in;
+    arp_->HandleArpPacket(frame->info);
+    return;
+  }
+  // Non-IP: place on the tty input queue for user-level AX.25 (§2.4).
+  ++dstats_.l3_in;
+  if (l3_tap_) {
+    l3_tap_(*frame);
+    return;
+  }
+  if (l3_queue_.size() >= config_.l3_queue_limit) {
+    l3_queue_.pop_front();
+    ++dstats_.l3_drops;
+  }
+  l3_queue_.push_back(std::move(*frame));
+}
+
+std::optional<Ax25Frame> PacketRadioInterface::ReadL3Frame() {
+  if (l3_queue_.empty()) {
+    return std::nullopt;
+  }
+  Ax25Frame f = std::move(l3_queue_.front());
+  l3_queue_.pop_front();
+  return f;
+}
+
+}  // namespace upr

@@ -1,0 +1,92 @@
+#include "src/ether/ethernet.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+EtherSegment::EtherSegment(Simulator* sim, std::uint64_t bit_rate)
+    : sim_(sim), bit_rate_(bit_rate) {}
+
+void EtherSegment::Attach(EthernetInterface* interface) {
+  stations_.push_back(interface);
+}
+
+void EtherSegment::Transmit(EthernetInterface* from, Bytes frame) {
+  // Serialize on the medium: transmissions queue behind the wire.
+  SimTime start = std::max(busy_until_, sim_->Now());
+  SimTime end = start + TransmitTime(frame.size(), bit_rate_);
+  busy_until_ = end;
+  ++frames_carried_;
+  sim_->ScheduleAt(end, [this, from, frame = std::move(frame)] {
+    for (EthernetInterface* station : stations_) {
+      if (station != from) {
+        station->ReceiveFrame(frame);
+      }
+    }
+  });
+}
+
+EthernetInterface::EthernetInterface(EtherSegment* segment, std::string name,
+                                     EtherAddr mac)
+    : NetInterface(std::move(name), kEtherMtu), segment_(segment), mac_(mac) {
+  ArpConfig config;
+  config.hardware_type = kArpHtypeEthernet;
+  config.broadcast_hw = EtherAddr::Broadcast();
+  config.retry_interval = Seconds(1);  // LAN-speed retries
+  arp_ = std::make_unique<ArpResolver>(
+      segment->sim(), config, [this] { return address(); }, HwAddress(mac_),
+      /*transmit_arp=*/
+      [this](const Bytes& arp_packet, const std::optional<HwAddress>& dst) {
+        EtherAddr to = dst ? std::get<EtherAddr>(*dst) : EtherAddr::Broadcast();
+        TransmitFrame(kEtherTypeArp, to, arp_packet);
+      },
+      /*send_resolved=*/
+      [this](const Bytes& ip_datagram, const HwAddress& dst) {
+        TransmitFrame(kEtherTypeIp, std::get<EtherAddr>(dst), ip_datagram);
+      });
+  segment->Attach(this);
+}
+
+void EthernetInterface::Output(const Bytes& ip_datagram, IpV4Address next_hop) {
+  if (!up_) {
+    ++stats_.oerrors;
+    return;
+  }
+  ++stats_.opackets;
+  stats_.obytes += ip_datagram.size();
+  arp_->Send(ip_datagram, next_hop);
+}
+
+void EthernetInterface::TransmitFrame(std::uint16_t ethertype, const EtherAddr& dst,
+                                      const Bytes& payload) {
+  Bytes frame;
+  frame.reserve(kEtherHeaderBytes + payload.size());
+  ByteWriter w(&frame);
+  w.WriteBytes(dst.octets.data(), dst.octets.size());
+  w.WriteBytes(mac_.octets.data(), mac_.octets.size());
+  w.WriteU16(ethertype);
+  w.WriteBytes(payload);
+  segment_->Transmit(this, std::move(frame));
+}
+
+void EthernetInterface::ReceiveFrame(const Bytes& frame) {
+  if (!up_ || frame.size() < kEtherHeaderBytes) {
+    return;
+  }
+  EtherAddr dst;
+  std::copy(frame.begin(), frame.begin() + 6, dst.octets.begin());
+  if (dst != mac_ && !dst.IsBroadcast()) {
+    return;  // hardware address filter
+  }
+  std::uint16_t ethertype = static_cast<std::uint16_t>(frame[12] << 8 | frame[13]);
+  Bytes payload(frame.begin() + kEtherHeaderBytes, frame.end());
+  if (ethertype == kEtherTypeIp) {
+    DeliverToStack(payload);
+  } else if (ethertype == kEtherTypeArp) {
+    arp_->HandleArpPacket(payload);
+  }
+}
+
+}  // namespace upr

@@ -1,0 +1,71 @@
+#include "src/gateway/access_control.h"
+
+namespace upr {
+
+void AccessControlTable::ExpireIdle() {
+  SimTime now = sim_->Now();
+  for (auto it = expires_at_.begin(); it != expires_at_.end();) {
+    if (it->second <= now) {
+      ++entries_expired_;
+      it = expires_at_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AccessControlTable::NoteAmateurOutbound(IpV4Address amateur,
+                                             IpV4Address non_amateur) {
+  Key key{non_amateur, amateur};
+  auto [it, inserted] = expires_at_.emplace(key, 0);
+  if (inserted) {
+    ++entries_created_;
+  }
+  it->second = sim_->Now() + config_.idle_timeout;
+}
+
+bool AccessControlTable::Allowed(IpV4Address non_amateur, IpV4Address amateur) {
+  ++lookups_;
+  auto it = expires_at_.find(Key{non_amateur, amateur});
+  if (it == expires_at_.end() || it->second <= sim_->Now()) {
+    if (it != expires_at_.end()) {
+      ++entries_expired_;
+      expires_at_.erase(it);
+    }
+    ++denials_;
+    return false;
+  }
+  return true;
+}
+
+void AccessControlTable::Authorize(IpV4Address non_amateur, IpV4Address amateur,
+                                   SimTime ttl) {
+  Key key{non_amateur, amateur};
+  auto [it, inserted] = expires_at_.emplace(key, 0);
+  if (inserted) {
+    ++entries_created_;
+  }
+  it->second = sim_->Now() + ttl;
+}
+
+std::size_t AccessControlTable::Revoke(IpV4Address non_amateur, IpV4Address amateur) {
+  std::size_t removed = 0;
+  for (auto it = expires_at_.begin(); it != expires_at_.end();) {
+    bool match = it->first.first == non_amateur &&
+                 (amateur.IsAny() || it->first.second == amateur);
+    if (match) {
+      it = expires_at_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t AccessControlTable::size() {
+  ExpireIdle();
+  return expires_at_.size();
+}
+
+}  // namespace upr

@@ -1,0 +1,71 @@
+// §4.3 access control: "maintain a table of authorized addresses on the
+// non-amateur side of the gateway. Associated with each of these addresses
+// is a list of hosts on the amateur side of the gateway with which that host
+// can communicate. Initially the table starts off empty. Whenever a packet
+// is received on the amateur side destined for a non-amateur host, an entry
+// is made in the table, enabling the non-amateur host to send packets in the
+// other direction. After a certain period of time, these entries are removed
+// if packets have not been received from the amateur side."
+#ifndef SRC_GATEWAY_ACCESS_CONTROL_H_
+#define SRC_GATEWAY_ACCESS_CONTROL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/net/ip_address.h"
+#include "src/sim/simulator.h"
+
+namespace upr {
+
+struct AccessControlConfig {
+  // Entries expire this long after the last amateur-side packet.
+  SimTime idle_timeout = Seconds(600);
+};
+
+class AccessControlTable {
+ public:
+  AccessControlTable(Simulator* sim, AccessControlConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  // A packet from amateur host `amateur` was forwarded toward `non_amateur`:
+  // create or refresh the authorization for return traffic.
+  void NoteAmateurOutbound(IpV4Address amateur, IpV4Address non_amateur);
+
+  // May `non_amateur` send to `amateur` right now? (Does not refresh — only
+  // amateur-side traffic keeps an entry alive.)
+  bool Allowed(IpV4Address non_amateur, IpV4Address amateur);
+
+  // §4.3 ICMP add message: authorize with an explicit time-to-live.
+  void Authorize(IpV4Address non_amateur, IpV4Address amateur, SimTime ttl);
+
+  // §4.3 ICMP revoke message ("exercise his control operator function to cut
+  // off the link"). Returns the number of entries removed. An Any() amateur
+  // address revokes every pairing for `non_amateur`.
+  std::size_t Revoke(IpV4Address non_amateur, IpV4Address amateur);
+
+  std::size_t size();
+
+  std::uint64_t entries_created() const { return entries_created_; }
+  std::uint64_t entries_expired() const { return entries_expired_; }
+  std::uint64_t denials() const { return denials_; }
+  std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  using Key = std::pair<IpV4Address, IpV4Address>;  // (non-amateur, amateur)
+
+  void ExpireIdle();
+
+  Simulator* sim_;
+  AccessControlConfig config_;
+  std::map<Key, SimTime> expires_at_;
+  std::uint64_t entries_created_ = 0;
+  std::uint64_t entries_expired_ = 0;
+  std::uint64_t denials_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_GATEWAY_ACCESS_CONTROL_H_

@@ -1,0 +1,88 @@
+#include "src/gateway/gateway.h"
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "gateway";
+}  // namespace
+
+PacketRadioGateway::PacketRadioGateway(NetStack* stack, NetInterface* radio,
+                                       GatewayConfig config)
+    : stack_(stack),
+      radio_(radio),
+      config_(std::move(config)),
+      table_(stack->sim(), config_.access_control) {
+  stack_->set_forwarding(true);
+  stack_->set_forward_filter(
+      [this](const Ipv4Header& h, const Bytes& p, NetInterface* in, NetInterface* out) {
+        return FilterForward(h, p, in, out);
+      });
+  stack_->icmp().RegisterTypeHandler(
+      kIcmpGatewayControl,
+      [this](const Ipv4Header& ip, const IcmpMessage& msg, NetInterface* in) {
+        HandleControl(ip, msg, in);
+      });
+}
+
+bool PacketRadioGateway::FilterForward(const Ipv4Header& header, const Bytes& payload,
+                                       NetInterface* in, NetInterface* out) {
+  bool from_radio = in == radio_;
+  bool to_radio = out == radio_;
+  if (from_radio && !to_radio) {
+    ++radio_to_wire_;
+    if (config_.enforce_access_control) {
+      table_.NoteAmateurOutbound(header.source, header.destination);
+    }
+    return true;
+  }
+  if (to_radio && !from_radio) {
+    ++wire_to_radio_;
+    if (!config_.enforce_access_control) {
+      return true;
+    }
+    if (table_.Allowed(header.source, header.destination)) {
+      return true;
+    }
+    ++denied_;
+    UPR_DEBUG(kTag, "denied %s -> %s (no authorization)",
+              header.source.ToString().c_str(), header.destination.ToString().c_str());
+    if (config_.send_prohibited_icmp) {
+      stack_->icmp().SendUnreachable(header, payload, kUnreachAdminProhibited);
+    }
+    return false;
+  }
+  // radio->radio or wire->wire transit: plain forwarding.
+  return true;
+}
+
+void PacketRadioGateway::HandleControl(const Ipv4Header& ip, const IcmpMessage& msg,
+                                       NetInterface* in) {
+  auto body = GatewayControlBody::Decode(msg.body);
+  if (!body) {
+    ++control_rejected_;
+    return;
+  }
+  bool from_amateur_side = in == radio_;
+  if (!from_amateur_side) {
+    // §4.3: "if they come from the non-amateur side, they must include a call
+    // sign and a password for an authorized control operator".
+    auto it = config_.operators.find(body->callsign);
+    if (it == config_.operators.end() || it->second != body->password) {
+      ++control_rejected_;
+      UPR_INFO(kTag, "rejected control message from %s (bad credentials)",
+               ip.source.ToString().c_str());
+      return;
+    }
+  }
+  ++control_accepted_;
+  if (msg.code == kGwCtlAuthorize) {
+    table_.Authorize(body->non_amateur_host, body->amateur_host,
+                     Seconds(body->ttl_seconds));
+  } else if (msg.code == kGwCtlRevoke) {
+    table_.Revoke(body->non_amateur_host, body->amateur_host);
+  }
+}
+
+}  // namespace upr

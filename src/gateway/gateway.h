@@ -1,0 +1,71 @@
+// The packet radio <-> Internet gateway policy layer.
+//
+// Wires the §4.3 access-control table into a forwarding NetStack: packets
+// forwarded from the radio interface toward the wired side create/refresh
+// authorizations; packets headed the other way are checked against the
+// table. Also implements the paper's proposed ICMP control messages —
+// authorize-with-TTL and revoke — requiring a control operator's callsign +
+// password when they arrive from the non-amateur side.
+#ifndef SRC_GATEWAY_GATEWAY_H_
+#define SRC_GATEWAY_GATEWAY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/gateway/access_control.h"
+#include "src/net/icmp.h"
+#include "src/net/interface.h"
+#include "src/net/netstack.h"
+
+namespace upr {
+
+struct GatewayConfig {
+  AccessControlConfig access_control;
+  // When true (default off, matching the era), denied packets elicit an ICMP
+  // administratively-prohibited unreachable so TCP peers fail fast.
+  bool send_prohibited_icmp = false;
+  // Enforce the access-control policy at all. Off = pure IP gateway (§2.3's
+  // initial deployment); on = §4.3 behaviour.
+  bool enforce_access_control = true;
+  // Control-operator credentials accepted on ICMP control messages arriving
+  // from the non-amateur side (callsign -> password).
+  std::map<std::string, std::string> operators;
+};
+
+class PacketRadioGateway {
+ public:
+  // `radio` is the amateur-side interface; every other interface on `stack`
+  // is the non-amateur side. Enables forwarding on the stack and installs
+  // the forward filter + ICMP handlers.
+  PacketRadioGateway(NetStack* stack, NetInterface* radio, GatewayConfig config = {});
+
+  AccessControlTable& table() { return table_; }
+  const GatewayConfig& config() const { return config_; }
+
+  std::uint64_t radio_to_wire() const { return radio_to_wire_; }
+  std::uint64_t wire_to_radio() const { return wire_to_radio_; }
+  std::uint64_t denied() const { return denied_; }
+  std::uint64_t control_accepted() const { return control_accepted_; }
+  std::uint64_t control_rejected() const { return control_rejected_; }
+
+ private:
+  bool FilterForward(const Ipv4Header& header, const Bytes& payload, NetInterface* in,
+                     NetInterface* out);
+  void HandleControl(const Ipv4Header& ip, const IcmpMessage& msg, NetInterface* in);
+
+  NetStack* stack_;
+  NetInterface* radio_;
+  GatewayConfig config_;
+  AccessControlTable table_;
+
+  std::uint64_t radio_to_wire_ = 0;
+  std::uint64_t wire_to_radio_ = 0;
+  std::uint64_t denied_ = 0;
+  std::uint64_t control_accepted_ = 0;
+  std::uint64_t control_rejected_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_GATEWAY_GATEWAY_H_

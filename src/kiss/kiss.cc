@@ -1,0 +1,129 @@
+#include "src/kiss/kiss.h"
+
+namespace upr {
+
+Bytes KissEncode(const KissFrame& frame) {
+  Bytes out;
+  out.reserve(frame.payload.size() + 4);
+  out.push_back(kKissFend);
+  std::uint8_t type;
+  if (frame.command == KissCommand::kReturn) {
+    type = 0xFF;
+  } else {
+    type = static_cast<std::uint8_t>((frame.port & 0x0F) << 4) |
+           (static_cast<std::uint8_t>(frame.command) & 0x0F);
+  }
+  auto put = [&out](std::uint8_t b) {
+    if (b == kKissFend) {
+      out.push_back(kKissFesc);
+      out.push_back(kKissTfend);
+    } else if (b == kKissFesc) {
+      out.push_back(kKissFesc);
+      out.push_back(kKissTfesc);
+    } else {
+      out.push_back(b);
+    }
+  };
+  put(type);
+  for (std::uint8_t b : frame.payload) {
+    put(b);
+  }
+  out.push_back(kKissFend);
+  return out;
+}
+
+Bytes KissEncodeData(const Bytes& ax25_frame, std::uint8_t port) {
+  KissFrame f;
+  f.port = port;
+  f.command = KissCommand::kData;
+  f.payload = ax25_frame;
+  return KissEncode(f);
+}
+
+void KissDecoder::Feed(const Bytes& bytes) {
+  for (std::uint8_t b : bytes) {
+    Feed(b);
+  }
+}
+
+void KissDecoder::Reset() {
+  current_.clear();
+  state_ = State::kIdle;
+}
+
+void KissDecoder::EmitFrame() {
+  if (current_.empty()) {
+    // Back-to-back FENDs between frames: ignore.
+    return;
+  }
+  std::uint8_t type = current_[0];
+  KissFrame frame;
+  if (type == 0xFF) {
+    frame.port = 0x0F;
+    frame.command = KissCommand::kReturn;
+  } else {
+    frame.port = static_cast<std::uint8_t>(type >> 4);
+    frame.command = static_cast<KissCommand>(type & 0x0F);
+  }
+  frame.payload.assign(current_.begin() + 1, current_.end());
+  ++frames_decoded_;
+  current_.clear();
+  handler_(frame);
+}
+
+void KissDecoder::Accept(std::uint8_t byte) {
+  if (current_.size() >= max_frame_) {
+    ++oversize_drops_;
+    current_.clear();
+    state_ = State::kDiscard;
+    return;
+  }
+  current_.push_back(byte);
+}
+
+void KissDecoder::Feed(std::uint8_t byte) {
+  switch (state_) {
+    case State::kIdle:
+      if (byte == kKissFend) {
+        return;  // idle fill between frames
+      }
+      state_ = State::kInFrame;
+      [[fallthrough]];
+    case State::kInFrame:
+      if (byte == kKissFend) {
+        EmitFrame();
+        state_ = State::kIdle;
+      } else if (byte == kKissFesc) {
+        state_ = State::kInEscape;
+      } else {
+        Accept(byte);
+        if (state_ == State::kDiscard) {
+          return;
+        }
+      }
+      return;
+    case State::kInEscape:
+      if (byte == kKissTfend) {
+        Accept(kKissFend);
+      } else if (byte == kKissTfesc) {
+        Accept(kKissFesc);
+      } else {
+        // Invalid escape: abort the frame, resync at next FEND.
+        ++protocol_errors_;
+        current_.clear();
+        state_ = State::kDiscard;
+        return;
+      }
+      if (state_ != State::kDiscard) {
+        state_ = State::kInFrame;
+      }
+      return;
+    case State::kDiscard:
+      if (byte == kKissFend) {
+        state_ = State::kIdle;
+      }
+      return;
+  }
+}
+
+}  // namespace upr

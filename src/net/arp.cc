@@ -1,0 +1,275 @@
+#include "src/net/arp.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+
+constexpr const char* kTag = "arp";
+constexpr std::uint16_t kPtypeIp = 0x0800;
+
+std::size_t HwLen(std::uint16_t htype) {
+  return htype == kArpHtypeAx25 ? kAx25AddressBytes : 6;
+}
+
+void EncodeHw(ByteWriter* w, std::uint16_t htype, const std::optional<HwAddress>& hw) {
+  if (!hw.has_value()) {
+    for (std::size_t i = 0; i < HwLen(htype); ++i) {
+      w->WriteU8(0);
+    }
+    return;
+  }
+  if (htype == kArpHtypeAx25) {
+    const auto& a = std::get<Ax25HwAddr>(*hw);
+    auto enc = a.station.Encode(false, true);
+    for (std::uint8_t b : enc) {
+      w->WriteU8(b);
+    }
+  } else {
+    const auto& e = std::get<EtherAddr>(*hw);
+    for (std::uint8_t b : e.octets) {
+      w->WriteU8(b);
+    }
+  }
+}
+
+std::optional<HwAddress> DecodeHw(ByteReader* r, std::uint16_t htype) {
+  Bytes raw = r->ReadBytes(HwLen(htype));
+  if (raw.size() != HwLen(htype)) {
+    return std::nullopt;
+  }
+  bool all_zero = true;
+  for (std::uint8_t b : raw) {
+    if (b != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    return std::nullopt;  // unfilled target field in a request
+  }
+  if (htype == kArpHtypeAx25) {
+    auto dec = Ax25Address::Decode(raw.data());
+    if (!dec) {
+      return std::nullopt;
+    }
+    return HwAddress(Ax25HwAddr{dec->address, {}});
+  }
+  EtherAddr e;
+  std::copy(raw.begin(), raw.end(), e.octets.begin());
+  return HwAddress(e);
+}
+
+}  // namespace
+
+Bytes ArpPacket::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.WriteU16(htype);
+  w.WriteU16(kPtypeIp);
+  w.WriteU8(static_cast<std::uint8_t>(HwLen(htype)));
+  w.WriteU8(4);
+  w.WriteU16(oper);
+  EncodeHw(&w, htype, sender_hw);
+  w.WriteU32(sender_ip.value());
+  EncodeHw(&w, htype, target_hw);
+  w.WriteU32(target_ip.value());
+  return out;
+}
+
+std::optional<ArpPacket> ArpPacket::Decode(const Bytes& wire) {
+  ByteReader r(wire);
+  ArpPacket p;
+  p.htype = r.ReadU16();
+  std::uint16_t ptype = r.ReadU16();
+  std::uint8_t hlen = r.ReadU8();
+  std::uint8_t plen = r.ReadU8();
+  if (!r.ok() || ptype != kPtypeIp || plen != 4 || hlen != HwLen(p.htype)) {
+    return std::nullopt;
+  }
+  p.oper = r.ReadU16();
+  auto sha = DecodeHw(&r, p.htype);
+  p.sender_ip = IpV4Address(r.ReadU32());
+  p.target_hw = DecodeHw(&r, p.htype);
+  p.target_ip = IpV4Address(r.ReadU32());
+  if (!r.ok() || !sha.has_value()) {
+    return std::nullopt;
+  }
+  p.sender_hw = *sha;
+  return p;
+}
+
+ArpResolver::ArpResolver(Simulator* sim, ArpConfig config, LocalIp local_ip,
+                         HwAddress local_hw, TransmitArp transmit_arp,
+                         SendResolved send_resolved)
+    : sim_(sim),
+      config_(std::move(config)),
+      local_ip_(std::move(local_ip)),
+      local_hw_(std::move(local_hw)),
+      transmit_arp_(std::move(transmit_arp)),
+      send_resolved_(std::move(send_resolved)) {}
+
+bool ArpResolver::EntryValid(const Entry& e) const {
+  if (!e.hw.has_value()) {
+    return false;
+  }
+  return e.permanent || e.expires > sim_->Now();
+}
+
+std::optional<HwAddress> ArpResolver::Lookup(IpV4Address ip) const {
+  auto it = cache_.find(ip);
+  if (it == cache_.end() || !EntryValid(it->second)) {
+    return std::nullopt;
+  }
+  return it->second.hw;
+}
+
+void ArpResolver::AddStatic(IpV4Address ip, HwAddress hw) {
+  Entry& e = cache_[ip];
+  e.hw = std::move(hw);
+  e.permanent = true;
+  e.retries = 0;
+  if (e.retry_event != 0) {
+    sim_->Cancel(e.retry_event);
+    e.retry_event = 0;
+  }
+  // Flush anything queued for this address.
+  while (!e.pending.empty()) {
+    send_resolved_(e.pending.front(), *e.hw);
+    e.pending.pop_front();
+  }
+}
+
+void ArpResolver::Flush() {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.permanent) {
+      ++it;
+    } else {
+      if (it->second.retry_event != 0) {
+        sim_->Cancel(it->second.retry_event);
+      }
+      it = cache_.erase(it);
+    }
+  }
+}
+
+void ArpResolver::Send(const Bytes& ip_datagram, IpV4Address next_hop) {
+  if (next_hop.IsLimitedBroadcast()) {
+    send_resolved_(ip_datagram, config_.broadcast_hw);
+    return;
+  }
+  Entry& e = cache_[next_hop];
+  if (EntryValid(e)) {
+    send_resolved_(ip_datagram, *e.hw);
+    return;
+  }
+  // Not resolved (or expired): queue and (re)start resolution.
+  if (e.pending.size() >= config_.max_pending_per_entry) {
+    e.pending.pop_front();
+    ++queue_drops_;
+  }
+  e.pending.push_back(ip_datagram);
+  if (e.retry_event == 0) {
+    e.hw.reset();
+    e.retries = 0;
+    SendRequest(next_hop);
+    ScheduleRetry(next_hop);
+  }
+}
+
+void ArpResolver::SendRequest(IpV4Address ip) {
+  ArpPacket req;
+  req.htype = config_.hardware_type;
+  req.oper = kArpOpRequest;
+  req.sender_hw = local_hw_;
+  req.sender_ip = local_ip_();
+  req.target_ip = ip;
+  ++requests_sent_;
+  UPR_TRACE(kTag, "request who-has %s", ip.ToString().c_str());
+  transmit_arp_(req.Encode(), std::nullopt);
+}
+
+void ArpResolver::ScheduleRetry(IpV4Address ip) {
+  Entry& e = cache_[ip];
+  e.retry_event = sim_->Schedule(config_.retry_interval, [this, ip] {
+    auto it = cache_.find(ip);
+    if (it == cache_.end()) {
+      return;
+    }
+    Entry& entry = it->second;
+    entry.retry_event = 0;
+    if (EntryValid(entry)) {
+      return;
+    }
+    if (++entry.retries >= config_.max_retries) {
+      UPR_DEBUG(kTag, "resolution of %s failed", ip.ToString().c_str());
+      resolution_failures_ += 1;
+      queue_drops_ += entry.pending.size();
+      cache_.erase(it);
+      return;
+    }
+    SendRequest(ip);
+    ScheduleRetry(ip);
+  });
+}
+
+void ArpResolver::ResolveEntry(IpV4Address ip, const HwAddress& hw) {
+  Entry& e = cache_[ip];
+  if (e.permanent) {
+    // Refresh only the station address for AX.25 (keep the configured
+    // digipeater path).
+    if (config_.hardware_type == kArpHtypeAx25 && e.hw.has_value()) {
+      auto& existing = std::get<Ax25HwAddr>(*e.hw);
+      existing.station = std::get<Ax25HwAddr>(hw).station;
+    }
+    return;
+  }
+  e.hw = hw;
+  e.expires = sim_->Now() + config_.entry_ttl;
+  e.retries = 0;
+  if (e.retry_event != 0) {
+    sim_->Cancel(e.retry_event);
+    e.retry_event = 0;
+  }
+  while (!e.pending.empty()) {
+    send_resolved_(e.pending.front(), *e.hw);
+    e.pending.pop_front();
+  }
+}
+
+void ArpResolver::HandleArpPacket(const Bytes& wire) {
+  auto packet = ArpPacket::Decode(wire);
+  if (!packet || packet->htype != config_.hardware_type) {
+    return;
+  }
+  IpV4Address me = local_ip_();
+  // RFC 826 merge: refresh an existing entry for the sender unconditionally.
+  auto it = cache_.find(packet->sender_ip);
+  bool known = it != cache_.end();
+  if (known) {
+    ResolveEntry(packet->sender_ip, packet->sender_hw);
+  }
+  if (packet->target_ip != me) {
+    return;
+  }
+  // Addressed to us: learn the sender even if previously unknown.
+  if (!known) {
+    ResolveEntry(packet->sender_ip, packet->sender_hw);
+  }
+  if (packet->oper == kArpOpRequest) {
+    ArpPacket reply;
+    reply.htype = config_.hardware_type;
+    reply.oper = kArpOpReply;
+    reply.sender_hw = local_hw_;
+    reply.sender_ip = me;
+    reply.target_hw = packet->sender_hw;
+    reply.target_ip = packet->sender_ip;
+    ++replies_sent_;
+    transmit_arp_(reply.Encode(), packet->sender_hw);
+  }
+}
+
+}  // namespace upr

@@ -1,0 +1,37 @@
+#include "src/net/hw_address.h"
+
+#include <cstdio>
+
+namespace upr {
+
+EtherAddr EtherAddr::FromIndex(std::uint32_t index) {
+  EtherAddr a;
+  a.octets = {0x02, 0x55, 0x50,  // locally administered, "UP"
+              static_cast<std::uint8_t>(index >> 16), static_cast<std::uint8_t>(index >> 8),
+              static_cast<std::uint8_t>(index)};
+  return a;
+}
+
+std::string EtherAddr::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::string Ax25HwAddr::ToString() const {
+  std::string out = station.ToString();
+  for (const auto& d : digipeaters) {
+    out += " via " + d.ToString();
+  }
+  return out;
+}
+
+std::string HwAddressToString(const HwAddress& a) {
+  if (const auto* e = std::get_if<EtherAddr>(&a)) {
+    return e->ToString();
+  }
+  return std::get<Ax25HwAddr>(a).ToString();
+}
+
+}  // namespace upr

@@ -1,0 +1,52 @@
+// Link-layer address variants. The gateway has one foot on Ethernet (6-byte
+// MACs) and one on packet radio, where "addresses look like amateur radio
+// callsigns followed by a 4 bit system ID" and "some entries may contain
+// additional callsigns for digipeaters" (§2.3). The digipeater path rides in
+// the resolved address so the driver can source-route the frame.
+#ifndef SRC_NET_HW_ADDRESS_H_
+#define SRC_NET_HW_ADDRESS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/ax25/address.h"
+
+namespace upr {
+
+struct EtherAddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  static EtherAddr Broadcast() {
+    return EtherAddr{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+  // Deterministic locally administered address derived from an index.
+  static EtherAddr FromIndex(std::uint32_t index);
+
+  bool IsBroadcast() const { return *this == Broadcast(); }
+  std::string ToString() const;
+
+  bool operator==(const EtherAddr& o) const { return octets == o.octets; }
+  bool operator!=(const EtherAddr& o) const { return !(*this == o); }
+};
+
+// An AX.25 link address plus the source-routed digipeater path to reach it.
+struct Ax25HwAddr {
+  Ax25Address station;
+  std::vector<Ax25Address> digipeaters;
+
+  std::string ToString() const;
+  bool operator==(const Ax25HwAddr& o) const {
+    return station == o.station && digipeaters == o.digipeaters;
+  }
+};
+
+using HwAddress = std::variant<EtherAddr, Ax25HwAddr>;
+
+std::string HwAddressToString(const HwAddress& a);
+
+}  // namespace upr
+
+#endif  // SRC_NET_HW_ADDRESS_H_

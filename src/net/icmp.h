@@ -1,0 +1,151 @@
+// ICMP (RFC 792): echo, destination unreachable, time exceeded — plus the
+// gateway access-control messages the paper proposes in §4.3 ("One message
+// can force an entry to be removed from the table of authorized non-amateur
+// systems... Another message would allow one to add an authorized
+// non-amateur host to the tables with an appropriately chosen time-to-live",
+// authenticated by callsign + password when they arrive from the
+// non-amateur side). Those ride an experimental ICMP type and are handled by
+// src/gateway.
+#ifndef SRC_NET_ICMP_H_
+#define SRC_NET_ICMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/net/ip_address.h"
+#include "src/net/ipv4.h"
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+class NetStack;
+class NetInterface;
+
+inline constexpr std::uint8_t kIcmpEchoReply = 0;
+inline constexpr std::uint8_t kIcmpUnreachable = 3;
+inline constexpr std::uint8_t kIcmpRedirect = 5;
+inline constexpr std::uint8_t kIcmpEchoRequest = 8;
+inline constexpr std::uint8_t kIcmpTimeExceeded = 11;
+
+// Codes for kIcmpRedirect.
+inline constexpr std::uint8_t kRedirectNet = 0;
+inline constexpr std::uint8_t kRedirectHost = 1;
+// Experimental type carrying the paper's gateway table control messages.
+inline constexpr std::uint8_t kIcmpGatewayControl = 38;
+
+// Codes for kIcmpUnreachable.
+inline constexpr std::uint8_t kUnreachNet = 0;
+inline constexpr std::uint8_t kUnreachHost = 1;
+inline constexpr std::uint8_t kUnreachProtocol = 2;
+inline constexpr std::uint8_t kUnreachPort = 3;
+inline constexpr std::uint8_t kUnreachFragNeeded = 4;
+// Used when the gateway's access-control table refuses a packet (§4.3).
+inline constexpr std::uint8_t kUnreachAdminProhibited = 13;
+
+// Codes for kIcmpGatewayControl.
+inline constexpr std::uint8_t kGwCtlAuthorize = 0;
+inline constexpr std::uint8_t kGwCtlRevoke = 1;
+
+struct IcmpMessage {
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  Bytes body;  // everything after the 4-byte type/code/checksum header
+
+  Bytes Encode() const;
+  static std::optional<IcmpMessage> Decode(const Bytes& wire);
+};
+
+// Payload of a kIcmpGatewayControl message (§4.3).
+struct GatewayControlBody {
+  IpV4Address amateur_host;      // host on the radio side of the pairing
+  IpV4Address non_amateur_host;  // host beyond the gateway
+  std::uint32_t ttl_seconds = 0; // authorize: entry lifetime
+  std::string callsign;          // control operator credentials
+  std::string password;
+
+  Bytes Encode() const;
+  static std::optional<GatewayControlBody> Decode(const Bytes& body);
+};
+
+class Icmp {
+ public:
+  explicit Icmp(NetStack* stack);
+
+  // Registered with the stack for protocol 1.
+  void HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in);
+
+  // Sends an echo request; `callback(success, rtt)` fires on reply or after
+  // `timeout`. Returns the echo identifier.
+  using PingCallback = std::function<void(bool success, SimTime rtt)>;
+  std::uint16_t Ping(IpV4Address dst, std::size_t payload_len, PingCallback callback,
+                     SimTime timeout = Seconds(60));
+
+  // Error generators (rate-unlimited; the simulator is polite). `orig` is the
+  // offending datagram's header, `orig_payload` its payload; RFC 792 echoes
+  // the header + first 8 payload bytes back to the source.
+  void SendUnreachable(const Ipv4Header& orig, const Bytes& orig_payload, std::uint8_t code);
+  void SendTimeExceeded(const Ipv4Header& orig, const Bytes& orig_payload);
+
+  // Sends a gateway control message to `gateway`.
+  void SendGatewayControl(IpV4Address gateway, std::uint8_t code,
+                          const GatewayControlBody& body);
+
+  // ICMP host redirect: tells `orig.source` that `better_gateway` is the
+  // right first hop for `orig.destination`. This is the mechanism §4.2 says
+  // was "conceivable ... using ICMP [but] at this time, no mechanism is in
+  // place" — multiple AMPRnet gateways on one wire each serving a different
+  // slice of net 44 (see bench_x2_redirect).
+  void SendRedirect(const Ipv4Header& orig, const Bytes& orig_payload,
+                    IpV4Address better_gateway);
+
+  // Whether received host redirects install /32 routes (on by default, as
+  // in 4.3BSD hosts; gateways themselves typically ignore redirects).
+  void set_accept_redirects(bool accept) { accept_redirects_ = accept; }
+
+  std::uint64_t redirects_sent() const { return redirects_sent_; }
+  std::uint64_t redirects_accepted() const { return redirects_accepted_; }
+
+  // Hook for additional types (the gateway registers kIcmpGatewayControl).
+  using TypeHandler = std::function<void(const Ipv4Header& ip, const IcmpMessage& msg,
+                                         NetInterface* in)>;
+  void RegisterTypeHandler(std::uint8_t type, TypeHandler handler);
+
+  // Hook invoked on received unreachable/time-exceeded errors (TCP listens to
+  // abort connections).
+  using ErrorHandler = std::function<void(const Ipv4Header& outer, const IcmpMessage& msg)>;
+  void set_error_handler(ErrorHandler h) { on_error_ = std::move(h); }
+
+  std::uint64_t echoes_answered() const { return echoes_answered_; }
+  std::uint64_t errors_sent() const { return errors_sent_; }
+
+ private:
+  struct PendingPing {
+    PingCallback callback;
+    SimTime sent_at = 0;
+    std::uint64_t timeout_event = 0;
+  };
+
+  void SendError(const Ipv4Header& orig, const Bytes& orig_payload, std::uint8_t type,
+                 std::uint8_t code);
+
+  void HandleRedirect(const Ipv4Header& ip, const IcmpMessage& msg, NetInterface* in);
+
+  NetStack* stack_;
+  std::uint16_t next_echo_id_ = 1;
+  std::map<std::uint16_t, PendingPing> pending_pings_;
+  std::map<std::uint8_t, TypeHandler> type_handlers_;
+  ErrorHandler on_error_;
+  bool accept_redirects_ = true;
+  std::uint64_t echoes_answered_ = 0;
+  std::uint64_t errors_sent_ = 0;
+  std::uint64_t redirects_sent_ = 0;
+  std::uint64_t redirects_accepted_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_NET_ICMP_H_

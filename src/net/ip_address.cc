@@ -1,0 +1,68 @@
+#include "src/net/ip_address.h"
+
+#include <cstdio>
+
+namespace upr {
+
+std::optional<IpV4Address> IpV4Address::Parse(std::string_view text) {
+  std::uint32_t parts[4];
+  int part = 0;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) {
+        return std::nullopt;
+      }
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || part >= 3) {
+        return std::nullopt;
+      }
+      parts[part++] = cur;
+      cur = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || part != 3) {
+    return std::nullopt;
+  }
+  parts[3] = cur;
+  return IpV4Address(static_cast<std::uint8_t>(parts[0]), static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]), static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string IpV4Address::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24 & 0xFF, value_ >> 16 & 0xFF,
+                value_ >> 8 & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+IpV4Prefix IpV4Prefix::FromCidr(IpV4Address addr, int prefix_len) {
+  IpV4Prefix p;
+  p.mask = prefix_len <= 0 ? 0
+                           : (prefix_len >= 32 ? 0xFFFFFFFF
+                                               : ~((1u << (32 - prefix_len)) - 1));
+  p.network = IpV4Address(addr.value() & p.mask);
+  return p;
+}
+
+int IpV4Prefix::PrefixLength() const {
+  int n = 0;
+  std::uint32_t m = mask;
+  while (m & 0x80000000) {
+    ++n;
+    m <<= 1;
+  }
+  return n;
+}
+
+std::string IpV4Prefix::ToString() const {
+  return network.ToString() + "/" + std::to_string(PrefixLength());
+}
+
+}  // namespace upr

@@ -1,0 +1,63 @@
+// IPv4 addresses and prefixes. AMPRnet addresses (44.x.y.z) get a helper
+// because the gateway logic cares whether an address is on the amateur side
+// (the paper's net 44 is the class-A block assigned to packet radio).
+#ifndef SRC_NET_IP_ADDRESS_H_
+#define SRC_NET_IP_ADDRESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace upr {
+
+class IpV4Address {
+ public:
+  constexpr IpV4Address() = default;
+  constexpr explicit IpV4Address(std::uint32_t value) : value_(value) {}
+  constexpr IpV4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  static std::optional<IpV4Address> Parse(std::string_view text);
+  static constexpr IpV4Address Any() { return IpV4Address(0); }
+  static constexpr IpV4Address LimitedBroadcast() { return IpV4Address(0xFFFFFFFF); }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool IsAny() const { return value_ == 0; }
+  constexpr bool IsLimitedBroadcast() const { return value_ == 0xFFFFFFFF; }
+  // True for addresses inside AMPRnet, the class-A net 44 block (§4.2).
+  constexpr bool IsAmprNet() const { return (value_ >> 24) == 44; }
+
+  std::string ToString() const;
+
+  constexpr bool operator==(const IpV4Address& o) const { return value_ == o.value_; }
+  constexpr bool operator!=(const IpV4Address& o) const { return value_ != o.value_; }
+  constexpr bool operator<(const IpV4Address& o) const { return value_ < o.value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct IpV4AddressHash {
+  std::size_t operator()(const IpV4Address& a) const {
+    return std::hash<std::uint32_t>()(a.value());
+  }
+};
+
+// A network prefix (address + mask).
+struct IpV4Prefix {
+  IpV4Address network;
+  std::uint32_t mask = 0;
+
+  static IpV4Prefix FromCidr(IpV4Address addr, int prefix_len);
+  bool Contains(IpV4Address a) const {
+    return (a.value() & mask) == (network.value() & mask);
+  }
+  int PrefixLength() const;
+  std::string ToString() const;
+};
+
+}  // namespace upr
+
+#endif  // SRC_NET_IP_ADDRESS_H_

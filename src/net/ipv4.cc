@@ -1,0 +1,92 @@
+#include "src/net/ipv4.h"
+
+#include <cstdio>
+
+#include "src/util/crc.h"
+
+namespace upr {
+
+Bytes Ipv4Header::Encode(const Bytes& payload) const {
+  Bytes opts = options;
+  while (opts.size() % 4 != 0) {
+    opts.push_back(0);  // EOL padding
+  }
+  std::size_t hlen = 20 + opts.size();
+  Bytes out;
+  out.reserve(hlen + payload.size());
+  ByteWriter w(&out);
+  w.WriteU8(static_cast<std::uint8_t>(0x40 | (hlen / 4)));
+  w.WriteU8(tos);
+  w.WriteU16(static_cast<std::uint16_t>(hlen + payload.size()));
+  w.WriteU16(identification);
+  std::uint16_t frag = static_cast<std::uint16_t>((dont_fragment ? 0x4000 : 0) |
+                                                  (more_fragments ? 0x2000 : 0) |
+                                                  (fragment_offset & 0x1FFF));
+  w.WriteU16(frag);
+  w.WriteU8(ttl);
+  w.WriteU8(protocol);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteU32(source.value());
+  w.WriteU32(destination.value());
+  w.WriteBytes(opts);
+  std::uint16_t sum = InternetChecksum(out.data(), hlen);
+  out[10] = static_cast<std::uint8_t>(sum >> 8);
+  out[11] = static_cast<std::uint8_t>(sum & 0xFF);
+  w.WriteBytes(payload);
+  return out;
+}
+
+std::optional<Ipv4Header::Parsed> Ipv4Header::Decode(const Bytes& datagram) {
+  if (datagram.size() < 20) {
+    return std::nullopt;
+  }
+  std::uint8_t vhl = datagram[0];
+  if ((vhl >> 4) != 4) {
+    return std::nullopt;
+  }
+  std::size_t hlen = static_cast<std::size_t>(vhl & 0x0F) * 4;
+  if (hlen < 20 || hlen > datagram.size()) {
+    return std::nullopt;
+  }
+  if (InternetChecksum(datagram.data(), hlen) != 0) {
+    return std::nullopt;
+  }
+  ByteReader r(datagram);
+  r.Skip(1);
+  Parsed p;
+  p.header.tos = r.ReadU8();
+  std::uint16_t total = r.ReadU16();
+  if (total < hlen || total > datagram.size()) {
+    return std::nullopt;
+  }
+  p.header.identification = r.ReadU16();
+  std::uint16_t frag = r.ReadU16();
+  p.header.dont_fragment = (frag & 0x4000) != 0;
+  p.header.more_fragments = (frag & 0x2000) != 0;
+  p.header.fragment_offset = frag & 0x1FFF;
+  p.header.ttl = r.ReadU8();
+  p.header.protocol = r.ReadU8();
+  r.Skip(2);  // checksum (verified above)
+  p.header.source = IpV4Address(r.ReadU32());
+  p.header.destination = IpV4Address(r.ReadU32());
+  if (hlen > 20) {
+    p.header.options = r.ReadBytes(hlen - 20);
+  }
+  p.payload.assign(datagram.begin() + static_cast<std::ptrdiff_t>(hlen),
+                   datagram.begin() + total);
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+std::string Ipv4Header::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s > %s proto=%u ttl=%u id=%u%s%s off=%u",
+                source.ToString().c_str(), destination.ToString().c_str(), protocol, ttl,
+                identification, dont_fragment ? " DF" : "", more_fragments ? " MF" : "",
+                fragment_offset);
+  return buf;
+}
+
+}  // namespace upr

@@ -1,0 +1,54 @@
+// IPv4 header codec (RFC 791) with header checksum and fragmentation fields.
+// Options are carried opaquely. This replaces the "existing Ultrix network
+// support" box of the paper's figure 2.
+#ifndef SRC_NET_IPV4_H_
+#define SRC_NET_IPV4_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/net/ip_address.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+// Protocol numbers used in this stack.
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+inline constexpr std::uint8_t kDefaultTtl = 30;  // 4.3BSD default
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = kDefaultTtl;
+  std::uint8_t protocol = 0;
+  IpV4Address source;
+  IpV4Address destination;
+  Bytes options;  // raw, padded to a multiple of 4 by Encode
+
+  std::size_t HeaderLength() const { return 20 + (options.size() + 3) / 4 * 4; }
+
+  // Serializes header + payload, computing the header checksum.
+  Bytes Encode(const Bytes& payload) const;
+
+  struct Parsed;
+  // Validates version, length fields and checksum.
+  static std::optional<Parsed> Decode(const Bytes& datagram);
+
+  std::string ToString() const;
+};
+
+struct Ipv4Header::Parsed {
+  Ipv4Header header;
+  Bytes payload;
+};
+
+}  // namespace upr
+
+#endif  // SRC_NET_IPV4_H_

@@ -1,0 +1,57 @@
+#include "src/net/routing.h"
+
+namespace upr {
+
+void RouteTable::AddDirect(IpV4Prefix prefix, NetInterface* ifp, int metric) {
+  routes_.push_back(Route{prefix, ifp, std::nullopt, metric});
+}
+
+void RouteTable::AddVia(IpV4Prefix prefix, IpV4Address gateway, NetInterface* ifp,
+                        int metric) {
+  routes_.push_back(Route{prefix, ifp, gateway, metric});
+}
+
+void RouteTable::AddDefault(IpV4Address gateway, NetInterface* ifp) {
+  AddVia(IpV4Prefix{IpV4Address::Any(), 0}, gateway, ifp);
+}
+
+std::size_t RouteTable::Remove(IpV4Prefix prefix) {
+  std::size_t removed = 0;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->prefix.network == prefix.network && it->prefix.mask == prefix.mask) {
+      it = routes_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const Route* RouteTable::Lookup(IpV4Address dst) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.Contains(dst)) {
+      continue;
+    }
+    if (best == nullptr || r.prefix.mask > best->prefix.mask ||
+        (r.prefix.mask == best->prefix.mask && r.metric < best->metric)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+std::string RouteTable::ToString() const {
+  std::string out;
+  for (const auto& r : routes_) {
+    out += r.prefix.ToString();
+    if (r.gateway) {
+      out += " via " + r.gateway->ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace upr

@@ -1,0 +1,167 @@
+// NET/ROM layer 4: the circuit (reliable stream) protocol of the Software
+// 2000 firmware. This is what terminal users rode when they "connected to a
+// node on the network ... then connected to the NET/ROM node nearest their
+// destination" (§1) — a sliding-window transport running end-to-end across
+// the routed backbone, independent of the per-hop AX.25 links.
+//
+// Wire format (after the network-layer src/dst/ttl): the opcode byte's low
+// nibble selects the message, and four preceding bytes carry circuit ids and
+// sequence numbers:
+//
+//   l4 := idx(1) id(1) tx_seq(1) rx_seq(1) opcode(1) payload
+//   opcodes: 1 CONN REQ (payload: window(1) user(7) origin(7))
+//            2 CONN ACK (idx/id echo peer's, tx/rx carry acceptor's;
+//                        payload: accepted window; CHOKE flag = refused)
+//            3 DISC REQ   4 DISC ACK
+//            5 INFO (tx_seq numbered, rx_seq acknowledges)
+//            6 INFO ACK (rx_seq acknowledges; CHOKE = busy, NAK = resend)
+//   flags (opcode high bits): 0x80 CHOKE, 0x40 NAK, 0x20 MORE-FOLLOWS
+//
+// Sequence numbers are mod 256 with a configurable window; retransmission is
+// go-back-N on a per-circuit timer. MORE-FOLLOWS fragmentation of oversized
+// user writes is handled transparently (we segment to the network MTU).
+#ifndef SRC_NETROM_NETROM_TRANSPORT_H_
+#define SRC_NETROM_NETROM_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/netrom/netrom.h"
+
+namespace upr {
+
+inline constexpr std::uint8_t kNrOpConnReq = 1;
+inline constexpr std::uint8_t kNrOpConnAck = 2;
+inline constexpr std::uint8_t kNrOpDiscReq = 3;
+inline constexpr std::uint8_t kNrOpDiscAck = 4;
+inline constexpr std::uint8_t kNrOpInfo = 5;
+inline constexpr std::uint8_t kNrOpInfoAck = 6;
+inline constexpr std::uint8_t kNrFlagChoke = 0x80;
+inline constexpr std::uint8_t kNrFlagNak = 0x40;
+inline constexpr std::uint8_t kNrFlagMore = 0x20;
+
+struct NetRomTransportConfig {
+  std::uint8_t window = 4;          // outstanding INFO frames per circuit
+  SimTime retransmit_timeout = Seconds(60);  // end-to-end, multi-hop
+  int max_retries = 6;
+  std::size_t info_mtu = 200;       // user bytes per INFO frame
+};
+
+class NetRomCircuit;
+
+// The per-node transport entity. Owns all circuits, demultiplexes by the
+// (circuit index, circuit id) pair we assigned.
+class NetRomTransport {
+ public:
+  using AcceptHandler = std::function<bool(const Ax25Address& origin_node,
+                                           const Ax25Address& user)>;
+  using CircuitHandler = std::function<void(NetRomCircuit*)>;
+
+  NetRomTransport(NetRomNode* node, NetRomTransportConfig config = {});
+
+  // Opens a circuit to a (possibly multi-hop) destination node. Returns
+  // nullptr when the routing layer has no route.
+  NetRomCircuit* Connect(const Ax25Address& remote_node,
+                         const Ax25Address& user = Ax25Address());
+
+  void set_accept_handler(AcceptHandler h) { accept_ = std::move(h); }
+  void set_circuit_handler(CircuitHandler h) { on_circuit_ = std::move(h); }
+
+  NetRomNode* node() { return node_; }
+  const NetRomTransportConfig& config() const { return config_; }
+  std::size_t circuit_count() const { return circuits_.size(); }
+  void ReapClosed();
+
+ private:
+  friend class NetRomCircuit;
+
+  void HandleL4(const Ax25Address& src, const Bytes& payload);
+  std::uint16_t AllocateCircuitKey();
+
+  NetRomNode* node_;
+  NetRomTransportConfig config_;
+  AcceptHandler accept_;
+  CircuitHandler on_circuit_;
+  // Keyed by our (idx<<8 | id).
+  std::map<std::uint16_t, std::unique_ptr<NetRomCircuit>> circuits_;
+  std::uint16_t next_key_ = 0x0101;
+};
+
+class NetRomCircuit {
+ public:
+  enum class State { kDisconnected, kConnecting, kConnected, kDisconnecting };
+
+  using DataHandler = std::function<void(const Bytes&)>;
+  using EventHandler = std::function<void()>;
+
+  State state() const { return state_; }
+  const Ax25Address& remote_node() const { return remote_node_; }
+  const Ax25Address& user() const { return user_; }
+
+  // Reliable, ordered delivery across the backbone.
+  void Send(const Bytes& data);
+  void Disconnect();
+
+  void set_connected_handler(EventHandler h) { on_connected_ = std::move(h); }
+  void set_data_handler(DataHandler h) { on_data_ = std::move(h); }
+  void set_disconnected_handler(EventHandler h) { on_disconnected_ = std::move(h); }
+
+  std::uint64_t info_sent() const { return info_sent_; }
+  std::uint64_t info_resent() const { return info_resent_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  friend class NetRomTransport;
+
+  struct L4Message {
+    std::uint8_t idx = 0, id = 0, tx_seq = 0, rx_seq = 0, opcode = 0;
+    Bytes payload;
+    std::uint8_t op() const { return opcode & 0x0F; }
+  };
+
+  NetRomCircuit(NetRomTransport* transport, Ax25Address remote_node,
+                std::uint16_t our_key);
+
+  void StartConnect(const Ax25Address& user);
+  void SendConnRequest();
+  void StartAccept(const L4Message& conn_req, const Ax25Address& origin,
+                   const Ax25Address& user);
+  void HandleMessage(const L4Message& m);
+  void HandleInfoAckField(std::uint8_t rx_seq);
+  void PumpSendQueue();
+  void TransmitInfo(std::uint8_t seq, bool retransmission);
+  void SendControl(std::uint8_t opcode, const Bytes& payload = {});
+  void SendInfoAck(std::uint8_t flags = 0);
+  void OnTimeout();
+  void EnterDisconnected();
+
+  NetRomTransport* transport_;
+  Ax25Address remote_node_;
+  Ax25Address user_;
+  State state_ = State::kDisconnected;
+  std::uint16_t our_key_;
+  std::uint8_t their_idx_ = 0, their_id_ = 0;
+
+  std::uint8_t vs_ = 0;  // next tx seq
+  std::uint8_t va_ = 0;  // oldest unacked
+  std::uint8_t vr_ = 0;  // next expected
+  std::deque<Bytes> send_queue_;
+  std::map<std::uint8_t, Bytes> outstanding_;
+
+  Timer timer_;
+  int retries_ = 0;
+
+  DataHandler on_data_;
+  EventHandler on_connected_;
+  EventHandler on_disconnected_;
+  std::uint64_t info_sent_ = 0;
+  std::uint64_t info_resent_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_NETROM_NETROM_TRANSPORT_H_

@@ -1,0 +1,290 @@
+#include "src/netrom/node_shell.h"
+
+#include <cctype>
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "nrshell";
+}  // namespace
+
+std::unique_ptr<Ax25Link> MakeNodeUserLink(Simulator* sim,
+                                           PacketRadioInterface* driver,
+                                           NetRomNode* node, Ax25LinkConfig config) {
+  auto link = std::make_unique<Ax25Link>(
+      sim, driver->local_ax25(),
+      [driver](const Ax25Frame& f) { driver->SendRawFrame(f); }, config);
+  Ax25Link* raw = link.get();
+  node->set_overflow_handler([raw](const Ax25Frame& f) { raw->HandleFrame(f); });
+  return link;
+}
+
+NetRomNodeShell::NetRomNodeShell(NetRomNode* node, NetRomTransport* transport,
+                                 Ax25Link* link)
+    : node_(node), transport_(transport), link_(link) {
+  link_->set_accept_handler([](const Ax25Address&) { return true; });
+  link_->set_connection_handler(
+      [this](Ax25Connection* conn) { OnUserConnection(conn); });
+  transport_->set_accept_handler(
+      [](const Ax25Address&, const Ax25Address&) { return true; });
+  transport_->set_circuit_handler(
+      [this](NetRomCircuit* circuit) { OnIncomingCircuit(circuit); });
+}
+
+void NetRomNodeShell::SendLine(Session* s, const std::string& text) {
+  Bytes line = Line(text);
+  if (s->user != nullptr) {
+    s->user->Send(line);
+  } else if (s->circuit != nullptr) {
+    s->circuit->Send(line);
+  }
+}
+
+void NetRomNodeShell::OnUserConnection(Ax25Connection* conn) {
+  ++sessions_;
+  auto session = std::make_unique<Session>();
+  Session* s = session.get();
+  s->user = conn;
+  s->lines = std::make_unique<LineBuffer>(
+      [this, s](const std::string& line) { OnCommand(s, line); });
+  conn->set_data_handler([s](const Bytes& d) {
+    if (s->command_mode) {
+      s->lines->Feed(d);
+    }
+  });
+  conn->set_disconnected_handler([this, s] { CloseSession(s); });
+  sessions_list_.push_back(std::move(session));
+  SendLine(s, node_->alias() + ":" + node_->callsign().ToString() + "} connected");
+}
+
+void NetRomNodeShell::OnIncomingCircuit(NetRomCircuit* circuit) {
+  ++sessions_;
+  auto session = std::make_unique<Session>();
+  Session* s = session.get();
+  s->circuit = circuit;
+  s->lines = std::make_unique<LineBuffer>(
+      [this, s](const std::string& line) { OnCircuitCommand(s, line); });
+  circuit->set_data_handler([s](const Bytes& d) {
+    if (s->command_mode) {
+      s->lines->Feed(d);
+    }
+  });
+  circuit->set_disconnected_handler([this, s] { CloseSession(s); });
+  sessions_list_.push_back(std::move(session));
+  SendLine(s, node_->alias() + ":" + node_->callsign().ToString() + "} connected");
+}
+
+void NetRomNodeShell::OnCommand(Session* s, const std::string& line) {
+  if (line.empty()) {
+    return;
+  }
+  std::string cmd = line;
+  std::string arg;
+  auto sp = line.find(' ');
+  if (sp != std::string::npos) {
+    cmd = line.substr(0, sp);
+    arg = line.substr(sp + 1);
+  }
+  for (auto& c : cmd) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (auto& c : arg) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (cmd == "NODES" || cmd == "N") {
+    for (const auto& [call, route] : node_->routes()) {
+      SendLine(s, (route.alias.empty() ? "?" : route.alias) + ":" + call.ToString() +
+                      "  via " + route.neighbor.ToString() + "  quality " +
+                      std::to_string(route.quality));
+    }
+    if (node_->routes().empty()) {
+      SendLine(s, "no nodes heard");
+    }
+    return;
+  }
+  if (cmd == "ROUTES" || cmd == "R") {
+    for (const auto& [call, route] : node_->routes()) {
+      if (route.neighbor == call) {
+        SendLine(s, call.ToString() + "  quality " + std::to_string(route.quality));
+      }
+    }
+    return;
+  }
+  if (cmd == "B" || cmd == "BYE") {
+    SendLine(s, "73");
+    if (s->user != nullptr) {
+      s->user->Disconnect();
+    }
+    return;
+  }
+  if (cmd == "C" || cmd == "CONNECT") {
+    if (arg.empty()) {
+      SendLine(s, "usage: C <node-or-callsign>");
+      return;
+    }
+    // Resolve: alias or callsign of a known node -> backbone circuit.
+    std::optional<Ax25Address> target_node;
+    if (auto by_alias = node_->FindNodeByAlias(arg)) {
+      target_node = by_alias;
+    } else if (auto call = Ax25Address::Parse(arg)) {
+      if (node_->RouteTo(*call)) {
+        target_node = call;
+      }
+    }
+    if (target_node) {
+      NetRomCircuit* circuit =
+          transport_->Connect(*target_node, s->user->peer());
+      if (circuit == nullptr) {
+        SendLine(s, "no route to " + arg);
+        return;
+      }
+      SendLine(s, "connecting to " + target_node->ToString() + "...");
+      circuit->set_connected_handler([this, s, circuit] {
+        SpliceUserToCircuit(s, circuit);
+      });
+      circuit->set_disconnected_handler([this, s] {
+        if (!s->closing) {
+          SendLine(s, "*** circuit closed");
+          s->command_mode = true;
+        }
+      });
+      return;
+    }
+    // Not a node: onward local AX.25 connect.
+    auto call = Ax25Address::Parse(arg);
+    if (!call) {
+      SendLine(s, "bad callsign " + arg);
+      return;
+    }
+    SendLine(s, "connecting to " + call->ToString() + "...");
+    Ax25Connection* onward = link_->Connect(*call);
+    s->onward = onward;
+    onward->set_connected_handler([this, s, onward] {
+      SendLine(s, "*** connected");
+      // Splice user <-> onward.
+      s->command_mode = false;
+      ++spliced_;
+      s->user->set_data_handler([onward](const Bytes& d) { onward->Send(d); });
+      onward->set_data_handler([user = s->user](const Bytes& d) { user->Send(d); });
+      onward->set_disconnected_handler([this, s] {
+        if (!s->closing) {
+          CloseSession(s);
+        }
+      });
+    });
+    onward->set_disconnected_handler([this, s] {
+      if (!s->closing && s->command_mode) {
+        SendLine(s, "*** connection failed");
+      }
+    });
+    return;
+  }
+  SendLine(s, "eh? (NODES / ROUTES / C <dest> / B)");
+}
+
+void NetRomNodeShell::OnCircuitCommand(Session* s, const std::string& line) {
+  // The far end of a backbone circuit gets the same command set, minus
+  // another backbone hop (one circuit per session keeps this simple and
+  // matches the §1 narrative: node -> node -> destination).
+  if (line.empty()) {
+    return;
+  }
+  std::string cmd = line;
+  std::string arg;
+  auto sp = line.find(' ');
+  if (sp != std::string::npos) {
+    cmd = line.substr(0, sp);
+    arg = line.substr(sp + 1);
+  }
+  for (auto& c : cmd) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (auto& c : arg) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (cmd == "C" || cmd == "CONNECT") {
+    auto call = Ax25Address::Parse(arg);
+    if (!call) {
+      SendLine(s, "bad callsign " + arg);
+      return;
+    }
+    SendLine(s, "connecting to " + call->ToString() + "...");
+    Ax25Connection* onward = link_->Connect(*call);
+    s->onward = onward;
+    onward->set_connected_handler([this, s, onward] {
+      SendLine(s, "*** connected");
+      SpliceCircuitToOnward(s, onward);
+    });
+    onward->set_disconnected_handler([this, s] {
+      if (!s->closing && s->command_mode) {
+        SendLine(s, "*** connection failed");
+      } else if (!s->closing) {
+        CloseSession(s);
+      }
+    });
+    return;
+  }
+  if (cmd == "B" || cmd == "BYE") {
+    SendLine(s, "73");
+    if (s->circuit != nullptr) {
+      s->circuit->Disconnect();
+    }
+    return;
+  }
+  if (cmd == "NODES" || cmd == "N") {
+    OnCommand(s, line);
+    return;
+  }
+  SendLine(s, "eh? (NODES / C <callsign> / B)");
+}
+
+void NetRomNodeShell::SpliceUserToCircuit(Session* s, NetRomCircuit* circuit) {
+  s->command_mode = false;
+  ++spliced_;
+  UPR_INFO(kTag, "%s: spliced %s onto backbone circuit to %s",
+           node_->alias().c_str(), s->user->peer().ToString().c_str(),
+           circuit->remote_node().ToString().c_str());
+  s->user->set_data_handler([circuit](const Bytes& d) { circuit->Send(d); });
+  circuit->set_data_handler([user = s->user](const Bytes& d) { user->Send(d); });
+  circuit->set_disconnected_handler([this, s] {
+    if (!s->closing) {
+      CloseSession(s);
+    }
+  });
+}
+
+void NetRomNodeShell::SpliceCircuitToOnward(Session* s, Ax25Connection* onward) {
+  s->command_mode = false;
+  ++spliced_;
+  NetRomCircuit* circuit = s->circuit;
+  circuit->set_data_handler([onward](const Bytes& d) { onward->Send(d); });
+  onward->set_data_handler([circuit](const Bytes& d) { circuit->Send(d); });
+  onward->set_disconnected_handler([this, s] {
+    if (!s->closing) {
+      CloseSession(s);
+    }
+  });
+}
+
+void NetRomNodeShell::CloseSession(Session* s) {
+  if (s->closing) {
+    return;
+  }
+  s->closing = true;
+  if (s->user != nullptr &&
+      s->user->state() != Ax25Connection::State::kDisconnected) {
+    s->user->Disconnect();
+  }
+  if (s->circuit != nullptr &&
+      s->circuit->state() != NetRomCircuit::State::kDisconnected) {
+    s->circuit->Disconnect();
+  }
+  if (s->onward != nullptr &&
+      s->onward->state() != Ax25Connection::State::kDisconnected) {
+    s->onward->Disconnect();
+  }
+}
+
+}  // namespace upr

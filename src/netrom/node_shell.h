@@ -1,0 +1,79 @@
+// The NET/ROM node's user-facing shell — §1's workflow made concrete:
+//
+//   "With NET/ROM, users would connect to a node on the network. They would
+//    then connect to the NET/ROM node nearest their destination. Finally,
+//    they would connect to their destination."
+//
+// A user makes an ordinary AX.25 connection to the node's callsign and gets
+// a command line:
+//
+//   NODES             list known nodes (alias:callsign, quality)
+//   ROUTES            list neighbors
+//   C <node>          open a circuit across the backbone to a remote node;
+//                     the two node shells splice user <-> circuit
+//   C <callsign>      at the remote node: connect onward to a local station
+//                     via AX.25 and splice circuit <-> link
+//   B                 bye
+//
+// Implemented as a user-level program over the driver's non-IP path, like
+// everything else at layer 3+ in this repo (§2.4's structure).
+#ifndef SRC_NETROM_NODE_SHELL_H_
+#define SRC_NETROM_NODE_SHELL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/line_codec.h"
+#include "src/ax25/lapb.h"
+#include "src/netrom/netrom_transport.h"
+
+namespace upr {
+
+// Creates an Ax25Link that shares `driver` with `node`: the node keeps the
+// driver's l3 tap and hands every non-NET/ROM frame to the link (connected
+// mode traffic from local users).
+std::unique_ptr<Ax25Link> MakeNodeUserLink(Simulator* sim,
+                                           PacketRadioInterface* driver,
+                                           NetRomNode* node,
+                                           Ax25LinkConfig config = {});
+
+class NetRomNodeShell {
+ public:
+  // `link` must be bound to the same driver as `node` (shared l3 tap is
+  // handled by the caller: the node's overflow handler feeds the link).
+  NetRomNodeShell(NetRomNode* node, NetRomTransport* transport, Ax25Link* link);
+
+  std::uint64_t sessions() const { return sessions_; }
+  std::uint64_t circuits_spliced() const { return spliced_; }
+
+ private:
+  struct Session {
+    Ax25Connection* user = nullptr;           // the local user's AX.25 link
+    NetRomCircuit* circuit = nullptr;         // backbone circuit (either side)
+    Ax25Connection* onward = nullptr;         // far-side AX.25 to destination
+    std::unique_ptr<LineBuffer> lines;        // command mode only
+    bool command_mode = true;
+    bool closing = false;
+  };
+
+  void OnUserConnection(Ax25Connection* conn);
+  void OnIncomingCircuit(NetRomCircuit* circuit);
+  void OnCommand(Session* s, const std::string& line);
+  void OnCircuitCommand(Session* s, const std::string& line);
+  void SpliceUserToCircuit(Session* s, NetRomCircuit* circuit);
+  void SpliceCircuitToOnward(Session* s, Ax25Connection* onward);
+  void SendLine(Session* s, const std::string& text);
+  void CloseSession(Session* s);
+
+  NetRomNode* node_;
+  NetRomTransport* transport_;
+  Ax25Link* link_;
+  std::vector<std::unique_ptr<Session>> sessions_list_;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t spliced_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_NETROM_NODE_SHELL_H_

@@ -1,0 +1,144 @@
+#include "src/radio/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "radio";
+}  // namespace
+
+RadioChannel::RadioChannel(Simulator* sim, RadioChannelConfig config,
+                           std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {}
+
+RadioPort* RadioChannel::CreatePort(std::string name) {
+  ports_.push_back(std::unique_ptr<RadioPort>(new RadioPort(this, std::move(name))));
+  return ports_.back().get();
+}
+
+double RadioChannel::Utilization() const {
+  SimTime now = sim_->Now();
+  if (now <= 0) {
+    return 0.0;
+  }
+  SimTime busy = busy_time_;
+  if (active_ > 0) {
+    busy += now - busy_since_;
+  }
+  return static_cast<double>(busy) / static_cast<double>(now);
+}
+
+bool RadioPort::CarrierBusy() const { return channel_->Busy(); }
+
+SimTime RadioPort::AirTime(std::size_t len, SimTime head, SimTime tail) const {
+  return head + TransmitTime(len, channel_->config_.bit_rate) + tail;
+}
+
+void RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
+                              std::function<void()> on_done) {
+  if (transmitting_) {
+    UPR_ERROR(kTag, "%s: StartTransmit while already transmitting", name_.c_str());
+    return;
+  }
+  RadioChannel* ch = channel_;
+  Simulator* sim = ch->sim_;
+  SimTime start = sim->Now();
+  SimTime end = start + AirTime(frame.size(), head, tail);
+
+  auto tx = std::make_shared<RadioChannel::Transmission>();
+  tx->port = this;
+  tx->start = start;
+  tx->end = end;
+
+  // Collision: any concurrently active transmission corrupts both.
+  if (ch->active_ > 0) {
+    tx->corrupted = true;
+    for (auto& other : ch->active_list_) {
+      if (!other->corrupted) {
+        other->corrupted = true;
+      }
+    }
+    ++ch->collisions_;
+    UPR_DEBUG(kTag, "%s: collision (%d active)", name_.c_str(), ch->active_);
+  }
+  if (ch->active_ == 0) {
+    ch->busy_since_ = start;
+  }
+  ++ch->active_;
+  ch->active_list_.push_back(tx);
+  ++ch->transmissions_;
+  transmitting_ = true;
+  last_tx_start_ = start;
+  last_tx_end_ = end;
+
+  sim->ScheduleAt(end, [this, ch, sim, tx, frame = std::move(frame),
+                        on_done = std::move(on_done)] {
+    transmitting_ = false;
+    --ch->active_;
+    ch->active_list_.erase(
+        std::remove(ch->active_list_.begin(), ch->active_list_.end(), tx),
+        ch->active_list_.end());
+    if (ch->active_ == 0) {
+      ch->busy_time_ += sim->Now() - ch->busy_since_;
+    }
+    ++frames_sent_;
+    bool corrupted = tx->corrupted;
+    if (!corrupted && ch->rng_.Chance(ch->config_.loss_rate)) {
+      corrupted = true;
+    }
+    if (!corrupted && ch->config_.bit_error_rate > 0.0) {
+      double survive = std::pow(1.0 - ch->config_.bit_error_rate,
+                                static_cast<double>(frame.size()) * 8.0);
+      if (!ch->rng_.Chance(survive)) {
+        corrupted = true;
+      }
+    }
+    ch->Deliver(this, frame, corrupted, tx->start, tx->end);
+    if (on_done) {
+      on_done();
+    }
+  });
+}
+
+void RadioChannel::Deliver(RadioPort* sender, const Bytes& frame, bool corrupted,
+                           SimTime tx_start, SimTime tx_end) {
+  Bytes delivered = frame;
+  if (corrupted && !delivered.empty()) {
+    // Mangle the head so any FCS verification fails.
+    std::size_t n = std::min<std::size_t>(8, delivered.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      delivered[i] ^= 0x55;
+    }
+  }
+  for (auto& p : ports_) {
+    RadioPort* dst = p.get();
+    if (dst == sender) {
+      continue;
+    }
+    // Half duplex: a station that transmitted during any part of this frame
+    // heard nothing.
+    bool overlapped_own_tx =
+        dst->transmitting_ ||
+        (dst->last_tx_end_ > tx_start && dst->last_tx_start_ < tx_end);
+    if (overlapped_own_tx) {
+      continue;
+    }
+    SimTime delay = config_.propagation_delay;
+    Bytes copy = delivered;
+    sim_->Schedule(delay, [dst, copy = std::move(copy), corrupted] {
+      ++dst->frames_received_;
+      if (corrupted) {
+        ++dst->frames_corrupted_rx_;
+      }
+      if (dst->on_receive_) {
+        dst->on_receive_(copy, corrupted);
+      }
+    });
+  }
+}
+
+}  // namespace upr

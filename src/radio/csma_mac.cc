@@ -1,0 +1,62 @@
+#include "src/radio/csma_mac.h"
+
+namespace upr {
+
+CsmaMac::CsmaMac(Simulator* sim, RadioPort* port, MacParams params,
+                 std::uint64_t seed)
+    : sim_(sim), port_(port), params_(params), rng_(seed) {}
+
+void CsmaMac::Enqueue(Bytes frame) {
+  queue_.push_back(std::move(frame));
+  TrySend();
+}
+
+void CsmaMac::ScheduleRetry() {
+  if (retry_pending_) {
+    return;
+  }
+  retry_pending_ = true;
+  sim_->Schedule(params_.slot_time, [this] {
+    retry_pending_ = false;
+    TrySend();
+  });
+}
+
+void CsmaMac::TrySend() {
+  if (busy_ || queue_.empty()) {
+    return;
+  }
+  if (!params_.full_duplex) {
+    if (port_->CarrierBusy()) {
+      ++deferrals_;
+      ScheduleRetry();
+      return;
+    }
+    // p-persistence: transmit now with probability p, else wait a slot.
+    if (!rng_.Chance(params_.persistence)) {
+      ++deferrals_;
+      ScheduleRetry();
+      return;
+    }
+  }
+  busy_ = true;
+  Bytes frame = std::move(queue_.front());
+  queue_.pop_front();
+  ++frames_sent_;
+  // Committed: the transmitter keys after the turnaround latency without
+  // re-sensing (the collision vulnerability window). Zero turnaround keys
+  // synchronously — ideal carrier sense, collision-free.
+  auto key_up = [this, frame = std::move(frame)]() mutable {
+    port_->StartTransmit(std::move(frame), params_.tx_delay, params_.tx_tail, [this] {
+      busy_ = false;
+      TrySend();
+    });
+  };
+  if (params_.turnaround == 0) {
+    key_up();
+  } else {
+    sim_->Schedule(params_.turnaround, std::move(key_up));
+  }
+}
+
+}  // namespace upr

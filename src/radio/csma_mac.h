@@ -1,0 +1,71 @@
+// p-persistent CSMA medium access, as implemented by KISS TNC firmware and
+// tuned with the KISS TXDELAY / P / SLOTTIME / TXTAIL / FULLDUP parameters.
+//
+// The transmit algorithm (Chepponis & Karn 1987): when a frame is queued and
+// the channel is clear, transmit with probability p; otherwise wait one slot
+// time and repeat. When the channel is busy, wait a slot and repeat. Before
+// data, key the transmitter for TXDELAY; after data, hold for TXTAIL.
+#ifndef SRC_RADIO_CSMA_MAC_H_
+#define SRC_RADIO_CSMA_MAC_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/radio/channel.h"
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+#include "src/util/random.h"
+
+namespace upr {
+
+struct MacParams {
+  // KISS wire units are 10 ms; these are the resolved values.
+  SimTime tx_delay = Milliseconds(300);  // KISS TXDELAY 30
+  SimTime tx_tail = Milliseconds(20);    // KISS TXTAIL 2
+  SimTime slot_time = Milliseconds(100); // KISS SLOTTIME 10
+  double persistence = 0.25;             // KISS P 63 -> (63+1)/256
+  bool full_duplex = false;
+  // Decision-to-RF latency (DCD release detection + PTT keying). Once the
+  // MAC decides to transmit it is committed and deaf for this window — the
+  // CSMA vulnerability period that makes real collisions possible on a
+  // zero-propagation-delay channel. 1980s TNC hardware was ~tens of ms.
+  SimTime turnaround = Milliseconds(30);
+
+  static double PersistenceFromKiss(std::uint8_t p) {
+    return (static_cast<double>(p) + 1.0) / 256.0;
+  }
+};
+
+class CsmaMac {
+ public:
+  CsmaMac(Simulator* sim, RadioPort* port, MacParams params = {},
+          std::uint64_t seed = 7);
+
+  // Queues a wire frame (AX.25 bytes + FCS) for transmission.
+  void Enqueue(Bytes frame);
+
+  MacParams& params() { return params_; }
+  const MacParams& params() const { return params_; }
+
+  std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t deferrals() const { return deferrals_; }
+
+ private:
+  void TrySend();
+  void ScheduleRetry();
+
+  Simulator* sim_;
+  RadioPort* port_;
+  MacParams params_;
+  Rng rng_;
+  std::deque<Bytes> queue_;
+  bool busy_ = false;         // transmission in progress
+  bool retry_pending_ = false;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t deferrals_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_RADIO_CSMA_MAC_H_

@@ -1,0 +1,45 @@
+// Digipeater: a relay station on the same frequency (§1 of the paper).
+//
+// Listens to every frame on the channel; when a frame's next un-repeated
+// digipeater entry names this station, it sets the H ("has been repeated")
+// bit and retransmits the frame through its own CSMA MAC. Frames carry a
+// real HDLC FCS on the air, which is re-computed after the H-bit edit.
+#ifndef SRC_RADIO_DIGIPEATER_H_
+#define SRC_RADIO_DIGIPEATER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/ax25/frame.h"
+#include "src/radio/channel.h"
+#include "src/radio/csma_mac.h"
+#include "src/sim/simulator.h"
+
+namespace upr {
+
+class Digipeater {
+ public:
+  Digipeater(Simulator* sim, RadioChannel* channel, Ax25Address callsign,
+             MacParams mac = {}, std::uint64_t seed = 11);
+
+  const Ax25Address& callsign() const { return callsign_; }
+
+  std::uint64_t frames_repeated() const { return frames_repeated_; }
+  std::uint64_t frames_heard() const { return frames_heard_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  void OnReceive(const Bytes& wire, bool corrupted);
+
+  Simulator* sim_;
+  Ax25Address callsign_;
+  RadioPort* port_;
+  std::unique_ptr<CsmaMac> mac_;
+  std::uint64_t frames_repeated_ = 0;
+  std::uint64_t frames_heard_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_RADIO_DIGIPEATER_H_

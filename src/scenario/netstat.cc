@@ -1,0 +1,113 @@
+#include "src/scenario/netstat.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/gateway/gateway.h"
+
+namespace upr {
+
+namespace {
+
+std::string Sprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string Sprintf(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatInterfaces(const NetStack& stack) {
+  std::string out = Sprintf("%-6s %-18s %5s %8s %8s %6s %6s %6s\n", "Name", "Address",
+                            "Mtu", "Ipkts", "Opkts", "Ierrs", "Oerrs", "Drops");
+  for (const auto& i : stack.interfaces()) {
+    const InterfaceStats& s = i->stats();
+    out += Sprintf("%-6s %-18s %5zu %8llu %8llu %6llu %6llu %6llu%s\n",
+                   i->name().c_str(),
+                   (i->address().ToString() + "/" +
+                    std::to_string(i->prefix().PrefixLength()))
+                       .c_str(),
+                   i->mtu(), static_cast<unsigned long long>(s.ipackets),
+                   static_cast<unsigned long long>(s.opackets),
+                   static_cast<unsigned long long>(s.ierrors),
+                   static_cast<unsigned long long>(s.oerrors),
+                   static_cast<unsigned long long>(s.odrops),
+                   i->up() ? "" : "  (down)");
+  }
+  return out;
+}
+
+std::string FormatRoutes(const NetStack& stack) {
+  std::string out =
+      Sprintf("%-20s %-16s %-6s %-8s %s\n", "Destination", "Gateway", "Flags",
+              "Metric", "Interface");
+  for (const auto& r : stack.routes().routes()) {
+    std::string flags = "U";
+    if (r.gateway) {
+      flags += "G";
+    }
+    if (r.prefix.PrefixLength() == 32) {
+      flags += "H";
+    }
+    out += Sprintf("%-20s %-16s %-6s %-8d %s\n", r.prefix.ToString().c_str(),
+                   r.gateway ? r.gateway->ToString().c_str() : "*", flags.c_str(),
+                   r.metric, r.interface ? r.interface->name().c_str() : "-");
+  }
+  return out;
+}
+
+std::string FormatIpStats(const NetStack& stack) {
+  const IpStats& s = stack.ip_stats();
+  std::string out;
+  out += Sprintf("ip: %llu delivered, %llu sent, %llu forwarded\n",
+                 static_cast<unsigned long long>(s.delivered),
+                 static_cast<unsigned long long>(s.sent),
+                 static_cast<unsigned long long>(s.forwarded));
+  out += Sprintf("    %llu input-queue drops, %llu header errors, %llu no-route, "
+                 "%llu ttl-expired, %llu filtered\n",
+                 static_cast<unsigned long long>(s.input_drops),
+                 static_cast<unsigned long long>(s.header_errors),
+                 static_cast<unsigned long long>(s.no_route),
+                 static_cast<unsigned long long>(s.ttl_expired),
+                 static_cast<unsigned long long>(s.filtered));
+  out += Sprintf("    fragments: %llu created, %llu received, %llu reassembled, "
+                 "%llu failures, %llu cant-fragment\n",
+                 static_cast<unsigned long long>(s.fragments_created),
+                 static_cast<unsigned long long>(s.fragments_received),
+                 static_cast<unsigned long long>(s.reassembled),
+                 static_cast<unsigned long long>(s.reassembly_failures),
+                 static_cast<unsigned long long>(s.cant_fragment));
+  return out;
+}
+
+std::string FormatGateway(PacketRadioGateway& gateway) {
+  std::string out;
+  out += Sprintf("gateway: %llu radio->wire, %llu wire->radio, %llu denied\n",
+                 static_cast<unsigned long long>(gateway.radio_to_wire()),
+                 static_cast<unsigned long long>(gateway.wire_to_radio()),
+                 static_cast<unsigned long long>(gateway.denied()));
+  out += Sprintf("control: %llu accepted, %llu rejected\n",
+                 static_cast<unsigned long long>(gateway.control_accepted()),
+                 static_cast<unsigned long long>(gateway.control_rejected()));
+  out += Sprintf("access table: %zu live entries (%llu created, %llu expired, "
+                 "%llu denials)\n",
+                 gateway.table().size(),
+                 static_cast<unsigned long long>(gateway.table().entries_created()),
+                 static_cast<unsigned long long>(gateway.table().entries_expired()),
+                 static_cast<unsigned long long>(gateway.table().denials()));
+  return out;
+}
+
+std::string FormatNetstat(const NetStack& stack) {
+  std::string out = "--- " + stack.hostname() + " ---\n";
+  out += FormatInterfaces(stack);
+  out += FormatRoutes(stack);
+  out += FormatIpStats(stack);
+  return out;
+}
+
+}  // namespace upr

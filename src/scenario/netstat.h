@@ -1,0 +1,32 @@
+// netstat/ifconfig-style text diagnostics for a NetStack — what an operator
+// of the paper's MicroVAX would have run to see the gateway working. Used by
+// the examples and handy in tests when a scenario misbehaves.
+#ifndef SRC_SCENARIO_NETSTAT_H_
+#define SRC_SCENARIO_NETSTAT_H_
+
+#include <string>
+
+#include "src/net/netstack.h"
+
+namespace upr {
+
+class PacketRadioGateway;
+
+// Interface table: name, address, MTU, packet/byte/error counters.
+std::string FormatInterfaces(const NetStack& stack);
+
+// Routing table with flags (U up, G gateway, H host route).
+std::string FormatRoutes(const NetStack& stack);
+
+// IP layer counters (forwarded, drops, fragments, ...).
+std::string FormatIpStats(const NetStack& stack);
+
+// §4.3 access-control table state + gateway counters.
+std::string FormatGateway(PacketRadioGateway& gateway);
+
+// All of the above.
+std::string FormatNetstat(const NetStack& stack);
+
+}  // namespace upr
+
+#endif  // SRC_SCENARIO_NETSTAT_H_

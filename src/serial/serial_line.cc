@@ -1,0 +1,41 @@
+#include "src/serial/serial_line.h"
+
+namespace upr {
+
+SerialLine::SerialLine(Simulator* sim, std::uint32_t baud_rate)
+    : sim_(sim), baud_(baud_rate) {
+  a_.line_ = this;
+  a_.peer_ = &b_;
+  b_.line_ = this;
+  b_.peer_ = &a_;
+}
+
+SimTime SerialLine::byte_time() const {
+  return static_cast<SimTime>(10.0 / static_cast<double>(baud_) *
+                              static_cast<double>(kSecond));
+}
+
+void SerialEndpoint::Write(std::uint8_t byte) { Write(Bytes{byte}); }
+
+void SerialEndpoint::Write(const Bytes& bytes) {
+  Simulator* sim = line_->sim_;
+  SimTime per_byte = line_->byte_time();
+  if (busy_until_ < sim->Now()) {
+    busy_until_ = sim->Now();
+  }
+  for (std::uint8_t b : bytes) {
+    busy_until_ += per_byte;
+    ++bytes_sent_;
+    ++backlog_;
+    SerialEndpoint* dst = peer_;
+    sim->ScheduleAt(busy_until_, [this, dst, b] {
+      --backlog_;
+      ++dst->bytes_received_;
+      if (dst->on_byte_) {
+        dst->on_byte_(b);
+      }
+    });
+  }
+}
+
+}  // namespace upr

@@ -1,0 +1,72 @@
+// Full-duplex RS-232 serial line between the host's DZ port and the TNC
+// (figure 1 of the paper). Bytes move at the configured baud rate, 10 bits
+// per byte (8N1 framing), and are delivered to the far side one byte at a
+// time — each delivery models one receive interrupt, which is exactly how
+// the paper's driver ingests packets ("For each character in the packet, the
+// tty driver calls the packet radio interrupt handler", §2.2).
+#ifndef SRC_SERIAL_SERIAL_LINE_H_
+#define SRC_SERIAL_SERIAL_LINE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+class SerialLine;
+
+// One end of the line. Obtain via SerialLine::a()/b().
+class SerialEndpoint {
+ public:
+  using ByteHandler = std::function<void(std::uint8_t)>;
+
+  // Handler runs once per received byte, at the byte's delivery time.
+  void set_receive_handler(ByteHandler h) { on_byte_ = std::move(h); }
+
+  // Queues bytes for transmission to the far end. Never blocks; the line
+  // serializes output at the baud rate.
+  void Write(const Bytes& bytes);
+  void Write(std::uint8_t byte);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  // Transmit-queue backlog in bytes not yet delivered to the peer.
+  std::uint64_t backlog() const { return backlog_; }
+
+ private:
+  friend class SerialLine;
+
+  SerialLine* line_ = nullptr;
+  SerialEndpoint* peer_ = nullptr;
+  ByteHandler on_byte_;
+  SimTime busy_until_ = 0;  // when this direction's last queued byte lands
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t backlog_ = 0;
+};
+
+class SerialLine {
+ public:
+  SerialLine(Simulator* sim, std::uint32_t baud_rate);
+
+  SerialEndpoint& a() { return a_; }
+  SerialEndpoint& b() { return b_; }
+
+  std::uint32_t baud_rate() const { return baud_; }
+  // Wire time for one byte (10 bit times: start + 8 data + stop).
+  SimTime byte_time() const;
+
+ private:
+  friend class SerialEndpoint;
+
+  Simulator* sim_;
+  std::uint32_t baud_;
+  SerialEndpoint a_;
+  SerialEndpoint b_;
+};
+
+}  // namespace upr
+
+#endif  // SRC_SERIAL_SERIAL_LINE_H_

@@ -1,0 +1,111 @@
+#include "src/sim/simulator.h"
+
+namespace upr {
+
+std::uint64_t Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  auto ev = std::make_shared<Event>();
+  ev->when = when;
+  ev->seq = next_seq_++;
+  ev->fn = std::move(fn);
+  queue_.push(ev);
+  live_.emplace(ev->seq, ev);
+  ++pending_;
+  return ev->seq;
+}
+
+void Simulator::Cancel(std::uint64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return;
+  }
+  if (auto ev = it->second.lock(); ev && !ev->cancelled) {
+    ev->cancelled = true;
+    --pending_;
+  }
+  live_.erase(it);
+}
+
+std::shared_ptr<Simulator::Event> Simulator::PopNext() {
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    queue_.pop();
+    if (ev->cancelled) {
+      continue;
+    }
+    live_.erase(ev->seq);
+    --pending_;
+    return ev;
+  }
+  return nullptr;
+}
+
+bool Simulator::Step() {
+  auto ev = PopNext();
+  if (!ev) {
+    return false;
+  }
+  now_ = ev->when;
+  ++executed_;
+  ev->fn();
+  return true;
+}
+
+std::size_t Simulator::RunUntil(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Peek: skip cancelled entries without advancing time.
+    auto top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top->when > deadline) {
+      break;
+    }
+    Step();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+std::size_t Simulator::RunAll(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && Step()) {
+    ++n;
+  }
+  return n;
+}
+
+bool Simulator::Idle() const { return pending_ == 0; }
+
+void Timer::Restart(SimTime delay) {
+  Stop();
+  running_ = true;
+  deadline_ = sim_->Now() + (delay < 0 ? 0 : delay);
+  id_ = sim_->Schedule(delay, [this] {
+    running_ = false;
+    fn_();
+  });
+}
+
+void Timer::Stop() {
+  if (running_) {
+    sim_->Cancel(id_);
+    running_ = false;
+  }
+}
+
+}  // namespace upr

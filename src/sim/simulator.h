@@ -1,0 +1,140 @@
+// Deterministic discrete-event simulator that drives the whole system.
+//
+// Every component (radio channel, TNC, serial line, host stack, application)
+// schedules callbacks on a single Simulator. Events at equal timestamps run
+// in scheduling order (a monotonically increasing sequence number breaks
+// ties), so runs are bit-reproducible.
+//
+// Time is kept in integer nanoseconds (`SimTime`). Helpers convert from
+// humane units.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace upr {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr SimTime Microseconds(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimTime Milliseconds(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+// Transmission time of `bytes` at `bits_per_second` (8 bits per byte; HDLC
+// bit-stuffing overhead is ignored, as the paper's budget analysis does).
+constexpr SimTime TransmitTime(std::size_t bytes, std::uint64_t bits_per_second) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                              static_cast<double>(bits_per_second) *
+                              static_cast<double>(kSecond));
+}
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay (delay < 0 is clamped to 0).
+  // Returns an id usable with Cancel().
+  std::uint64_t Schedule(SimTime delay, std::function<void()> fn);
+  std::uint64_t ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event; a no-op if it already ran or was cancelled.
+  void Cancel(std::uint64_t id);
+
+  // Runs events until the queue is empty or `deadline` is passed. Events at
+  // exactly `deadline` still run. Returns the number of events executed.
+  std::size_t RunUntil(SimTime deadline);
+
+  // Runs until the event queue drains (use with care: periodic timers never
+  // drain). Returns the number of events executed.
+  std::size_t RunAll(std::size_t max_events = 100'000'000);
+
+  // Runs a single event if one is pending; returns false when idle.
+  bool Step();
+
+  bool Idle() const;
+  std::size_t pending_events() const { return pending_; }
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct EventCompare {
+    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;
+      }
+      return a->seq > b->seq;
+    }
+  };
+
+  // Pops the next non-cancelled event, or nullptr.
+  std::shared_ptr<Event> PopNext();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t pending_ = 0;   // non-cancelled events in queue
+  std::size_t executed_ = 0;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, EventCompare>
+      queue_;
+  // id (== seq) -> event, for O(1) cancellation.
+  std::unordered_map<std::uint64_t, std::weak_ptr<Event>> live_;
+};
+
+// RAII one-shot timer bound to a Simulator. Restart() re-arms; destruction or
+// Stop() cancels. Used for protocol timers (T1, ARP expiry, RTO, ...).
+class Timer {
+ public:
+  Timer(Simulator* sim, std::function<void()> fn) : sim_(sim), fn_(std::move(fn)) {}
+  ~Timer() { Stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)arms the timer to fire after `delay`.
+  void Restart(SimTime delay);
+  void Stop();
+  bool running() const { return running_; }
+  // Time at which the timer will fire (valid only while running()).
+  SimTime deadline() const { return deadline_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> fn_;
+  std::uint64_t id_ = 0;
+  bool running_ = false;
+  SimTime deadline_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,350 @@
+// TCP over the simulated stack.
+//
+// A real (if compact) TCP: three-way handshake, sliding-window transfer with
+// MSS segmentation, cumulative ACKs, go-back-style retransmission with
+// exponential backoff, graceful FIN teardown with TIME_WAIT, RST handling
+// and a LISTEN demultiplexer.
+//
+// The §4.1 experiment lives in the retransmission-timeout policy, which is
+// pluggable per connection:
+//   kFixed    — constant RTO, never adapts ("hosts on the Ethernet side
+//               expect fast response ... they time out and retry").
+//   kRfc793   — classic smoothed RTT: SRTT = a*SRTT + (1-a)*RTT,
+//               RTO = clamp(b*SRTT). Samples taken from retransmitted
+//               segments too (pre-Karn), which mis-learns on lossy paths.
+//   kJacobson — mean + 4*deviation estimator with Karn's rule (no samples
+//               from retransmitted segments) and exponential backoff; what
+//               "many implementations of TCP [that] dynamically adjust their
+//               timeout values" converged on.
+#ifndef SRC_TCP_TCP_H_
+#define SRC_TCP_TCP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/net/ip_address.h"
+#include "src/net/ipv4.h"
+#include "src/net/netstack.h"
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+#include "src/util/random.h"
+
+namespace upr {
+
+// --- Segment codec ---------------------------------------------------------
+
+struct TcpFlags {
+  bool fin = false, syn = false, rst = false, psh = false, ack = false, urg = false;
+};
+
+struct TcpSegment {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+  std::optional<std::uint16_t> mss_option;  // SYN only
+  Bytes payload;
+
+  // Checksum covers the RFC 793 pseudo-header.
+  Bytes Encode(IpV4Address src, IpV4Address dst) const;
+  static std::optional<TcpSegment> Decode(const Bytes& wire, IpV4Address src,
+                                          IpV4Address dst);
+  std::string ToString() const;
+};
+
+// --- Configuration ---------------------------------------------------------
+
+enum class RtoAlgorithm { kFixed, kRfc793, kJacobson };
+
+struct TcpConfig {
+  RtoAlgorithm rto_algorithm = RtoAlgorithm::kJacobson;
+  SimTime fixed_rto = Seconds(3);     // kFixed value
+  SimTime initial_rtt = Seconds(1);   // pre-measurement RTT assumption
+  SimTime min_rto = Seconds(1);
+  SimTime max_rto = Seconds(64);
+  bool exponential_backoff = true;    // double RTO on each retransmission
+  std::uint16_t mss = 512;
+  std::size_t send_buffer_limit = 32 * 1024;
+  std::uint16_t receive_window = 4096;
+  int max_retries = 12;               // per-segment, then the connection drops
+  // Optional Van Jacobson slow start / congestion avoidance (contemporary
+  // with the paper; off reproduces the stock 4.3BSD behaviour).
+  bool slow_start = false;
+  // Delayed acknowledgments (RFC 1122 4.2.3.2): ack every second in-order
+  // segment or after delayed_ack_timeout, instead of per segment. On a
+  // half-duplex radio channel every spared ACK is a spared keyup
+  // (bench_x4_delayed_ack). Off by default.
+  bool delayed_ack = false;
+  SimTime delayed_ack_timeout = Milliseconds(200);
+  SimTime time_wait = Seconds(60);    // 2*MSL stand-in
+  SimTime connect_timeout = Seconds(75);
+};
+
+// RTO estimator state, separated out so benches can unit-test policies.
+class RtoEstimator {
+ public:
+  RtoEstimator(const TcpConfig& config);
+
+  // Feeds one RTT measurement (never call for retransmitted segments when
+  // Karn's rule applies — the connection enforces that).
+  void Sample(SimTime rtt);
+  // Current timeout for a fresh transmission.
+  SimTime Timeout() const;
+  // Timeout after `backoffs` consecutive retransmissions.
+  SimTime BackedOff(int backoffs) const;
+
+  SimTime srtt() const { return srtt_; }
+  SimTime rttvar() const { return rttvar_; }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  const TcpConfig config_;
+  SimTime srtt_;
+  SimTime rttvar_ = 0;
+  std::size_t samples_ = 0;
+};
+
+// --- Connections -----------------------------------------------------------
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+const char* TcpStateName(TcpState s);
+
+class Tcp;
+
+struct TcpConnectionStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t retransmissions = 0;
+  // Retransmissions where the ACK of the original copy was already on its
+  // way — the "needless" retransmissions of §4.1. Detected when an ACK
+  // covering a retransmitted segment arrives sooner after the retransmission
+  // than the link could possibly have carried it (< 1/2 smallest observed
+  // RTT), meaning it acknowledged the earlier copy.
+  std::uint64_t spurious_retransmissions = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t duplicate_segments = 0;
+  std::uint64_t out_of_order_segments = 0;
+};
+
+class TcpConnection {
+ public:
+  using DataHandler = std::function<void(const Bytes&)>;
+  using EventHandler = std::function<void()>;
+  using ErrorHandler = std::function<void(const std::string& reason)>;
+
+  TcpState state() const { return state_; }
+  IpV4Address local_ip() const { return local_ip_; }
+  IpV4Address remote_ip() const { return remote_ip_; }
+  std::uint16_t local_port() const { return local_port_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+
+  // Appends to the send buffer; returns bytes accepted (0 when full/closed).
+  std::size_t Send(const Bytes& data);
+  // Graceful close: FIN after the send buffer drains.
+  void Close();
+  // Hard reset.
+  void Abort();
+
+  void set_connected_handler(EventHandler h) { on_connected_ = std::move(h); }
+  void set_data_handler(DataHandler h) { on_data_ = std::move(h); }
+  // Remote sent FIN (read side finished).
+  void set_remote_closed_handler(EventHandler h) { on_remote_closed_ = std::move(h); }
+  // Connection fully terminated (any path).
+  void set_closed_handler(EventHandler h) { on_closed_ = std::move(h); }
+  void set_error_handler(ErrorHandler h) { on_error_ = std::move(h); }
+
+  const TcpConnectionStats& stats() const { return stats_; }
+  const RtoEstimator& rto() const { return rto_; }
+  const TcpConfig& config() const { return config_; }
+  std::size_t unsent_bytes() const { return send_buffer_.size(); }
+  std::size_t unacked_segments() const { return in_flight_.size(); }
+
+  // Flow control: adjusts the window advertised in future segments (0 stops
+  // the peer, who then probes with the persist timer). An application-level
+  // stand-in for a full receive buffer.
+  void set_advertised_window(std::uint16_t window);
+  std::uint16_t advertised_window() const { return advertised_window_; }
+
+ private:
+  friend class Tcp;
+
+  struct InFlight {
+    std::uint32_t seq = 0;
+    Bytes data;
+    bool syn = false;
+    bool fin = false;
+    SimTime first_sent = 0;
+    SimTime last_sent = 0;
+    int transmissions = 0;
+    bool retransmitted = false;
+  };
+
+  TcpConnection(Tcp* tcp, TcpConfig config);
+
+  void StartConnect(IpV4Address dst, std::uint16_t dport, std::uint16_t sport,
+                    IpV4Address src);
+  void StartAccept(IpV4Address local, std::uint16_t lport, IpV4Address remote,
+                   std::uint16_t rport, const TcpSegment& syn);
+
+  void HandleSegment(const TcpSegment& seg);
+  void HandleAck(const TcpSegment& seg);
+  void HandleData(const TcpSegment& seg);
+  void PumpOutput();
+  void TransmitSegment(InFlight* item, bool retransmission);
+  void SendControl(TcpFlags flags, std::uint32_t seq, bool with_ack);
+  void SendAck();
+  void RestartRetransmitTimer();
+  void OnRetransmitTimeout();
+  void OnPersistTimeout();
+  // Acknowledges received data per the configured ack policy.
+  void AckIncoming(bool force_immediate);
+  void EnqueueFin();
+  void EnterTimeWait();
+  void Terminate(const std::string& reason, bool notify_error);
+  std::size_t SequenceLength(const InFlight& i) const {
+    return i.data.size() + (i.syn ? 1 : 0) + (i.fin ? 1 : 0);
+  }
+
+  Tcp* tcp_;
+  TcpConfig config_;
+  TcpState state_ = TcpState::kClosed;
+
+  IpV4Address local_ip_, remote_ip_;
+  std::uint16_t local_port_ = 0, remote_port_ = 0;
+
+  // Send side.
+  std::uint32_t snd_una_ = 0;  // oldest unacknowledged
+  std::uint32_t snd_nxt_ = 0;  // next sequence to assign
+  std::uint32_t snd_wnd_ = 0;  // peer's advertised window
+  std::uint16_t peer_mss_ = 536;
+  Bytes send_buffer_;          // bytes not yet segmented
+  std::deque<InFlight> in_flight_;
+  bool fin_requested_ = false;
+  bool fin_enqueued_ = false;
+
+  // Receive side.
+  std::uint32_t rcv_nxt_ = 0;
+  std::map<std::uint32_t, Bytes> out_of_order_;
+  bool remote_fin_seen_ = false;
+
+  // Congestion state (used when config_.slow_start).
+  std::size_t cwnd_ = 0;
+  std::size_t ssthresh_ = 65535;
+
+  RtoEstimator rto_;
+  int backoffs_ = 0;
+  std::unique_ptr<Timer> rtx_timer_;
+  std::unique_ptr<Timer> misc_timer_;  // connect timeout / TIME_WAIT
+  std::unique_ptr<Timer> persist_timer_;  // zero-window probing
+  int persist_backoffs_ = 0;
+  std::unique_ptr<Timer> delack_timer_;   // delayed-ack holdoff
+  int unacked_in_order_ = 0;              // in-order segments since last ack
+  std::uint16_t advertised_window_ = 0;  // set from config at construction
+
+  SimTime min_rtt_seen_ = 0;
+
+  DataHandler on_data_;
+  EventHandler on_connected_;
+  EventHandler on_remote_closed_;
+  EventHandler on_closed_;
+  ErrorHandler on_error_;
+  TcpConnectionStats stats_;
+};
+
+// --- Per-stack TCP instance --------------------------------------------------
+
+class Tcp {
+ public:
+  using AcceptHandler = std::function<void(TcpConnection*)>;
+
+  Tcp(NetStack* stack, TcpConfig default_config = {}, std::uint64_t seed = 17);
+  ~Tcp();
+
+  // Active open. The connection is owned by this Tcp until it fully closes.
+  TcpConnection* Connect(IpV4Address dst, std::uint16_t dport,
+                         std::optional<TcpConfig> config = std::nullopt);
+  // Passive open.
+  void Listen(std::uint16_t port, AcceptHandler on_accept,
+              std::optional<TcpConfig> config = std::nullopt);
+  void StopListening(std::uint16_t port);
+
+  NetStack* stack() { return stack_; }
+  Simulator* sim() { return stack_->sim(); }
+
+  std::uint64_t segments_demuxed() const { return segments_demuxed_; }
+  std::uint64_t resets_sent() const { return resets_sent_; }
+  std::size_t connection_count() const { return connections_.size(); }
+
+  // Deletes fully closed connections (invalidates their pointers).
+  void ReapClosed();
+
+ private:
+  friend class TcpConnection;
+
+  struct ConnKey {
+    std::uint32_t local_ip, remote_ip;
+    std::uint16_t local_port, remote_port;
+    bool operator<(const ConnKey& o) const {
+      return std::tie(local_ip, remote_ip, local_port, remote_port) <
+             std::tie(o.local_ip, o.remote_ip, o.local_port, o.remote_port);
+    }
+  };
+  struct Listener {
+    AcceptHandler on_accept;
+    TcpConfig config;
+  };
+
+  void HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in);
+  // ICMP unreachable handling (BSD-style): hard errors (port unreachable,
+  // administratively prohibited) abort the matching connection; soft errors
+  // are ignored and left to retransmission.
+  void HandleIcmpError(const Ipv4Header& outer, const IcmpMessage& msg);
+  void SendSegment(const TcpSegment& seg, IpV4Address src, IpV4Address dst);
+  void SendReset(const TcpSegment& offending, IpV4Address src, IpV4Address dst);
+  std::uint32_t NextIss() { return static_cast<std::uint32_t>(rng_.NextU64()); }
+  std::uint16_t AllocatePort();
+
+  NetStack* stack_;
+  TcpConfig default_config_;
+  Rng rng_;
+  std::map<ConnKey, std::unique_ptr<TcpConnection>> connections_;
+  std::map<std::uint16_t, Listener> listeners_;
+  std::uint16_t next_ephemeral_ = 1024;
+  std::uint64_t segments_demuxed_ = 0;
+  std::uint64_t resets_sent_ = 0;
+};
+
+// Sequence-number comparison helpers (mod 2^32).
+inline bool SeqLt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool SeqLe(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool SeqGt(std::uint32_t a, std::uint32_t b) { return SeqLt(b, a); }
+inline bool SeqGe(std::uint32_t a, std::uint32_t b) { return SeqLe(b, a); }
+
+}  // namespace upr
+
+#endif  // SRC_TCP_TCP_H_

@@ -1,0 +1,137 @@
+#include "src/tnc/kiss_tnc.h"
+
+#include "src/ax25/frame.h"
+#include "src/util/crc.h"
+#include "src/util/logging.h"
+
+namespace upr {
+
+namespace {
+constexpr const char* kTag = "tnc";
+
+SimTime KissTimeUnits(std::uint8_t v) {
+  // KISS timing parameters are in units of 10 ms.
+  return Milliseconds(10.0 * static_cast<double>(v));
+}
+
+}  // namespace
+
+KissTnc::KissTnc(Simulator* sim, RadioChannel* channel, SerialEndpoint* serial,
+                 std::string name, TncConfig config, std::uint64_t seed)
+    : sim_(sim),
+      name_(std::move(name)),
+      config_(std::move(config)),
+      serial_(serial),
+      decoder_([this](const KissFrame& f) { OnKissFrame(f); }) {
+  port_ = channel->CreatePort("tnc:" + name_);
+  mac_ = std::make_unique<CsmaMac>(sim, port_, config_.mac, seed);
+  serial_->set_receive_handler([this](std::uint8_t b) { OnSerialByte(b); });
+  port_->set_receive_handler(
+      [this](const Bytes& wire, bool corrupted) { OnRadioReceive(wire, corrupted); });
+}
+
+void KissTnc::OnSerialByte(std::uint8_t b) {
+  if (!kiss_mode_) {
+    return;  // would be the TNC-2 command interpreter; out of scope
+  }
+  decoder_.Feed(b);
+}
+
+void KissTnc::OnKissFrame(const KissFrame& f) {
+  switch (f.command) {
+    case KissCommand::kData: {
+      if (f.payload.empty()) {
+        return;
+      }
+      ++frames_from_host_;
+      Bytes wire = f.payload;
+      std::uint16_t fcs = Crc16Ccitt(wire);
+      wire.push_back(static_cast<std::uint8_t>(fcs & 0xFF));
+      wire.push_back(static_cast<std::uint8_t>(fcs >> 8));
+      mac_->Enqueue(std::move(wire));
+      return;
+    }
+    case KissCommand::kTxDelay:
+      if (!f.payload.empty()) {
+        mac_->params().tx_delay = KissTimeUnits(f.payload[0]);
+      }
+      return;
+    case KissCommand::kPersistence:
+      if (!f.payload.empty()) {
+        mac_->params().persistence = MacParams::PersistenceFromKiss(f.payload[0]);
+      }
+      return;
+    case KissCommand::kSlotTime:
+      if (!f.payload.empty()) {
+        mac_->params().slot_time = KissTimeUnits(f.payload[0]);
+      }
+      return;
+    case KissCommand::kTxTail:
+      if (!f.payload.empty()) {
+        mac_->params().tx_tail = KissTimeUnits(f.payload[0]);
+      }
+      return;
+    case KissCommand::kFullDuplex:
+      if (!f.payload.empty()) {
+        mac_->params().full_duplex = f.payload[0] != 0;
+      }
+      return;
+    case KissCommand::kSetHardware:
+      return;  // hardware-specific; ignored
+    case KissCommand::kReturn:
+      kiss_mode_ = false;
+      UPR_INFO(kTag, "%s: leaving KISS mode", name_.c_str());
+      return;
+  }
+}
+
+bool KissTnc::PassesFilter(const Bytes& ax25_body) const {
+  if (!config_.address_filter) {
+    return true;
+  }
+  if (ax25_body.size() < kAx25AddressBytes) {
+    return false;
+  }
+  auto dst = Ax25Address::Decode(ax25_body.data());
+  if (!dst) {
+    return false;
+  }
+  if (dst->address.IsBroadcast()) {
+    return true;
+  }
+  for (const auto& local : config_.local_addresses) {
+    if (dst->address == local) {
+      return true;
+    }
+  }
+  for (const auto& alias : config_.broadcast_aliases) {
+    if (dst->address == alias) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void KissTnc::OnRadioReceive(const Bytes& wire, bool corrupted) {
+  if (corrupted || wire.size() < 2) {
+    ++fcs_errors_;
+    return;
+  }
+  Bytes body(wire.begin(), wire.end() - 2);
+  std::uint16_t fcs = static_cast<std::uint16_t>(wire[wire.size() - 2] |
+                                                 wire[wire.size() - 1] << 8);
+  if (Crc16Ccitt(body) != fcs) {
+    ++fcs_errors_;
+    return;
+  }
+  if (!PassesFilter(body)) {
+    ++frames_filtered_;
+    return;
+  }
+  ++frames_to_host_;
+  Bytes stream = KissEncodeData(body);
+  serial_bytes_to_host_ += stream.size();
+  serial_->Write(stream);
+}
+
+}  // namespace upr

@@ -1,0 +1,81 @@
+// Simulated Terminal Node Controller running the KISS code (§2.1).
+//
+// Serial side: speaks KISS with the host — data frames carry raw AX.25
+// without FCS; command frames set MAC parameters (TXDELAY, P, SLOTTIME,
+// TXTAIL, FULLDUP). Radio side: appends/verifies the HDLC FCS and runs
+// p-persistent CSMA.
+//
+// Faithful to the paper's §3 observation, the stock TNC is promiscuous: it
+// passes *every* FCS-valid frame it hears up the serial line regardless of
+// destination, loading the host as channel traffic grows. The proposed fix —
+// "selectively pass only those packets destined for the broadcast or local
+// AX.25 addresses" — is implemented as the `address_filter` option.
+#ifndef SRC_TNC_KISS_TNC_H_
+#define SRC_TNC_KISS_TNC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ax25/address.h"
+#include "src/kiss/kiss.h"
+#include "src/radio/channel.h"
+#include "src/radio/csma_mac.h"
+#include "src/serial/serial_line.h"
+#include "src/sim/simulator.h"
+
+namespace upr {
+
+struct TncConfig {
+  MacParams mac;
+  // §3 proposed change: pass up only frames destined for a local or broadcast
+  // address. Off by default (stock KISS behaviour).
+  bool address_filter = false;
+  // Addresses considered "ours" when filtering.
+  std::vector<Ax25Address> local_addresses;
+  // Extra destinations accepted as broadcasts when filtering (NET/ROM NODES).
+  std::vector<Ax25Address> broadcast_aliases{Ax25Address("NODES", 0)};
+};
+
+class KissTnc {
+ public:
+  KissTnc(Simulator* sim, RadioChannel* channel, SerialEndpoint* serial,
+          std::string name, TncConfig config = {}, std::uint64_t seed = 13);
+
+  TncConfig& config() { return config_; }
+  RadioPort* radio_port() { return port_; }
+
+  // Statistics for the E2 experiment.
+  std::uint64_t frames_to_host() const { return frames_to_host_; }
+  std::uint64_t frames_filtered() const { return frames_filtered_; }
+  std::uint64_t fcs_errors() const { return fcs_errors_; }
+  std::uint64_t frames_from_host() const { return frames_from_host_; }
+  std::uint64_t serial_bytes_to_host() const { return serial_bytes_to_host_; }
+  bool in_kiss_mode() const { return kiss_mode_; }
+
+ private:
+  void OnSerialByte(std::uint8_t b);
+  void OnKissFrame(const KissFrame& f);
+  void OnRadioReceive(const Bytes& wire, bool corrupted);
+  bool PassesFilter(const Bytes& ax25_body) const;
+
+  Simulator* sim_;
+  std::string name_;
+  TncConfig config_;
+  SerialEndpoint* serial_;
+  RadioPort* port_;
+  std::unique_ptr<CsmaMac> mac_;
+  KissDecoder decoder_;
+  bool kiss_mode_ = true;
+
+  std::uint64_t frames_to_host_ = 0;
+  std::uint64_t frames_filtered_ = 0;
+  std::uint64_t fcs_errors_ = 0;
+  std::uint64_t frames_from_host_ = 0;
+  std::uint64_t serial_bytes_to_host_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_TNC_KISS_TNC_H_

@@ -1,0 +1,118 @@
+#include "src/udp/udp.h"
+
+#include "src/util/crc.h"
+
+namespace upr {
+
+namespace {
+
+std::uint32_t PseudoHeaderSum(IpV4Address src, IpV4Address dst, std::size_t len) {
+  std::uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xFFFF;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xFFFF;
+  sum += kIpProtoUdp;
+  sum += static_cast<std::uint32_t>(len);
+  return sum;
+}
+
+}  // namespace
+
+Bytes UdpDatagram::Encode(IpV4Address src, IpV4Address dst) const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.WriteU16(source_port);
+  w.WriteU16(destination_port);
+  w.WriteU16(static_cast<std::uint16_t>(8 + payload.size()));
+  w.WriteU16(0);
+  w.WriteBytes(payload);
+  std::uint16_t sum = ChecksumFinish(
+      ChecksumPartial(out.data(), out.size(), PseudoHeaderSum(src, dst, out.size())));
+  if (sum == 0) {
+    sum = 0xFFFF;  // RFC 768: transmitted zero means "no checksum"
+  }
+  out[6] = static_cast<std::uint8_t>(sum >> 8);
+  out[7] = static_cast<std::uint8_t>(sum & 0xFF);
+  return out;
+}
+
+std::optional<UdpDatagram> UdpDatagram::Decode(const Bytes& wire, IpV4Address src,
+                                               IpV4Address dst) {
+  if (wire.size() < 8) {
+    return std::nullopt;
+  }
+  ByteReader r(wire);
+  UdpDatagram d;
+  d.source_port = r.ReadU16();
+  d.destination_port = r.ReadU16();
+  std::uint16_t len = r.ReadU16();
+  std::uint16_t sum = r.ReadU16();
+  if (len < 8 || len > wire.size()) {
+    return std::nullopt;
+  }
+  if (sum != 0 &&
+      ChecksumFinish(ChecksumPartial(wire.data(), len, PseudoHeaderSum(src, dst, len))) !=
+          0) {
+    return std::nullopt;
+  }
+  d.payload.assign(wire.begin() + 8, wire.begin() + len);
+  return d;
+}
+
+Udp::Udp(NetStack* stack) : stack_(stack) {
+  stack_->RegisterProtocol(kIpProtoUdp,
+                           [this](const Ipv4Header& h, const Bytes& p, NetInterface* in) {
+                             HandleInput(h, p, in);
+                           });
+}
+
+void Udp::Bind(std::uint16_t port, DatagramHandler handler) {
+  sockets_[port] = std::move(handler);
+}
+
+void Udp::Unbind(std::uint16_t port) { sockets_.erase(port); }
+
+bool Udp::SendTo(IpV4Address dst, std::uint16_t dport, std::uint16_t sport,
+                 const Bytes& data) {
+  if (sport == 0) {
+    sport = next_ephemeral_++;
+    if (next_ephemeral_ == 0) {
+      next_ephemeral_ = 2048;
+    }
+  }
+  UdpDatagram d;
+  d.source_port = sport;
+  d.destination_port = dport;
+  d.payload = data;
+  // Source address filled by routing; encode with the interface it will pick.
+  const Route* route = stack_->routes().Lookup(dst);
+  if (route == nullptr || route->interface == nullptr) {
+    if (!stack_->IsLocalAddress(dst)) {
+      return false;
+    }
+  }
+  IpV4Address src = stack_->IsLocalAddress(dst)
+                        ? dst
+                        : route->interface->address();
+  NetStack::SendOptions opts;
+  opts.source = src;
+  return stack_->SendDatagram(dst, kIpProtoUdp, d.Encode(src, dst), opts);
+}
+
+void Udp::HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in) {
+  auto d = UdpDatagram::Decode(payload, ip.source, ip.destination);
+  if (!d) {
+    return;
+  }
+  auto it = sockets_.find(d->destination_port);
+  if (it == sockets_.end()) {
+    ++port_unreachable_;
+    stack_->icmp().SendUnreachable(ip, payload, kUnreachPort);
+    return;
+  }
+  ++delivered_;
+  it->second(ip.source, d->source_port, d->payload);
+}
+
+}  // namespace upr

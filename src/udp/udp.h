@@ -1,0 +1,61 @@
+// UDP (RFC 768) with pseudo-header checksums and a port-indexed socket table.
+// Carries the distributed callbook service (§5) and any datagram workloads
+// the benches generate.
+#ifndef SRC_UDP_UDP_H_
+#define SRC_UDP_UDP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/net/ip_address.h"
+#include "src/net/ipv4.h"
+#include "src/net/netstack.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+struct UdpDatagram {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  Bytes payload;
+
+  Bytes Encode(IpV4Address src, IpV4Address dst) const;
+  static std::optional<UdpDatagram> Decode(const Bytes& wire, IpV4Address src,
+                                           IpV4Address dst);
+};
+
+class Udp {
+ public:
+  // src/sport identify the sender; data is the application payload.
+  using DatagramHandler =
+      std::function<void(IpV4Address src, std::uint16_t sport, const Bytes& data)>;
+
+  explicit Udp(NetStack* stack);
+
+  // Binds a handler to a local port. Rebinding replaces the handler.
+  void Bind(std::uint16_t port, DatagramHandler handler);
+  void Unbind(std::uint16_t port);
+
+  // Sends one datagram. sport of 0 allocates an ephemeral port (unbound —
+  // fire and forget).
+  bool SendTo(IpV4Address dst, std::uint16_t dport, std::uint16_t sport,
+              const Bytes& data);
+
+  std::uint64_t datagrams_delivered() const { return delivered_; }
+  std::uint64_t port_unreachable() const { return port_unreachable_; }
+
+ private:
+  void HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in);
+
+  NetStack* stack_;
+  std::map<std::uint16_t, DatagramHandler> sockets_;
+  std::uint16_t next_ephemeral_ = 2048;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t port_unreachable_ = 0;
+};
+
+}  // namespace upr
+
+#endif  // SRC_UDP_UDP_H_

@@ -1,0 +1,139 @@
+#include "src/util/byte_buffer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace upr {
+
+Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string HexDump(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(len * 3);
+  char tmp[4];
+  for (std::size_t i = 0; i < len; ++i) {
+    std::snprintf(tmp, sizeof(tmp), i + 1 == len ? "%02x" : "%02x ", data[i]);
+    out += tmp;
+  }
+  return out;
+}
+
+std::string HexDump(const Bytes& b) { return HexDump(b.data(), b.size()); }
+
+bool ByteReader::Need(std::size_t n) {
+  if (pos_ + n > len_) {
+    ok_ = false;
+    pos_ = len_;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::ReadU8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::ReadU16() {
+  if (!Need(2)) {
+    return 0;
+  }
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::ReadU32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Bytes ByteReader::ReadBytes(std::size_t n) {
+  if (!Need(n)) {
+    return {};
+  }
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::ReadRest() { return ReadBytes(remaining()); }
+
+void ByteReader::Skip(std::size_t n) {
+  if (Need(n)) {
+    pos_ += n;
+  }
+}
+
+void ByteWriter::WriteU8(std::uint8_t v) { out_->push_back(v); }
+
+void ByteWriter::WriteU16(std::uint16_t v) {
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  out_->push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::WriteU32(std::uint32_t v) {
+  out_->push_back(static_cast<std::uint8_t>(v >> 24));
+  out_->push_back(static_cast<std::uint8_t>(v >> 16));
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  out_->push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::WriteBytes(const std::uint8_t* data, std::size_t len) {
+  out_->insert(out_->end(), data, data + len);
+}
+
+void ByteWriter::WriteBytes(const Bytes& b) { WriteBytes(b.data(), b.size()); }
+
+Packet Packet::FromBytes(const Bytes& payload) {
+  Packet p;
+  p.Append(payload);
+  return p;
+}
+
+void Packet::Append(const Bytes& b) { Append(b.data(), b.size()); }
+
+void Packet::Append(const std::uint8_t* d, std::size_t len) {
+  buf_.insert(buf_.end(), d, d + len);
+}
+
+void Packet::Prepend(const Bytes& b) {
+  if (b.size() <= start_) {
+    start_ -= b.size();
+    std::copy(b.begin(), b.end(), buf_.begin() + static_cast<std::ptrdiff_t>(start_));
+    return;
+  }
+  // Headroom exhausted: grow the front by the default headroom plus what we need.
+  std::size_t grow = b.size() - start_ + kDefaultHeadroom;
+  buf_.insert(buf_.begin(), grow, 0);
+  start_ += grow;
+  start_ -= b.size();
+  std::copy(b.begin(), b.end(), buf_.begin() + static_cast<std::ptrdiff_t>(start_));
+}
+
+void Packet::StripFront(std::size_t n) {
+  if (n > size()) {
+    n = size();
+  }
+  start_ += n;
+}
+
+void Packet::StripBack(std::size_t n) {
+  if (n > size()) {
+    n = size();
+  }
+  buf_.resize(buf_.size() - n);
+}
+
+}  // namespace upr

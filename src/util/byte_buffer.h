@@ -1,0 +1,113 @@
+// Byte buffer utilities shared by every protocol layer.
+//
+// `Bytes` is the plain payload type. `ByteReader`/`ByteWriter` provide
+// bounds-checked big-endian primitive access for protocol codecs. `Packet` is
+// an mbuf-like buffer with cheap header prepend/strip, used for packets moving
+// between layers (each layer prepends its header on output and strips it on
+// input without copying the payload).
+#ifndef SRC_UTIL_BYTE_BUFFER_H_
+#define SRC_UTIL_BYTE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upr {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Builds a Bytes from a string literal / string view (no trailing NUL).
+Bytes BytesFromString(std::string_view s);
+
+// Renders the buffer as "xx xx xx ..." for logs and test failure messages.
+std::string HexDump(const std::uint8_t* data, std::size_t len);
+std::string HexDump(const Bytes& b);
+
+// Bounds-checked sequential reader over a byte span. All multi-byte reads are
+// big-endian (network order). Reads past the end set the error flag and
+// return zeros; callers check `ok()` once at the end of a parse.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const Bytes& b) : ByteReader(b.data(), b.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return len_ - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t ReadU8();
+  std::uint16_t ReadU16();
+  std::uint32_t ReadU32();
+  // Copies `n` bytes out; returns an empty vector and sets the error flag if
+  // fewer than `n` remain.
+  Bytes ReadBytes(std::size_t n);
+  // Returns a view of the rest of the buffer and consumes it.
+  Bytes ReadRest();
+  void Skip(std::size_t n);
+
+ private:
+  bool Need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Appends big-endian primitives to a Bytes.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes* out) : out_(out) {}
+
+  void WriteU8(std::uint8_t v);
+  void WriteU16(std::uint16_t v);
+  void WriteU32(std::uint32_t v);
+  void WriteBytes(const std::uint8_t* data, std::size_t len);
+  void WriteBytes(const Bytes& b);
+
+ private:
+  Bytes* out_;
+};
+
+// Packet buffer with reserved headroom so lower layers can prepend headers
+// without reallocating. Interior storage: [ headroom | data ].
+class Packet {
+ public:
+  Packet() : Packet(kDefaultHeadroom) {}
+  explicit Packet(std::size_t headroom) : start_(headroom), buf_(headroom) {}
+
+  // Builds a packet whose payload is `payload`, with default headroom.
+  static Packet FromBytes(const Bytes& payload);
+
+  std::size_t size() const { return buf_.size() - start_; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const { return buf_.data() + start_; }
+  std::uint8_t* data() { return buf_.data() + start_; }
+
+  // Appends payload bytes at the tail.
+  void Append(const Bytes& b);
+  void Append(const std::uint8_t* data, std::size_t len);
+
+  // Prepends `b` in front of the current data (grows headroom if exhausted).
+  void Prepend(const Bytes& b);
+
+  // Removes `n` bytes from the front; n must be <= size().
+  void StripFront(std::size_t n);
+  // Removes `n` bytes from the tail; n must be <= size().
+  void StripBack(std::size_t n);
+
+  Bytes ToBytes() const { return Bytes(data(), data() + size()); }
+
+ private:
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  std::size_t start_;  // offset of first valid byte in buf_
+  Bytes buf_;
+};
+
+}  // namespace upr
+
+#endif  // SRC_UTIL_BYTE_BUFFER_H_

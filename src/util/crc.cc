@@ -1,0 +1,53 @@
+#include "src/util/crc.h"
+
+namespace upr {
+
+std::uint16_t Crc16Ccitt(const std::uint8_t* data, std::size_t len) {
+  // Bitwise reflected CRC-16/X-25. Table-free: frame sizes are small (< 330
+  // bytes) and this path models a TNC microcontroller anyway.
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 1) {
+        crc = static_cast<std::uint16_t>((crc >> 1) ^ 0x8408);
+      } else {
+        crc = static_cast<std::uint16_t>(crc >> 1);
+      }
+    }
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+std::uint16_t Crc16Ccitt(const Bytes& b) { return Crc16Ccitt(b.data(), b.size()); }
+
+std::uint32_t ChecksumPartial(const std::uint8_t* data, std::size_t len,
+                              std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>(data[i] << 8 | data[i + 1]);
+  }
+  if (i < len) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  return sum;
+}
+
+std::uint16_t ChecksumFinish(std::uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial) {
+  return ChecksumFinish(ChecksumPartial(data, len, initial));
+}
+
+std::uint16_t InternetChecksum(const Bytes& b, std::uint32_t initial) {
+  return InternetChecksum(b.data(), b.size(), initial);
+}
+
+}  // namespace upr

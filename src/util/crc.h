@@ -1,0 +1,35 @@
+// Checksums used by the stack.
+//
+// `Crc16Ccitt` is the HDLC frame-check sequence AX.25 uses on the air (the
+// TNC computes/verifies it; KISS frames exclude it). `InternetChecksum` is
+// the 16-bit one's-complement sum used by IPv4/ICMP/TCP/UDP.
+#ifndef SRC_UTIL_CRC_H_
+#define SRC_UTIL_CRC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/byte_buffer.h"
+
+namespace upr {
+
+// CRC-16/X-25 (reflected, poly 0x1021, init 0xFFFF, xorout 0xFFFF) — the HDLC
+// FCS transmitted after each AX.25 frame on the radio channel.
+std::uint16_t Crc16Ccitt(const std::uint8_t* data, std::size_t len);
+std::uint16_t Crc16Ccitt(const Bytes& b);
+
+// RFC 1071 Internet checksum over `data`, starting from `initial` (used to
+// fold in pseudo-headers). Returns the final one's-complement value in host
+// order, ready to store with ByteWriter::WriteU16.
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial = 0);
+std::uint16_t InternetChecksum(const Bytes& b, std::uint32_t initial = 0);
+
+// Partial (unfolded) sum for composing pseudo-header + payload checksums.
+std::uint32_t ChecksumPartial(const std::uint8_t* data, std::size_t len,
+                              std::uint32_t initial = 0);
+std::uint16_t ChecksumFinish(std::uint32_t sum);
+
+}  // namespace upr
+
+#endif  // SRC_UTIL_CRC_H_

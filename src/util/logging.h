@@ -1,0 +1,48 @@
+// Minimal leveled logger. Protocol modules log through UPR_LOG so tests can
+// raise the threshold to silence output and examples can lower it to trace
+// packet flow. Not thread-safe by design: the whole system is single-threaded
+// under the discrete-event simulator.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+namespace upr {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global threshold; messages below it are dropped. Defaults to kWarn so the
+// test suite stays quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+const char* LogLevelName(LogLevel level);
+
+// printf-style sink. `tag` identifies the module ("ax25", "driver", ...).
+void LogMessage(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace upr
+
+#define UPR_LOG(level, tag, ...)                      \
+  do {                                                \
+    if ((level) >= ::upr::GetLogLevel()) {            \
+      ::upr::LogMessage((level), (tag), __VA_ARGS__); \
+    }                                                 \
+  } while (0)
+
+#define UPR_TRACE(tag, ...) UPR_LOG(::upr::LogLevel::kTrace, tag, __VA_ARGS__)
+#define UPR_DEBUG(tag, ...) UPR_LOG(::upr::LogLevel::kDebug, tag, __VA_ARGS__)
+#define UPR_INFO(tag, ...) UPR_LOG(::upr::LogLevel::kInfo, tag, __VA_ARGS__)
+#define UPR_WARN(tag, ...) UPR_LOG(::upr::LogLevel::kWarn, tag, __VA_ARGS__)
+#define UPR_ERROR(tag, ...) UPR_LOG(::upr::LogLevel::kError, tag, __VA_ARGS__)
+
+#endif  // SRC_UTIL_LOGGING_H_

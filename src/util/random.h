@@ -1,0 +1,34 @@
+// Deterministic PRNG (xoshiro256**) used for every stochastic decision in the
+// simulation: CSMA persistence, channel loss, jitter, workload generation.
+// Each subsystem takes an explicit Rng (or a seed) so runs are reproducible
+// and tests can pin behaviour.
+#ifndef SRC_UTIL_RANDOM_H_
+#define SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace upr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace upr
+
+#endif  // SRC_UTIL_RANDOM_H_

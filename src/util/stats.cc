@@ -1,0 +1,77 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upr {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::Add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::Min() const { return values_.empty() ? 0.0 : Percentile(0); }
+double Samples::Max() const { return values_.empty() ? 0.0 : Percentile(100); }
+
+std::string TableRow(const std::vector<std::string>& cells, int width) {
+  std::string out;
+  for (const auto& c : cells) {
+    std::string cell = c;
+    if (static_cast<int>(cell.size()) < width) {
+      cell.append(static_cast<std::size_t>(width) - cell.size(), ' ');
+    }
+    out += cell;
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace upr

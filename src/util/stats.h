@@ -1,0 +1,54 @@
+// Lightweight statistics helpers used by interface counters and the benchmark
+// harnesses: running mean/min/max/stddev and fixed-resolution percentile
+// histograms over simulated latencies.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upr {
+
+// Online summary statistics (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores every sample; computes exact percentiles. Fine for bench-scale data
+// (thousands of samples).
+class Samples {
+ public:
+  void Add(double x);
+  std::size_t count() const { return values_.size(); }
+  double Percentile(double p) const;  // p in [0,100]
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+// Formats a row of fixed-width columns for the paper-style summary tables the
+// bench binaries print.
+std::string TableRow(const std::vector<std::string>& cells, int width = 14);
+
+}  // namespace upr
+
+#endif  // SRC_UTIL_STATS_H_

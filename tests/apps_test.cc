@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/app_gateway.h"
+#include "src/apps/bbs.h"
+#include "src/apps/beacon.h"
+#include "src/apps/callbook.h"
+#include "src/apps/ftp.h"
+#include "src/apps/line_codec.h"
+#include "src/apps/smtp.h"
+#include "src/apps/telnet.h"
+#include "src/scenario/testbed.h"
+
+namespace upr {
+namespace {
+
+TEST(LineBufferTest, SplitsOnNewlinesStripsCr) {
+  std::vector<std::string> lines;
+  LineBuffer lb([&](const std::string& l) { lines.push_back(l); });
+  lb.Feed(BytesFromString("one\r\ntwo\nthree"));
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two"}));
+  EXPECT_EQ(lb.partial(), "three");
+  lb.Feed(BytesFromString("!\r\n"));
+  EXPECT_EQ(lines.back(), "three!");
+}
+
+TEST(CallsignRegionTest, ExtractsDistrictDigit) {
+  EXPECT_EQ(CallsignRegion("N7AKR"), '7');
+  EXPECT_EQ(CallsignRegion("W1GOH"), '1');
+  EXPECT_EQ(CallsignRegion("K3MC"), '3');
+  EXPECT_EQ(CallsignRegion("KD7NM"), '7');
+  EXPECT_FALSE(CallsignRegion("NOCALL"));
+  EXPECT_FALSE(CallsignRegion(""));
+}
+
+TEST(CallbookEntryTest, RoundTrip) {
+  CallbookEntry e{"N7AKR", "Bob Albrightson", "Seattle", "CN87"};
+  auto d = CallbookEntry::Decode(e.Encode());
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->callsign, "N7AKR");
+  EXPECT_EQ(d->name, "Bob Albrightson");
+  EXPECT_EQ(d->city, "Seattle");
+  EXPECT_EQ(d->grid, "CN87");
+}
+
+// Fast LAN fixture for the TCP applications.
+class AppsLanTest : public ::testing::Test {
+ protected:
+  AppsLanTest() {
+    TestbedConfig cfg;
+    cfg.radio_pcs = 1;
+    cfg.ether_hosts = 2;
+    cfg.radio_bit_rate = 9600;
+    tb_ = std::make_unique<Testbed>(cfg);
+    tb_->PopulateRadioArp();
+  }
+
+  std::unique_ptr<Testbed> tb_;
+};
+
+TEST_F(AppsLanTest, TelnetLoginAndCommandsOnLan) {
+  TelnetServer server(&tb_->host(0).tcp(), "june");
+  TelnetClient client(&tb_->host(1).tcp());
+  ASSERT_TRUE(client.Connect(Testbed::EtherHostIp(0), "neuman"));
+  tb_->sim().RunUntil(Seconds(5));
+  ASSERT_TRUE(client.connected());
+  client.SendCommand("echo hello world");
+  client.SendCommand("whoami");
+  client.SendCommand("badcmd");
+  client.Quit();
+  tb_->sim().RunUntil(Seconds(30));
+  const auto& t = client.transcript();
+  auto contains = [&](const std::string& needle) {
+    for (const auto& line : t) {
+      if (line.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("Welcome to june, neuman."));
+  EXPECT_TRUE(contains("hello world"));
+  EXPECT_TRUE(contains("neuman"));
+  EXPECT_TRUE(contains("badcmd: Command not found."));
+  EXPECT_TRUE(contains("Connection closed."));
+  EXPECT_EQ(server.logins(), 1u);
+  EXPECT_EQ(server.commands_executed(), 4u);
+}
+
+TEST_F(AppsLanTest, TelnetFromRadioPcThroughGateway) {
+  // The paper's headline demo: telnet from an isolated PC (radio only) to an
+  // Ethernet host by way of the gateway.
+  TelnetServer server(&tb_->host(0).tcp(), "june");
+  TelnetClient client(&tb_->pc(0).tcp());
+  ASSERT_TRUE(client.Connect(Testbed::EtherHostIp(0), "k3mc"));
+  tb_->sim().RunUntil(Seconds(120));
+  ASSERT_TRUE(client.connected());
+  client.SendCommand("echo over the air");
+  client.Quit();
+  tb_->sim().RunUntil(Seconds(600));
+  bool saw = false;
+  for (const auto& line : client.transcript()) {
+    if (line.find("over the air") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+  EXPECT_EQ(server.logins(), 1u);
+  EXPECT_GT(tb_->gateway().stack().ip_stats().forwarded, 4u);
+}
+
+TEST_F(AppsLanTest, SmtpDelivery) {
+  MiniSmtpServer server(&tb_->host(0).tcp(), "june.cs.washington.edu");
+  MiniSmtpClient client(&tb_->host(1).tcp());
+  MailMessage m;
+  m.from = "yamamoto@wally";
+  m.recipients = {"neuman@june", "bcn@june"};
+  m.body = {"Subject: gateway is up", "", "The MicroVAX gateway works.",
+            ".. leading dot line"};
+  bool done = false, ok = false;
+  client.Send(Testbed::EtherHostIp(0), m, [&](bool success, const std::string&) {
+    done = true;
+    ok = success;
+  });
+  tb_->sim().RunUntil(Seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(server.mailbox().size(), 1u);
+  const MailMessage& got = server.mailbox()[0];
+  EXPECT_EQ(got.from, "yamamoto@wally");
+  ASSERT_EQ(got.recipients.size(), 2u);
+  EXPECT_EQ(got.recipients[1], "bcn@june");
+  ASSERT_EQ(got.body.size(), 4u);
+  // Dot-stuffing on the wire is transparent: the body arrives as composed.
+  EXPECT_EQ(got.body[3], m.body[3]);
+}
+
+TEST_F(AppsLanTest, SmtpOverTheGatewayFromRadio) {
+  MiniSmtpServer server(&tb_->host(0).tcp(), "june");
+  MiniSmtpClient client(&tb_->pc(0).tcp());
+  MailMessage m;
+  m.from = "kd7aa@pc0.ampr";
+  m.recipients = {"neuman@june"};
+  m.body = {"sent from the packet radio side"};
+  bool ok = false;
+  client.Send(Testbed::EtherHostIp(0), m,
+              [&](bool success, const std::string&) { ok = success; });
+  tb_->sim().RunUntil(Seconds(900));
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(server.mailbox().size(), 1u);
+  EXPECT_EQ(server.mailbox()[0].from, "kd7aa@pc0.ampr");
+}
+
+TEST_F(AppsLanTest, SmtpRejectsOutOfOrderCommands) {
+  MiniSmtpServer server(&tb_->host(0).tcp(), "june");
+  // Drive a raw TCP session violating the command order.
+  TcpConnection* c = tb_->host(1).tcp().Connect(Testbed::EtherHostIp(0), kSmtpPort);
+  ASSERT_NE(c, nullptr);
+  std::vector<std::string> replies;
+  auto lines = std::make_shared<LineBuffer>(
+      [&](const std::string& l) { replies.push_back(l); });
+  c->set_data_handler([lines](const Bytes& d) { lines->Feed(d); });
+  c->set_connected_handler([c] {
+    c->Send(Line("MAIL FROM:<evil@x>"));  // no HELO
+  });
+  tb_->sim().RunUntil(Seconds(30));
+  ASSERT_GE(replies.size(), 2u);
+  EXPECT_EQ(replies[1].substr(0, 3), "503");
+  EXPECT_EQ(server.protocol_errors(), 1u);
+}
+
+TEST_F(AppsLanTest, FtpPutGetListRoundTrip) {
+  MiniFtpServer server(&tb_->host(0).tcp(), "june");
+  MiniFtpClient client(&tb_->host(1).tcp());
+  Bytes file(5000, 0);
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    file[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  bool ready = false;
+  client.Connect(Testbed::EtherHostIp(0), [&](bool ok) { ready = ok; });
+  tb_->sim().RunUntil(Seconds(5));
+  ASSERT_TRUE(ready);
+  bool put_ok = false;
+  client.Put("kernel.tar", file, [&](bool ok) { put_ok = ok; });
+  tb_->sim().RunUntil(Seconds(30));
+  ASSERT_TRUE(put_ok);
+  ASSERT_NE(server.store().Get("kernel.tar"), nullptr);
+  EXPECT_EQ(*server.store().Get("kernel.tar"), file);
+
+  Bytes fetched;
+  bool get_ok = false;
+  client.Get("kernel.tar", [&](bool ok, const Bytes& data) {
+    get_ok = ok;
+    fetched = data;
+  });
+  tb_->sim().RunUntil(Seconds(60));
+  ASSERT_TRUE(get_ok);
+  EXPECT_EQ(fetched, file);
+
+  std::vector<std::string> listing;
+  client.List([&](const std::vector<std::string>& l) { listing = l; });
+  tb_->sim().RunUntil(Seconds(90));
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0], "kernel.tar 5000");
+  EXPECT_EQ(server.transfers_completed(), 2u);
+}
+
+TEST_F(AppsLanTest, FtpGetMissingFileFails) {
+  MiniFtpServer server(&tb_->host(0).tcp(), "june");
+  MiniFtpClient client(&tb_->host(1).tcp());
+  client.Connect(Testbed::EtherHostIp(0), [](bool) {});
+  tb_->sim().RunUntil(Seconds(5));
+  bool called = false, ok = true;
+  client.Get("nothere", [&](bool success, const Bytes&) {
+    called = true;
+    ok = success;
+  });
+  tb_->sim().RunUntil(Seconds(30));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(AppsLanTest, FtpDownloadOverGatewayToRadioPc) {
+  MiniFtpServer server(&tb_->host(0).tcp(), "june");
+  server.store().Put("notes.txt", BytesFromString("AX.25 under Ultrix\n"));
+  MiniFtpClient client(&tb_->pc(0).tcp());
+  client.Connect(Testbed::EtherHostIp(0), [](bool) {});
+  tb_->sim().RunUntil(Seconds(120));
+  Bytes fetched;
+  bool ok = false;
+  client.Get("notes.txt", [&](bool success, const Bytes& d) {
+    ok = success;
+    fetched = d;
+  });
+  tb_->sim().RunUntil(Seconds(900));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fetched, BytesFromString("AX.25 under Ultrix\n"));
+}
+
+// BBS over connected-mode AX.25, two terminal stations + BBS station.
+class BbsTest : public ::testing::Test {
+ protected:
+  BbsTest() {
+    RadioChannelConfig rc;
+    rc.bit_rate = 9600;
+    channel_ = std::make_unique<RadioChannel>(&sim_, rc, 55);
+    bbs_station_ = MakeStation("bbs", "W7BBS", 1);
+    user_station_ = MakeStation("user", "KD7NM", 2);
+    Ax25LinkConfig link_cfg;
+    link_cfg.t1 = Seconds(8);
+    bbs_link_ = BindAx25LinkToDriver(&sim_, bbs_station_->radio_if(), link_cfg);
+    user_link_ = BindAx25LinkToDriver(&sim_, user_station_->radio_if(), link_cfg);
+    bbs_ = std::make_unique<Ax25Bbs>(bbs_link_.get(), "[UW Packet BBS]");
+  }
+
+  std::unique_ptr<RadioStation> MakeStation(const std::string& name,
+                                            const std::string& call,
+                                            std::uint64_t seed) {
+    RadioStationConfig c;
+    c.hostname = name;
+    c.callsign = Ax25Address(call, 0);
+    c.ip = IpV4Address(44, 24, 2, static_cast<std::uint8_t>(seed));
+    c.seed = 500 + seed;
+    return std::make_unique<RadioStation>(&sim_, channel_.get(), c);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<RadioChannel> channel_;
+  std::unique_ptr<RadioStation> bbs_station_;
+  std::unique_ptr<RadioStation> user_station_;
+  std::unique_ptr<Ax25Link> bbs_link_;
+  std::unique_ptr<Ax25Link> user_link_;
+  std::unique_ptr<Ax25Bbs> bbs_;
+};
+
+TEST_F(BbsTest, PostListReadCycle) {
+  BbsTerminal term(user_link_.get(), Ax25Address("W7BBS", 0));
+  sim_.RunUntil(Seconds(60));
+  ASSERT_TRUE(term.connected());
+  term.SendLine("S N7AKR gateway status");
+  sim_.RunUntil(Seconds(120));
+  term.SendLine("The gateway to the Internet is operational.");
+  term.SendLine("/EX");
+  sim_.RunUntil(Seconds(240));
+  ASSERT_EQ(bbs_->messages().size(), 1u);
+  EXPECT_EQ(bbs_->messages()[0].from, "KD7NM");
+  EXPECT_EQ(bbs_->messages()[0].subject, "gateway status");
+
+  term.SendLine("L");
+  sim_.RunUntil(Seconds(300));
+  term.SendLine("R 1");
+  sim_.RunUntil(Seconds(400));
+  bool listed = false, read = false;
+  for (const auto& line : term.transcript()) {
+    if (line.find("#1 KD7NM: gateway status") != std::string::npos) {
+      listed = true;
+    }
+    if (line.find("The gateway to the Internet is operational.") != std::string::npos) {
+      read = true;
+    }
+  }
+  EXPECT_TRUE(listed);
+  EXPECT_TRUE(read);
+  term.SendLine("B");
+  sim_.RunUntil(Seconds(500));
+  EXPECT_FALSE(term.connected());
+}
+
+TEST_F(BbsTest, TwoUsersSeeSharedBoard) {
+  auto user2_station = MakeStation("user2", "KB7DZ", 3);
+  Ax25LinkConfig link_cfg;
+  link_cfg.t1 = Seconds(8);
+  auto user2_link = BindAx25LinkToDriver(&sim_, user2_station->radio_if(), link_cfg);
+  bbs_->Post(BbsMessage{.from = "W1GOH", .to = "", .subject = "hello from MIT",
+                        .body = {"testing the relay"}});
+
+  BbsTerminal t1(user_link_.get(), Ax25Address("W7BBS", 0));
+  sim_.RunUntil(Seconds(60));
+  BbsTerminal t2(user2_link.get(), Ax25Address("W7BBS", 0));
+  sim_.RunUntil(Seconds(120));
+  ASSERT_TRUE(t1.connected());
+  ASSERT_TRUE(t2.connected());
+  t1.SendLine("L");
+  t2.SendLine("L");
+  sim_.RunUntil(Seconds(300));
+  auto saw = [](const BbsTerminal& t, const std::string& needle) {
+    for (const auto& line : t.transcript()) {
+      if (line.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(saw(t1, "hello from MIT"));
+  EXPECT_TRUE(saw(t2, "hello from MIT"));
+  EXPECT_EQ(bbs_->sessions(), 2u);
+}
+
+// Distributed callbook over UDP across the testbed.
+TEST_F(AppsLanTest, CallbookDistributedQuery) {
+  // Region 7 server on host0, region 1 server on host1.
+  CallbookServer region7(&tb_->host(0).udp());
+  region7.AddEntry({"N7AKR", "Bob", "Seattle", "CN87"});
+  CallbookServer region1(&tb_->host(1).udp());
+  region1.AddEntry({"W1GOH", "Steve", "Cambridge", "FN42"});
+
+  CallbookClient client(&tb_->sim(), &tb_->pc(0).udp());
+  client.AddRegionServer('7', Testbed::EtherHostIp(0));
+  client.AddRegionServer('1', Testbed::EtherHostIp(1));
+
+  std::optional<CallbookEntry> r7, r1, missing;
+  bool missing_called = false;
+  client.Query("N7AKR", [&](std::optional<CallbookEntry> e) { r7 = e; });
+  tb_->sim().RunUntil(Seconds(300));
+  client.Query("W1GOH", [&](std::optional<CallbookEntry> e) { r1 = e; });
+  tb_->sim().RunUntil(Seconds(600));
+  client.Query("K7ZZZ", [&](std::optional<CallbookEntry> e) {
+    missing_called = true;
+    missing = e;
+  });
+  tb_->sim().RunUntil(Seconds(900));
+
+  ASSERT_TRUE(r7);
+  EXPECT_EQ(r7->city, "Seattle");
+  ASSERT_TRUE(r1);
+  EXPECT_EQ(r1->grid, "FN42");
+  EXPECT_TRUE(missing_called);
+  EXPECT_FALSE(missing);
+}
+
+TEST_F(AppsLanTest, CallbookUnknownRegionFailsFast) {
+  CallbookClient client(&tb_->sim(), &tb_->pc(0).udp());
+  bool called = false;
+  client.Query("K9ZZZ", [&](std::optional<CallbookEntry> e) {
+    called = true;
+    EXPECT_FALSE(e);
+  });
+  EXPECT_TRUE(called);  // no server for region 9: immediate
+}
+
+TEST(BeaconTest, PeriodicIdentification) {
+  Simulator sim;
+  RadioChannelConfig rc;
+  rc.bit_rate = 9600;
+  RadioChannel channel(&sim, rc, 3);
+  RadioStationConfig c;
+  c.hostname = "pc";
+  c.callsign = Ax25Address("N7AKR", 0);
+  c.ip = IpV4Address(44, 24, 9, 1);
+  c.seed = 1;
+  RadioStation station(&sim, &channel, c);
+  c.hostname = "listener";
+  c.callsign = Ax25Address("KD7NM", 0);
+  c.ip = IpV4Address(44, 24, 9, 2);
+  c.seed = 2;
+  RadioStation listener(&sim, &channel, c);
+  int heard = 0;
+  listener.radio_if()->set_l3_tap([&](const Ax25Frame& f) {
+    if (f.destination.IsBroadcast() &&
+        f.info == BytesFromString("UW PACKET GATEWAY 44.24.0.28")) {
+      ++heard;
+    }
+  });
+  BeaconService beacon(&sim, station.radio_if(), "UW PACKET GATEWAY 44.24.0.28",
+                       Seconds(600));
+  sim.RunUntil(Seconds(3600 + 30));
+  EXPECT_EQ(beacon.beacons_sent(), 6u);  // every 10 minutes for an hour
+  EXPECT_EQ(heard, 6);
+  beacon.Stop();
+  sim.RunUntil(Seconds(7200));
+  EXPECT_EQ(beacon.beacons_sent(), 6u);
+}
+
+// §2.4 application gateway: AX.25 terminal -> TCP telnet bridge.
+TEST(AppGatewayTest, TerminalUserReachesTelnetHost) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 1;  // the terminal user's station (no IP use)
+  cfg.ether_hosts = 1;
+  cfg.radio_bit_rate = 9600;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+
+  TelnetServer telnetd(&tb.host(0).tcp(), "june");
+  Ax25LinkConfig link_cfg;
+  link_cfg.t1 = Seconds(8);
+  Ax25TelnetGateway appgw(&tb.sim(), tb.gateway().radio_if(), &tb.gateway().tcp(),
+                          Testbed::EtherHostIp(0), kTelnetPort, link_cfg);
+
+  auto user_link = BindAx25LinkToDriver(&tb.sim(), tb.pc(0).radio_if(), link_cfg);
+  Ax25Connection* session = user_link->Connect(Testbed::GatewayCallsign());
+  std::string incoming;
+  session->set_data_handler([&](const Bytes& d) {
+    incoming.append(d.begin(), d.end());
+  });
+  tb.sim().RunUntil(Seconds(120));
+  ASSERT_EQ(session->state(), Ax25Connection::State::kConnected);
+  tb.sim().RunUntil(Seconds(300));
+  // The telnet banner crossed from TCP to AX.25.
+  EXPECT_NE(incoming.find("login:"), std::string::npos);
+  session->Send(BytesFromString("wa2eyc\r\n"));
+  tb.sim().RunUntil(Seconds(600));
+  EXPECT_NE(incoming.find("Welcome to june, wa2eyc."), std::string::npos);
+  session->Send(BytesFromString("echo bridged!\r\n"));
+  tb.sim().RunUntil(Seconds(900));
+  EXPECT_NE(incoming.find("bridged!"), std::string::npos);
+  EXPECT_EQ(appgw.sessions_bridged(), 1u);
+  EXPECT_GT(appgw.bytes_net_to_radio(), 0u);
+  EXPECT_GT(appgw.bytes_radio_to_net(), 0u);
+  // Disconnect tears down the TCP side too.
+  session->Disconnect();
+  tb.sim().RunUntil(Seconds(1000));
+  EXPECT_EQ(telnetd.sessions_started(), 1u);
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "src/ax25/address.h"
+#include "src/ax25/frame.h"
+
+namespace upr {
+namespace {
+
+TEST(Ax25AddressTest, ConstructionUpcasesAndValidates) {
+  Ax25Address a("n7akr", 5);
+  EXPECT_EQ(a.callsign(), "N7AKR");
+  EXPECT_EQ(a.ssid(), 5);
+  EXPECT_FALSE(a.IsNull());
+
+  EXPECT_TRUE(Ax25Address("", 0).IsNull());
+  EXPECT_TRUE(Ax25Address("TOOLONG1", 0).IsNull());
+  EXPECT_TRUE(Ax25Address("AB", 16).IsNull());
+  EXPECT_TRUE(Ax25Address("A B", 0).IsNull());
+}
+
+TEST(Ax25AddressTest, ParseForms) {
+  auto a = Ax25Address::Parse("KD7NM");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->callsign(), "KD7NM");
+  EXPECT_EQ(a->ssid(), 0);
+
+  auto b = Ax25Address::Parse("W1GOH-15");
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->ssid(), 15);
+
+  EXPECT_FALSE(Ax25Address::Parse("W1GOH-16"));
+  EXPECT_FALSE(Ax25Address::Parse("W1GOH-"));
+  EXPECT_FALSE(Ax25Address::Parse("-3"));
+  EXPECT_FALSE(Ax25Address::Parse("W1GOH-1X"));
+}
+
+TEST(Ax25AddressTest, ToStringRoundTrip) {
+  EXPECT_EQ(Ax25Address("K3MC", 0).ToString(), "K3MC");
+  EXPECT_EQ(Ax25Address("K3MC", 7).ToString(), "K3MC-7");
+  auto parsed = Ax25Address::Parse(Ax25Address("KB7DZ", 3).ToString());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, Ax25Address("KB7DZ", 3));
+}
+
+TEST(Ax25AddressTest, WireEncodingShiftsCharacters) {
+  Ax25Address a("AB1", 4);
+  auto wire = a.Encode(/*c_or_h_bit=*/true, /*last=*/false);
+  EXPECT_EQ(wire[0], 'A' << 1);
+  EXPECT_EQ(wire[1], 'B' << 1);
+  EXPECT_EQ(wire[2], '1' << 1);
+  EXPECT_EQ(wire[3], ' ' << 1);  // padding
+  // SSID octet: C=1, reserved=11, ssid=4, ext=0.
+  EXPECT_EQ(wire[6], 0x80 | 0x60 | (4 << 1));
+}
+
+TEST(Ax25AddressTest, WireDecodeRoundTrip) {
+  for (std::uint8_t ssid : {0, 1, 15}) {
+    for (bool bit : {false, true}) {
+      for (bool last : {false, true}) {
+        Ax25Address a("N7XYZ", ssid);
+        auto wire = a.Encode(bit, last);
+        auto d = Ax25Address::Decode(wire.data());
+        ASSERT_TRUE(d);
+        EXPECT_EQ(d->address, a);
+        EXPECT_EQ(d->c_or_h_bit, bit);
+        EXPECT_EQ(d->last, last);
+      }
+    }
+  }
+}
+
+TEST(Ax25AddressTest, DecodeRejectsGarbage) {
+  std::uint8_t bad[7] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x61};
+  EXPECT_FALSE(Ax25Address::Decode(bad));  // low bits set in callsign
+  std::uint8_t spaces[7] = {' ' << 1, ' ' << 1, ' ' << 1, ' ' << 1,
+                            ' ' << 1, ' ' << 1, 0x61};
+  EXPECT_FALSE(Ax25Address::Decode(spaces));  // empty callsign
+}
+
+TEST(Ax25AddressTest, Broadcast) {
+  EXPECT_TRUE(Ax25Address::Broadcast().IsBroadcast());
+  EXPECT_TRUE(Ax25Address("CQ", 0).IsBroadcast());
+  EXPECT_FALSE(Ax25Address("CQ", 2).IsBroadcast());
+  EXPECT_FALSE(Ax25Address("N7AKR", 0).IsBroadcast());
+}
+
+class Ax25FrameTest : public ::testing::Test {
+ protected:
+  Ax25Address dst_{"KD7NM", 0};
+  Ax25Address src_{"N7AKR", 1};
+};
+
+TEST_F(Ax25FrameTest, UiRoundTrip) {
+  Bytes info = BytesFromString("hello radio");
+  Ax25Frame f = Ax25Frame::MakeUi(dst_, src_, kPidIp, info);
+  auto d = Ax25Frame::Decode(f.Encode());
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->destination, dst_);
+  EXPECT_EQ(d->source, src_);
+  EXPECT_EQ(d->type, Ax25FrameType::kUi);
+  EXPECT_EQ(d->pid, kPidIp);
+  EXPECT_EQ(d->info, info);
+  EXPECT_TRUE(d->command);
+  EXPECT_TRUE(d->digipeaters.empty());
+}
+
+TEST_F(Ax25FrameTest, DigipeaterListRoundTrip) {
+  std::vector<Ax25Digipeater> digis{{Ax25Address("WB7RA", 0), true},
+                                    {Ax25Address("WB7RB", 2), false}};
+  Ax25Frame f = Ax25Frame::MakeUi(dst_, src_, kPidNoLayer3, Bytes{1, 2}, digis);
+  auto d = Ax25Frame::Decode(f.Encode());
+  ASSERT_TRUE(d);
+  ASSERT_EQ(d->digipeaters.size(), 2u);
+  EXPECT_EQ(d->digipeaters[0].address, Ax25Address("WB7RA", 0));
+  EXPECT_TRUE(d->digipeaters[0].repeated);
+  EXPECT_FALSE(d->digipeaters[1].repeated);
+  EXPECT_FALSE(d->DigipeatingComplete());
+  EXPECT_EQ(d->NextDigipeater()->address, Ax25Address("WB7RB", 2));
+}
+
+TEST_F(Ax25FrameTest, EightDigipeatersMax) {
+  std::vector<Ax25Digipeater> digis;
+  for (int i = 0; i < 8; ++i) {
+    digis.push_back({Ax25Address("WB7R" + std::string(1, static_cast<char>('A' + i)), 0),
+                     false});
+  }
+  Ax25Frame f = Ax25Frame::MakeUi(dst_, src_, kPidNoLayer3, Bytes{}, digis);
+  auto d = Ax25Frame::Decode(f.Encode());
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->digipeaters.size(), 8u);
+}
+
+TEST_F(Ax25FrameTest, AllSupervisoryAndUnnumberedTypesRoundTrip) {
+  for (auto type : {Ax25FrameType::kRr, Ax25FrameType::kRnr, Ax25FrameType::kRej,
+                    Ax25FrameType::kSabm, Ax25FrameType::kDisc, Ax25FrameType::kUa,
+                    Ax25FrameType::kDm, Ax25FrameType::kFrmr}) {
+    Ax25Frame f;
+    f.destination = dst_;
+    f.source = src_;
+    f.type = type;
+    f.nr = 5;
+    f.poll_final = true;
+    auto d = Ax25Frame::Decode(f.Encode());
+    ASSERT_TRUE(d) << Ax25FrameTypeName(type);
+    EXPECT_EQ(d->type, type);
+    EXPECT_TRUE(d->poll_final);
+    if (type == Ax25FrameType::kRr || type == Ax25FrameType::kRnr ||
+        type == Ax25FrameType::kRej) {
+      EXPECT_EQ(d->nr, 5);
+    }
+  }
+}
+
+TEST_F(Ax25FrameTest, IFrameSequenceNumbers) {
+  for (std::uint8_t ns = 0; ns < 8; ++ns) {
+    for (std::uint8_t nr = 0; nr < 8; ++nr) {
+      Ax25Frame f;
+      f.destination = dst_;
+      f.source = src_;
+      f.type = Ax25FrameType::kI;
+      f.ns = ns;
+      f.nr = nr;
+      f.pid = kPidNoLayer3;
+      f.info = Bytes{0xAB};
+      auto d = Ax25Frame::Decode(f.Encode());
+      ASSERT_TRUE(d);
+      EXPECT_EQ(d->type, Ax25FrameType::kI);
+      EXPECT_EQ(d->ns, ns);
+      EXPECT_EQ(d->nr, nr);
+      EXPECT_EQ(d->info, Bytes{0xAB});
+    }
+  }
+}
+
+TEST_F(Ax25FrameTest, CommandResponseBitsRoundTrip) {
+  for (bool command : {true, false}) {
+    Ax25Frame f;
+    f.destination = dst_;
+    f.source = src_;
+    f.command = command;
+    f.type = Ax25FrameType::kRr;
+    auto d = Ax25Frame::Decode(f.Encode());
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->command, command);
+  }
+}
+
+TEST_F(Ax25FrameTest, DecodeRejectsTruncated) {
+  Ax25Frame f = Ax25Frame::MakeUi(dst_, src_, kPidIp, BytesFromString("x"));
+  Bytes wire = f.Encode();
+  for (std::size_t len = 0; len < 15; ++len) {
+    Bytes cut(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(Ax25Frame::Decode(cut)) << "len=" << len;
+  }
+}
+
+TEST_F(Ax25FrameTest, DecodeRejectsUnterminatedAddressList) {
+  // Address list says "more follows" but frame ends.
+  Ax25Frame f = Ax25Frame::MakeUi(dst_, src_, kPidIp, Bytes{});
+  Bytes wire = f.Encode();
+  wire[13] &= ~0x01;  // clear the extension bit on the source address
+  wire.resize(14);
+  EXPECT_FALSE(Ax25Frame::Decode(wire));
+}
+
+TEST_F(Ax25FrameTest, ToStringIsInformative) {
+  Ax25Frame f = Ax25Frame::MakeUi(dst_, src_, kPidIp, BytesFromString("abc"),
+                                  {{Ax25Address("WB7RA", 0), true}});
+  std::string s = f.ToString();
+  EXPECT_NE(s.find("N7AKR-1>KD7NM"), std::string::npos);
+  EXPECT_NE(s.find("WB7RA*"), std::string::npos);
+  EXPECT_NE(s.find("UI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/scenario/testbed.h"
+
+namespace upr {
+namespace {
+
+// Two packet-radio PCs on one channel, built from the scenario kit.
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest() {
+    RadioChannelConfig rc;
+    rc.bit_rate = 1200;
+    channel_ = std::make_unique<RadioChannel>(&sim_, rc, 11);
+    a_ = MakeStation("pca", "KD7AA", IpV4Address(44, 24, 0, 10), 21);
+    b_ = MakeStation("pcb", "KD7AB", IpV4Address(44, 24, 0, 11), 22);
+  }
+
+  std::unique_ptr<RadioStation> MakeStation(const std::string& name,
+                                            const std::string& call, IpV4Address ip,
+                                            std::uint64_t seed) {
+    RadioStationConfig c;
+    c.hostname = name;
+    c.callsign = Ax25Address(call, 0);
+    c.ip = ip;
+    c.seed = seed;
+    return std::make_unique<RadioStation>(&sim_, channel_.get(), c);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<RadioChannel> channel_;
+  std::unique_ptr<RadioStation> a_;
+  std::unique_ptr<RadioStation> b_;
+};
+
+TEST_F(DriverTest, PingOverRadioWithDynamicArp) {
+  bool ok = false;
+  SimTime rtt = 0;
+  a_->stack().icmp().Ping(b_->ip(), 56, [&](bool success, SimTime t) {
+    ok = success;
+    rtt = t;
+  });
+  sim_.RunUntil(Seconds(120));
+  EXPECT_TRUE(ok);
+  // At 1200 bps a ~100-byte exchange takes seconds, not milliseconds.
+  EXPECT_GT(rtt, Milliseconds(500));
+  EXPECT_GT(a_->radio_if()->arp().requests_sent(), 0u);
+}
+
+TEST_F(DriverTest, PingWithStaticArpSkipsResolution) {
+  a_->radio_if()->AddArpEntry(b_->ip(), b_->callsign());
+  b_->radio_if()->AddArpEntry(a_->ip(), a_->callsign());
+  bool ok = false;
+  a_->stack().icmp().Ping(b_->ip(), 56, [&](bool success, SimTime) { ok = success; });
+  sim_.RunUntil(Seconds(60));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(a_->radio_if()->arp().requests_sent(), 0u);
+}
+
+TEST_F(DriverTest, PerCharacterInterruptsCounted) {
+  a_->radio_if()->AddArpEntry(b_->ip(), b_->callsign());
+  b_->radio_if()->AddArpEntry(a_->ip(), a_->callsign());
+  bool done = false;
+  a_->stack().icmp().Ping(b_->ip(), 56, [&](bool, SimTime) { done = true; });
+  sim_.RunUntil(Seconds(60));
+  ASSERT_TRUE(done);
+  // B received at least one whole KISS-framed packet: one interrupt per byte.
+  const DriverStats& ds = b_->radio_if()->driver_stats();
+  EXPECT_GT(ds.interrupts, 80u);  // ping is ~100 bytes framed
+  EXPECT_EQ(ds.ip_in, 1u);
+  EXPECT_GT(ds.interrupt_cpu_time, 0);
+}
+
+TEST_F(DriverTest, CallsignFilterRejectsForeignTraffic) {
+  // C sends to B; A's driver sees the frame (promiscuous TNC) but rejects it
+  // by callsign — the paper's §2.2 check.
+  auto c = MakeStation("pcc", "KD7AC", IpV4Address(44, 24, 0, 12), 23);
+  c->radio_if()->AddArpEntry(b_->ip(), b_->callsign());
+  b_->radio_if()->AddArpEntry(c->ip(), c->callsign());
+  bool ok = false;
+  c->stack().icmp().Ping(b_->ip(), 10, [&](bool success, SimTime) { ok = success; });
+  sim_.RunUntil(Seconds(60));
+  ASSERT_TRUE(ok);
+  EXPECT_GT(a_->radio_if()->driver_stats().frames_not_for_us, 0u);
+  EXPECT_EQ(a_->radio_if()->driver_stats().ip_in, 0u);
+  EXPECT_EQ(a_->stack().ip_stats().delivered, 0u);
+}
+
+TEST_F(DriverTest, DigipeatedPathDelivers) {
+  Digipeater digi(&sim_, channel_.get(), Ax25Address("WB7RA", 0));
+  a_->radio_if()->AddArpEntry(b_->ip(), b_->callsign(), {Ax25Address("WB7RA", 0)});
+  b_->radio_if()->AddArpEntry(a_->ip(), a_->callsign(), {Ax25Address("WB7RA", 0)});
+  bool ok = false;
+  SimTime rtt = 0;
+  a_->stack().icmp().Ping(b_->ip(), 32, [&](bool success, SimTime t) {
+    ok = success;
+    rtt = t;
+  });
+  sim_.RunUntil(Seconds(240));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(digi.frames_repeated(), 2u);  // request and reply
+  // B must have ignored the in-transit copy it heard directly.
+  EXPECT_GT(b_->radio_if()->driver_stats().frames_in_transit, 0u);
+  // Two hops double the air time.
+  EXPECT_GT(rtt, Seconds(1));
+}
+
+TEST_F(DriverTest, NonIpFramesGoToL3Queue) {
+  // A raw connected-mode SABM addressed to B lands on B's tty queue (§2.4).
+  Ax25Frame sabm;
+  sabm.destination = b_->callsign();
+  sabm.source = a_->callsign();
+  sabm.type = Ax25FrameType::kSabm;
+  sabm.poll_final = true;
+  a_->radio_if()->SendRawFrame(sabm);
+  sim_.RunUntil(Seconds(30));
+  EXPECT_EQ(b_->radio_if()->l3_queue_depth(), 1u);
+  auto frame = b_->radio_if()->ReadL3Frame();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->type, Ax25FrameType::kSabm);
+  EXPECT_EQ(frame->source, a_->callsign());
+  EXPECT_FALSE(b_->radio_if()->ReadL3Frame());
+}
+
+TEST_F(DriverTest, L3TapReceivesInsteadOfQueue) {
+  std::vector<Ax25Frame> tapped;
+  b_->radio_if()->set_l3_tap([&](const Ax25Frame& f) { tapped.push_back(f); });
+  Ax25Frame ui = Ax25Frame::MakeUi(b_->callsign(), a_->callsign(), kPidNoLayer3,
+                                   BytesFromString("chat"));
+  a_->radio_if()->SendRawFrame(ui);
+  sim_.RunUntil(Seconds(30));
+  ASSERT_EQ(tapped.size(), 1u);
+  EXPECT_EQ(tapped[0].info, BytesFromString("chat"));
+  EXPECT_EQ(b_->radio_if()->l3_queue_depth(), 0u);
+}
+
+TEST_F(DriverTest, L3QueueBounded) {
+  PacketRadioConfig cfg;
+  // Rebuild B with a tiny queue.
+  RadioStationConfig c;
+  c.hostname = "pcd";
+  c.callsign = Ax25Address("KD7AD", 0);
+  c.ip = IpV4Address(44, 24, 0, 13);
+  c.driver.l3_queue_limit = 2;
+  c.seed = 33;
+  RadioStation d(&sim_, channel_.get(), c);
+  for (int i = 0; i < 5; ++i) {
+    Ax25Frame ui = Ax25Frame::MakeUi(d.callsign(), a_->callsign(), kPidNoLayer3,
+                                     Bytes{static_cast<std::uint8_t>(i)});
+    a_->radio_if()->SendRawFrame(ui);
+  }
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(d.radio_if()->l3_queue_depth(), 2u);
+  EXPECT_EQ(d.radio_if()->driver_stats().l3_drops, 3u);
+  // Oldest were dropped: remaining are frames 3 and 4.
+  EXPECT_EQ(d.radio_if()->ReadL3Frame()->info, Bytes{3});
+}
+
+TEST_F(DriverTest, BroadcastPingAnswered) {
+  // ICMP echo to the subnet broadcast goes out as an AX.25 broadcast UI.
+  a_->radio_if()->AddArpEntry(b_->ip(), b_->callsign());
+  int replies = 0;
+  a_->stack().icmp().Ping(IpV4Address(44, 255, 255, 255), 8,
+                          [&](bool success, SimTime) {
+                            if (success) {
+                              ++replies;
+                            }
+                          });
+  sim_.RunUntil(Seconds(120));
+  EXPECT_EQ(replies, 1);  // b answers; a ignores its own broadcast
+}
+
+TEST_F(DriverTest, MtuEnforcedByFragmentation) {
+  a_->radio_if()->AddArpEntry(b_->ip(), b_->callsign());
+  b_->radio_if()->AddArpEntry(a_->ip(), a_->callsign());
+  bool ok = false;
+  // 600-byte ping exceeds the 256-byte radio MTU: must fragment + reassemble.
+  a_->stack().icmp().Ping(b_->ip(), 600, [&](bool success, SimTime) { ok = success; },
+                          Seconds(300));
+  sim_.RunUntil(Seconds(400));
+  EXPECT_TRUE(ok);
+  EXPECT_GT(a_->stack().ip_stats().fragments_created, 0u);
+  EXPECT_GT(b_->stack().ip_stats().reassembled, 0u);
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "src/gateway/access_control.h"
+#include "src/gateway/gateway.h"
+#include "src/scenario/testbed.h"
+
+namespace upr {
+namespace {
+
+TEST(AccessControlTableTest, StartsEmptyDeniesAll) {
+  Simulator sim;
+  AccessControlTable t(&sim);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Allowed(IpV4Address(128, 95, 1, 4), IpV4Address(44, 24, 0, 10)));
+  EXPECT_EQ(t.denials(), 1u);
+}
+
+TEST(AccessControlTableTest, AmateurOutboundOpensReturnPath) {
+  Simulator sim;
+  AccessControlTable t(&sim);
+  IpV4Address am(44, 24, 0, 10), non(128, 95, 1, 4);
+  t.NoteAmateurOutbound(am, non);
+  EXPECT_TRUE(t.Allowed(non, am));
+  // Pairing is specific: another amateur host is still blocked.
+  EXPECT_FALSE(t.Allowed(non, IpV4Address(44, 24, 0, 11)));
+  // And another non-amateur host is blocked too.
+  EXPECT_FALSE(t.Allowed(IpV4Address(128, 95, 1, 5), am));
+}
+
+TEST(AccessControlTableTest, EntriesExpireAfterIdleTimeout) {
+  Simulator sim;
+  AccessControlConfig cfg;
+  cfg.idle_timeout = Seconds(100);
+  AccessControlTable t(&sim, cfg);
+  IpV4Address am(44, 24, 0, 10), non(128, 95, 1, 4);
+  t.NoteAmateurOutbound(am, non);
+  sim.RunUntil(Seconds(50));
+  EXPECT_TRUE(t.Allowed(non, am));
+  sim.RunUntil(Seconds(101));
+  EXPECT_FALSE(t.Allowed(non, am));
+  EXPECT_EQ(t.entries_expired(), 1u);
+}
+
+TEST(AccessControlTableTest, AmateurTrafficRefreshesEntry) {
+  Simulator sim;
+  AccessControlConfig cfg;
+  cfg.idle_timeout = Seconds(100);
+  AccessControlTable t(&sim, cfg);
+  IpV4Address am(44, 24, 0, 10), non(128, 95, 1, 4);
+  t.NoteAmateurOutbound(am, non);
+  sim.RunUntil(Seconds(80));
+  t.NoteAmateurOutbound(am, non);  // keepalive from the amateur side
+  sim.RunUntil(Seconds(150));
+  EXPECT_TRUE(t.Allowed(non, am));
+}
+
+TEST(AccessControlTableTest, AuthorizeWithExplicitTtl) {
+  Simulator sim;
+  AccessControlTable t(&sim);
+  IpV4Address am(44, 24, 0, 10), non(128, 95, 1, 4);
+  t.Authorize(non, am, Seconds(10));
+  EXPECT_TRUE(t.Allowed(non, am));
+  sim.RunUntil(Seconds(11));
+  EXPECT_FALSE(t.Allowed(non, am));
+}
+
+TEST(AccessControlTableTest, RevokeSpecificAndWildcard) {
+  Simulator sim;
+  AccessControlTable t(&sim);
+  IpV4Address am1(44, 24, 0, 10), am2(44, 24, 0, 11), non(128, 95, 1, 4);
+  t.NoteAmateurOutbound(am1, non);
+  t.NoteAmateurOutbound(am2, non);
+  EXPECT_EQ(t.Revoke(non, am1), 1u);
+  EXPECT_FALSE(t.Allowed(non, am1));
+  EXPECT_TRUE(t.Allowed(non, am2));
+  t.NoteAmateurOutbound(am1, non);
+  EXPECT_EQ(t.Revoke(non, IpV4Address::Any()), 2u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// Full-topology gateway behaviour.
+class GatewayPolicyTest : public ::testing::Test {
+ protected:
+  static TestbedConfig Config() {
+    TestbedConfig cfg;
+    cfg.radio_pcs = 2;
+    cfg.ether_hosts = 2;
+    cfg.enforce_access_control = true;
+    cfg.radio_bit_rate = 9600;  // fast tests
+    return cfg;
+  }
+};
+
+TEST_F(GatewayPolicyTest, AmateurInitiatedFlowOpensReturnPath) {
+  Testbed tb(Config());
+  tb.PopulateRadioArp();
+  bool ok = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::EtherHostIp(0), 16,
+                               [&](bool success, SimTime) { ok = success; });
+  tb.sim().RunUntil(Seconds(120));
+  EXPECT_TRUE(ok);  // reply got back through the table entry just created
+  EXPECT_GE(tb.gateway().gateway().radio_to_wire(), 1u);
+  EXPECT_GE(tb.gateway().gateway().wire_to_radio(), 1u);
+  EXPECT_EQ(tb.gateway().gateway().denied(), 0u);
+  EXPECT_EQ(tb.gateway().gateway().table().size(), 1u);
+}
+
+TEST_F(GatewayPolicyTest, WireInitiatedFlowDenied) {
+  Testbed tb(Config());
+  tb.PopulateRadioArp();
+  bool called = false, ok = true;
+  tb.host(0).stack().icmp().Ping(Testbed::RadioPcIp(0), 16,
+                                 [&](bool success, SimTime) {
+                                   called = true;
+                                   ok = success;
+                                 },
+                                 Seconds(60));
+  tb.sim().RunUntil(Seconds(120));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_GE(tb.gateway().gateway().denied(), 1u);
+}
+
+TEST_F(GatewayPolicyTest, WithoutEnforcementWireInitiatedFlows) {
+  TestbedConfig cfg = Config();
+  cfg.enforce_access_control = false;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  bool ok = false;
+  tb.host(0).stack().icmp().Ping(Testbed::RadioPcIp(0), 16,
+                                 [&](bool success, SimTime) { ok = success; },
+                                 Seconds(120));
+  tb.sim().RunUntil(Seconds(240));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(GatewayPolicyTest, IcmpAuthorizeFromAmateurSideOpensPath) {
+  Testbed tb(Config());
+  tb.PopulateRadioArp();
+  // PC0's operator authorizes host0 to reach PC0 for an hour.
+  GatewayControlBody body;
+  body.amateur_host = Testbed::RadioPcIp(0);
+  body.non_amateur_host = Testbed::EtherHostIp(0);
+  body.ttl_seconds = 3600;
+  tb.pc(0).stack().icmp().SendGatewayControl(Testbed::GatewayRadioIp(),
+                                             kGwCtlAuthorize, body);
+  tb.sim().RunUntil(Seconds(60));
+  EXPECT_EQ(tb.gateway().gateway().control_accepted(), 1u);
+  bool ok = false;
+  tb.host(0).stack().icmp().Ping(Testbed::RadioPcIp(0), 16,
+                                 [&](bool success, SimTime) { ok = success; },
+                                 Seconds(120));
+  tb.sim().RunUntil(Seconds(300));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(GatewayPolicyTest, IcmpRevokeClosesPath) {
+  Testbed tb(Config());
+  tb.PopulateRadioArp();
+  // Open via amateur-side traffic, then revoke from the amateur side.
+  bool first_ok = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::EtherHostIp(0), 8,
+                               [&](bool success, SimTime) { first_ok = success; });
+  tb.sim().RunUntil(Seconds(120));
+  ASSERT_TRUE(first_ok);
+  GatewayControlBody body;
+  body.amateur_host = Testbed::RadioPcIp(0);
+  body.non_amateur_host = Testbed::EtherHostIp(0);
+  tb.pc(0).stack().icmp().SendGatewayControl(Testbed::GatewayRadioIp(), kGwCtlRevoke,
+                                             body);
+  tb.sim().RunUntil(Seconds(240));
+  bool ok = true;
+  bool called = false;
+  tb.host(0).stack().icmp().Ping(Testbed::RadioPcIp(0), 8,
+                                 [&](bool success, SimTime) {
+                                   called = true;
+                                   ok = success;
+                                 },
+                                 Seconds(60));
+  tb.sim().RunUntil(Seconds(360));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(GatewayPolicyTest, ControlFromWireSideNeedsCredentials) {
+  TestbedConfig cfg = Config();
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  // Operators list is empty in this testbed, so any wire-side control
+  // message must be rejected regardless of credentials offered.
+  GatewayControlBody body;
+  body.amateur_host = Testbed::RadioPcIp(0);
+  body.non_amateur_host = Testbed::EtherHostIp(0);
+  body.ttl_seconds = 600;
+  body.callsign = "N7AKR";
+  body.password = "wrong";
+  tb.host(0).stack().icmp().SendGatewayControl(Testbed::GatewayEtherIp(),
+                                               kGwCtlAuthorize, body);
+  tb.sim().RunUntil(Seconds(30));
+  EXPECT_EQ(tb.gateway().gateway().control_rejected(), 1u);
+  EXPECT_EQ(tb.gateway().gateway().table().size(), 0u);
+}
+
+TEST_F(GatewayPolicyTest, PcToPcTrafficNotSubjectToTable) {
+  // radio->radio forwarding through the gateway is allowed freely.
+  Testbed tb(Config());
+  tb.PopulateRadioArp();
+  // Force PC0 to reach PC1 via the gateway (host route through gateway).
+  tb.pc(0).stack().routes().AddVia(IpV4Prefix::FromCidr(Testbed::RadioPcIp(1), 32),
+                                   Testbed::GatewayRadioIp(), tb.pc(0).radio_if());
+  bool ok = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::RadioPcIp(1), 8,
+                               [&](bool success, SimTime) { ok = success; },
+                               Seconds(120));
+  tb.sim().RunUntil(Seconds(240));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(tb.gateway().gateway().denied(), 0u);
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/kiss/kiss.h"
+
+namespace upr {
+namespace {
+
+class KissRoundTrip : public ::testing::Test {
+ protected:
+  KissRoundTrip() : decoder_([this](const KissFrame& f) { frames_.push_back(f); }) {}
+
+  std::vector<KissFrame> frames_;
+  KissDecoder decoder_;
+};
+
+TEST_F(KissRoundTrip, SimpleDataFrame) {
+  Bytes payload{0x01, 0x02, 0x03};
+  decoder_.Feed(KissEncodeData(payload));
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].command, KissCommand::kData);
+  EXPECT_EQ(frames_[0].port, 0);
+  EXPECT_EQ(frames_[0].payload, payload);
+}
+
+TEST_F(KissRoundTrip, EscapesFendAndFesc) {
+  Bytes payload{kKissFend, 0x42, kKissFesc, kKissFend};
+  Bytes wire = KissEncodeData(payload);
+  // Wire contains no raw FEND except the delimiters.
+  int fends = 0;
+  for (std::size_t i = 1; i + 1 < wire.size(); ++i) {
+    if (wire[i] == kKissFend) {
+      ++fends;
+    }
+  }
+  EXPECT_EQ(fends, 0);
+  decoder_.Feed(wire);
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, payload);
+}
+
+TEST_F(KissRoundTrip, PayloadOfEveryByteValue) {
+  Bytes payload;
+  for (int i = 0; i < 256; ++i) {
+    payload.push_back(static_cast<std::uint8_t>(i));
+  }
+  decoder_.Feed(KissEncodeData(payload));
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, payload);
+}
+
+TEST_F(KissRoundTrip, ByteAtATimeStreaming) {
+  Bytes payload{kKissFesc, kKissFend, 0x00, 0x7F};
+  Bytes wire = KissEncodeData(payload);
+  for (std::uint8_t b : wire) {
+    decoder_.Feed(b);
+  }
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, payload);
+}
+
+TEST_F(KissRoundTrip, BackToBackFramesShareDelimiters) {
+  Bytes a = KissEncodeData(Bytes{1});
+  Bytes b = KissEncodeData(Bytes{2});
+  Bytes wire = a;
+  wire.insert(wire.end(), b.begin(), b.end());
+  decoder_.Feed(wire);
+  ASSERT_EQ(frames_.size(), 2u);
+  EXPECT_EQ(frames_[0].payload, Bytes{1});
+  EXPECT_EQ(frames_[1].payload, Bytes{2});
+}
+
+TEST_F(KissRoundTrip, IdleFendsBetweenFramesIgnored) {
+  decoder_.Feed(Bytes{kKissFend, kKissFend, kKissFend});
+  EXPECT_TRUE(frames_.empty());
+  decoder_.Feed(KissEncodeData(Bytes{7}));
+  EXPECT_EQ(frames_.size(), 1u);
+}
+
+TEST_F(KissRoundTrip, CommandFramesCarryPortAndType) {
+  KissFrame f;
+  f.port = 3;
+  f.command = KissCommand::kTxDelay;
+  f.payload = Bytes{50};
+  decoder_.Feed(KissEncode(f));
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].port, 3);
+  EXPECT_EQ(frames_[0].command, KissCommand::kTxDelay);
+  EXPECT_EQ(frames_[0].payload, Bytes{50});
+}
+
+TEST_F(KissRoundTrip, ReturnFrameIs0xFF) {
+  KissFrame f;
+  f.command = KissCommand::kReturn;
+  Bytes wire = KissEncode(f);
+  ASSERT_GE(wire.size(), 2u);
+  EXPECT_EQ(wire[1], 0xFF);
+  decoder_.Feed(wire);
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].command, KissCommand::kReturn);
+}
+
+TEST_F(KissRoundTrip, InvalidEscapeDropsFrameAndResyncs) {
+  Bytes wire{kKissFend, 0x00, 0x01, kKissFesc, 0x99, 0x02, kKissFend};
+  decoder_.Feed(wire);
+  EXPECT_TRUE(frames_.empty());
+  EXPECT_EQ(decoder_.protocol_errors(), 1u);
+  // Next frame decodes fine.
+  decoder_.Feed(KissEncodeData(Bytes{5}));
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, Bytes{5});
+}
+
+TEST_F(KissRoundTrip, OversizeFrameDropped) {
+  KissDecoder small([this](const KissFrame& f) { frames_.push_back(f); }, 16);
+  Bytes big(100, 0xAA);
+  small.Feed(KissEncodeData(big));
+  EXPECT_TRUE(frames_.empty());
+  EXPECT_EQ(small.oversize_drops(), 1u);
+  small.Feed(KissEncodeData(Bytes{1, 2}));
+  ASSERT_EQ(frames_.size(), 1u);
+}
+
+TEST_F(KissRoundTrip, ResetDropsPartialFrame) {
+  decoder_.Feed(Bytes{kKissFend, 0x00, 0x01, 0x02});
+  decoder_.Reset();
+  decoder_.Feed(Bytes{0x03, kKissFend});  // tail of the old frame: becomes garbage frame
+  // The stray bytes form a new "frame" with type 0x03 — decoder is lenient,
+  // but the original payload must not leak through.
+  for (const auto& f : frames_) {
+    EXPECT_NE(f.payload, (Bytes{0x01, 0x02, 0x03}));
+  }
+}
+
+TEST_F(KissRoundTrip, EmptyPayloadDataFrame) {
+  decoder_.Feed(KissEncodeData(Bytes{}));
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_TRUE(frames_[0].payload.empty());
+}
+
+TEST(KissEncodeTest, WireFormatExact) {
+  // FEND, type 0x00, payload, FEND.
+  Bytes wire = KissEncodeData(Bytes{0x10, 0x20});
+  EXPECT_EQ(wire, (Bytes{kKissFend, 0x00, 0x10, 0x20, kKissFend}));
+}
+
+TEST(KissEncodeTest, EscapedBytesExpandCorrectly) {
+  Bytes wire = KissEncodeData(Bytes{kKissFend});
+  EXPECT_EQ(wire, (Bytes{kKissFend, 0x00, kKissFesc, kKissTfend, kKissFend}));
+  wire = KissEncodeData(Bytes{kKissFesc});
+  EXPECT_EQ(wire, (Bytes{kKissFend, 0x00, kKissFesc, kKissTfesc, kKissFend}));
+}
+
+}  // namespace
+}  // namespace upr

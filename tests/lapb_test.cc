@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/ax25/lapb.h"
+#include "src/sim/simulator.h"
+
+namespace upr {
+namespace {
+
+// Two links joined by a lossy delayed pipe.
+class LapbPair : public ::testing::Test {
+ protected:
+  void Build(Ax25LinkConfig config = {}) {
+    a_ = std::make_unique<Ax25Link>(
+        &sim_, Ax25Address("AAA", 0),
+        [this](const Ax25Frame& f) { Deliver(f, b_.get(), &a_to_b_drop_); }, config);
+    b_ = std::make_unique<Ax25Link>(
+        &sim_, Ax25Address("BBB", 0),
+        [this](const Ax25Frame& f) { Deliver(f, a_.get(), &b_to_a_drop_); }, config);
+    b_->set_accept_handler([](const Ax25Address&) { return true; });
+    b_->set_connection_handler([this](Ax25Connection* c) {
+      accepted_ = c;
+      c->set_data_handler([this](const Bytes& data) {
+        received_.insert(received_.end(), data.begin(), data.end());
+      });
+    });
+  }
+
+  void Deliver(const Ax25Frame& f, Ax25Link* to, int* drop_budget) {
+    if (*drop_budget > 0) {
+      --*drop_budget;
+      return;  // frame lost
+    }
+    // Half-second link delay, corpus-independent.
+    sim_.Schedule(Milliseconds(500), [to, f] { to->HandleFrame(f); });
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Ax25Link> a_;
+  std::unique_ptr<Ax25Link> b_;
+  Ax25Connection* accepted_ = nullptr;
+  Bytes received_;
+  int a_to_b_drop_ = 0;
+  int b_to_a_drop_ = 0;
+};
+
+TEST_F(LapbPair, ConnectHandshake) {
+  Build();
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kConnecting);
+  bool connected = false;
+  c->set_connected_handler([&] { connected = true; });
+  sim_.RunUntil(Seconds(5));
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(c->state(), Ax25Connection::State::kConnected);
+  ASSERT_NE(accepted_, nullptr);
+  EXPECT_EQ(accepted_->state(), Ax25Connection::State::kConnected);
+}
+
+TEST_F(LapbPair, RejectedConnectGetsDm) {
+  Build();
+  b_->set_accept_handler([](const Ax25Address&) { return false; });
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  bool disconnected = false;
+  c->set_disconnected_handler([&] { disconnected = true; });
+  sim_.RunUntil(Seconds(5));
+  EXPECT_TRUE(disconnected);
+  EXPECT_EQ(c->state(), Ax25Connection::State::kDisconnected);
+}
+
+TEST_F(LapbPair, DataTransferInOrder) {
+  Build();
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  Bytes msg = BytesFromString("The quick brown fox jumps over the lazy dog");
+  c->Send(msg);
+  sim_.RunUntil(Seconds(30));
+  EXPECT_EQ(received_, msg);
+}
+
+TEST_F(LapbPair, SegmentsLargeDataByPaclen) {
+  Ax25LinkConfig cfg;
+  cfg.paclen = 10;
+  Build(cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  Bytes msg(95, 0x5A);
+  c->Send(msg);
+  sim_.RunUntil(Seconds(120));
+  EXPECT_EQ(received_, msg);
+  EXPECT_EQ(c->i_frames_sent(), 10u);  // ceil(95/10)
+}
+
+TEST_F(LapbPair, SurvivesSabmLoss) {
+  Build();
+  a_to_b_drop_ = 1;  // first SABM vanishes
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kConnected);
+}
+
+TEST_F(LapbPair, RetransmitsLostIFrame) {
+  Build();
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  a_to_b_drop_ = 1;  // first I frame lost
+  Bytes msg = BytesFromString("reliable");
+  c->Send(msg);
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(received_, msg);
+  EXPECT_GE(c->i_frames_resent(), 1u);
+}
+
+TEST_F(LapbPair, RejRecoversOutOfSequence) {
+  Ax25LinkConfig cfg;
+  cfg.paclen = 8;
+  cfg.window = 4;
+  Build(cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  a_to_b_drop_ = 1;  // lose the first of several I frames: B sees 1,2,3 and REJs
+  Bytes msg(32, 0x77);
+  c->Send(msg);
+  sim_.RunUntil(Seconds(120));
+  EXPECT_EQ(received_, msg);
+}
+
+TEST_F(LapbPair, WindowLimitsOutstandingFrames) {
+  Ax25LinkConfig cfg;
+  cfg.paclen = 4;
+  cfg.window = 2;
+  Build(cfg);
+  // Black-hole everything after connect to observe the frozen window.
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  a_to_b_drop_ = 1'000'000;
+  c->Send(Bytes(40, 1));
+  sim_.RunUntil(Seconds(6));
+  // Only `window` frames were ever emitted as fresh transmissions.
+  EXPECT_EQ(c->i_frames_sent(), 2u);
+}
+
+TEST_F(LapbPair, DisconnectHandshake) {
+  Build();
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  bool a_down = false, b_down = false;
+  c->set_disconnected_handler([&] { a_down = true; });
+  accepted_->set_disconnected_handler([&] { b_down = true; });
+  c->Disconnect();
+  sim_.RunUntil(Seconds(15));
+  EXPECT_TRUE(a_down);
+  EXPECT_TRUE(b_down);
+  a_->ReapClosed();
+  b_->ReapClosed();
+  EXPECT_EQ(a_->connection_count(), 0u);
+  EXPECT_EQ(b_->connection_count(), 0u);
+}
+
+TEST_F(LapbPair, RetryLimitGivesUp) {
+  Ax25LinkConfig cfg;
+  cfg.n2 = 3;
+  cfg.t1 = Seconds(2);
+  Build(cfg);
+  a_to_b_drop_ = 1'000'000;  // peer unreachable
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kDisconnected);
+}
+
+TEST_F(LapbPair, BidirectionalTransfer) {
+  Build();
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  Bytes a_received;
+  c->set_data_handler([&](const Bytes& d) {
+    a_received.insert(a_received.end(), d.begin(), d.end());
+  });
+  sim_.RunUntil(Seconds(5));
+  ASSERT_NE(accepted_, nullptr);
+  c->Send(BytesFromString("ping from A"));
+  accepted_->Send(BytesFromString("pong from B"));
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(received_, BytesFromString("ping from A"));
+  EXPECT_EQ(a_received, BytesFromString("pong from B"));
+}
+
+TEST_F(LapbPair, SendBeforeConnectedIsQueued) {
+  Build();
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  c->Send(BytesFromString("early"));
+  sim_.RunUntil(Seconds(30));
+  EXPECT_EQ(received_, BytesFromString("early"));
+}
+
+TEST_F(LapbPair, T3KeepaliveDetectsDeadPeer) {
+  Ax25LinkConfig cfg;
+  cfg.t1 = Seconds(2);
+  cfg.t3 = Seconds(30);
+  cfg.n2 = 3;
+  Build(cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  // Peer falls off the air. The idle link looks fine until T3 polls it.
+  a_to_b_drop_ = 1'000'000;
+  b_to_a_drop_ = 1'000'000;
+  sim_.RunUntil(Seconds(25));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kConnected);  // not yet probed
+  sim_.RunUntil(Seconds(120));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kDisconnected);
+}
+
+TEST_F(LapbPair, T3KeepaliveKeepsIdleLinkAlive) {
+  Ax25LinkConfig cfg;
+  cfg.t1 = Seconds(2);
+  cfg.t3 = Seconds(30);
+  cfg.n2 = 3;
+  Build(cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  // A long idle period with a healthy peer: polls answered, link stays up,
+  // and data still flows afterwards.
+  sim_.RunUntil(Seconds(600));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kConnected);
+  c->Send(BytesFromString("still here"));
+  sim_.RunUntil(Seconds(700));
+  EXPECT_EQ(received_, BytesFromString("still here"));
+}
+
+TEST_F(LapbPair, T3DisabledMeansNoIdleTraffic) {
+  Ax25LinkConfig cfg;
+  cfg.t3 = 0;
+  Build(cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  std::size_t events_before = sim_.executed_events();
+  sim_.RunUntil(Seconds(3600));
+  // No keepalives: a fully idle link generates no events at all.
+  EXPECT_EQ(sim_.executed_events(), events_before);
+}
+
+TEST_F(LapbPair, UnknownPeerNonSabmGetsDm) {
+  Build();
+  // Hand-deliver an I frame from a peer B has never heard of.
+  Ax25Frame f;
+  f.destination = Ax25Address("BBB", 0);
+  f.source = Ax25Address("ZZZ", 0);
+  f.type = Ax25FrameType::kI;
+  f.pid = kPidNoLayer3;
+  f.info = BytesFromString("?");
+  int dm_count = 0;
+  auto z = std::make_unique<Ax25Link>(
+      &sim_, Ax25Address("ZZZ", 0), [&](const Ax25Frame&) {});
+  // Replace b's sender check: count DMs it emits by inspecting via a fresh link.
+  b_ = std::make_unique<Ax25Link>(&sim_, Ax25Address("BBB", 0),
+                                  [&](const Ax25Frame& out) {
+                                    if (out.type == Ax25FrameType::kDm) {
+                                      ++dm_count;
+                                    }
+                                  });
+  b_->HandleFrame(f);
+  EXPECT_EQ(dm_count, 1);
+}
+
+}  // namespace
+}  // namespace upr

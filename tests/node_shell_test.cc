@@ -1,0 +1,220 @@
+// End-to-end test of §1's NET/ROM user workflow: "users would connect to a
+// node on the network. They would then connect to the NET/ROM node nearest
+// their destination. Finally, they would connect to their destination."
+//
+// A terminal user in Seattle connects (AX.25) to the SEA node, crosses the
+// SEA-MID-TAC backbone on a layer-4 circuit, and from the TAC node connects
+// onward (AX.25 again) to a BBS — three networks spliced end to end.
+#include <gtest/gtest.h>
+
+#include "src/apps/bbs.h"
+#include "src/netrom/node_shell.h"
+#include "src/scenario/testbed.h"
+#include "src/tnc/command_tnc.h"
+#include "src/util/crc.h"
+
+namespace upr {
+namespace {
+
+class NodeShellFixture : public ::testing::Test {
+ protected:
+  struct NodeSite {
+    std::unique_ptr<RadioStation> station;
+    std::unique_ptr<NetRomNode> node;
+    std::unique_ptr<NetRomTransport> transport;
+    std::unique_ptr<Ax25Link> user_link;
+    std::unique_ptr<NetRomNodeShell> shell;
+  };
+
+  NodeShellFixture() {
+    RadioChannelConfig rc;
+    rc.bit_rate = 9600;
+    channel_ = std::make_unique<RadioChannel>(&sim_, rc, 404);
+    const char* calls[] = {"N7SEA", "W7MID", "K7TAC"};
+    const char* aliases[] = {"SEA", "MID", "TAC"};
+    for (int i = 0; i < 3; ++i) {
+      auto site = std::make_unique<NodeSite>();
+      RadioStationConfig c;
+      c.hostname = aliases[i];
+      c.callsign = *Ax25Address::Parse(calls[i]);
+      c.ip = IpV4Address(44, 24, 10, static_cast<std::uint8_t>(10 + i));
+      c.seed = 600 + static_cast<std::uint64_t>(i);
+      site->station = std::make_unique<RadioStation>(&sim_, channel_.get(), c);
+      NetRomConfig nc;
+      nc.alias = aliases[i];
+      nc.learn_neighbors = false;
+      nc.nodes_interval = Seconds(120);
+      site->node = std::make_unique<NetRomNode>(&sim_, site->station->radio_if(), nc);
+      NetRomTransportConfig tc;
+      tc.retransmit_timeout = Seconds(60);
+      site->transport = std::make_unique<NetRomTransport>(site->node.get(), tc);
+      Ax25LinkConfig lc;
+      lc.t1 = Seconds(8);
+      site->user_link = MakeNodeUserLink(&sim_, site->station->radio_if(),
+                                         site->node.get(), lc);
+      site->shell = std::make_unique<NetRomNodeShell>(
+          site->node.get(), site->transport.get(), site->user_link.get());
+      sites_.push_back(std::move(site));
+    }
+    // Chain SEA - MID - TAC.
+    sites_[0]->node->AddNeighbor(sites_[1]->node->callsign(), 200);
+    sites_[1]->node->AddNeighbor(sites_[0]->node->callsign(), 200);
+    sites_[1]->node->AddNeighbor(sites_[2]->node->callsign(), 200);
+    sites_[2]->node->AddNeighbor(sites_[1]->node->callsign(), 200);
+    // Converge routes.
+    for (int round = 0; round < 3; ++round) {
+      for (auto& s : sites_) {
+        s->node->BroadcastNodes();
+      }
+      sim_.RunUntil(sim_.Now() + Seconds(60));
+    }
+  }
+
+  Simulator sim_;
+  std::unique_ptr<RadioChannel> channel_;
+  std::vector<std::unique_ptr<NodeSite>> sites_;
+};
+
+// A user station with a plain Ax25Link pointed at the SEA node.
+struct ShellUser {
+  ShellUser(Simulator* sim, RadioChannel* channel, const char* call,
+            std::uint64_t seed) {
+    RadioStationConfig c;
+    c.hostname = call;
+    c.callsign = *Ax25Address::Parse(call);
+    c.ip = IpV4Address(44, 24, 10, 99);
+    c.seed = seed;
+    station = std::make_unique<RadioStation>(sim, channel, c);
+    Ax25LinkConfig lc;
+    lc.t1 = Seconds(8);
+    link = BindAx25LinkToDriver(sim, station->radio_if(), lc);
+  }
+
+  Ax25Connection* Connect(const Ax25Address& node) {
+    conn = link->Connect(node);
+    conn->set_data_handler([this](const Bytes& d) {
+      transcript.append(d.begin(), d.end());
+    });
+    return conn;
+  }
+  void SendLine(const std::string& text) { conn->Send(Line(text)); }
+  bool Saw(const std::string& needle) const {
+    return transcript.find(needle) != std::string::npos;
+  }
+
+  std::unique_ptr<RadioStation> station;
+  std::unique_ptr<Ax25Link> link;
+  Ax25Connection* conn = nullptr;
+  std::string transcript;
+};
+
+TEST_F(NodeShellFixture, NodesCommandListsBackbone) {
+  ShellUser user(&sim_, channel_.get(), "KD7NM", 71);
+  user.Connect(*Ax25Address::Parse("N7SEA"));
+  sim_.RunUntil(sim_.Now() + Seconds(60));
+  ASSERT_EQ(user.conn->state(), Ax25Connection::State::kConnected);
+  EXPECT_TRUE(user.Saw("SEA:N7SEA} connected"));
+  user.SendLine("NODES");
+  sim_.RunUntil(sim_.Now() + Seconds(120));
+  EXPECT_TRUE(user.Saw("MID:W7MID"));
+  EXPECT_TRUE(user.Saw("TAC:K7TAC"));
+}
+
+TEST_F(NodeShellFixture, UnknownCommandExplains) {
+  ShellUser user(&sim_, channel_.get(), "KD7NM", 72);
+  user.Connect(*Ax25Address::Parse("N7SEA"));
+  sim_.RunUntil(sim_.Now() + Seconds(60));
+  user.SendLine("FROB");
+  sim_.RunUntil(sim_.Now() + Seconds(60));
+  EXPECT_TRUE(user.Saw("eh?"));
+}
+
+TEST_F(NodeShellFixture, FullSection1Workflow) {
+  // The BBS lives next to the TAC node.
+  RadioStationConfig bc;
+  bc.hostname = "bbs";
+  bc.callsign = *Ax25Address::Parse("W7BBS");
+  bc.ip = IpV4Address(44, 24, 10, 50);
+  bc.seed = 80;
+  RadioStation bbs_station(&sim_, channel_.get(), bc);
+  Ax25LinkConfig lc;
+  lc.t1 = Seconds(8);
+  auto bbs_link = BindAx25LinkToDriver(&sim_, bbs_station.radio_if(), lc);
+  Ax25Bbs bbs(bbs_link.get(), "[Tacoma BBS]");
+  bbs.Post(BbsMessage{.from = "KB7DZ", .to = "", .subject = "backbone works",
+                      .body = {"sent via the NET/ROM chain"}});
+
+  ShellUser user(&sim_, channel_.get(), "KD7NM", 73);
+  user.Connect(*Ax25Address::Parse("N7SEA"));
+  sim_.RunUntil(sim_.Now() + Seconds(60));
+  ASSERT_EQ(user.conn->state(), Ax25Connection::State::kConnected);
+
+  // Step 1: connect to the node nearest the destination, by alias.
+  user.SendLine("C TAC");
+  sim_.RunUntil(sim_.Now() + Seconds(300));
+  EXPECT_TRUE(user.Saw("TAC:K7TAC} connected"));
+
+  // Step 2: from there, connect to the destination station.
+  user.SendLine("C W7BBS");
+  sim_.RunUntil(sim_.Now() + Seconds(300));
+  EXPECT_TRUE(user.Saw("*** connected"));
+  EXPECT_TRUE(user.Saw("[Tacoma BBS]"));
+
+  // Step 3: use the BBS across two spliced hops.
+  user.SendLine("L");
+  sim_.RunUntil(sim_.Now() + Seconds(300));
+  EXPECT_TRUE(user.Saw("#1 KB7DZ: backbone works"));
+  user.SendLine("R 1");
+  sim_.RunUntil(sim_.Now() + Seconds(300));
+  EXPECT_TRUE(user.Saw("sent via the NET/ROM chain"));
+
+  EXPECT_EQ(sites_[0]->shell->circuits_spliced(), 1u);
+  EXPECT_EQ(sites_[2]->shell->circuits_spliced(), 1u);
+  EXPECT_GE(sites_[1]->node->forwarded(), 4u);  // the relay carried it all
+}
+
+TEST_F(NodeShellFixture, OnwardConnectToLocalStation) {
+  // "C <callsign>" at the first node (no backbone hop): node bridges the
+  // user straight to a local station.
+  RadioStationConfig bc;
+  bc.hostname = "local";
+  bc.callsign = *Ax25Address::Parse("KG7K");
+  bc.ip = IpV4Address(44, 24, 10, 51);
+  bc.seed = 81;
+  RadioStation local_station(&sim_, channel_.get(), bc);
+  Ax25LinkConfig lc;
+  lc.t1 = Seconds(8);
+  auto local_link = BindAx25LinkToDriver(&sim_, local_station.radio_if(), lc);
+  local_link->set_accept_handler([](const Ax25Address&) { return true; });
+  std::string local_got;
+  local_link->set_connection_handler([&](Ax25Connection* c) {
+    c->set_data_handler([&](const Bytes& d) {
+      local_got.append(d.begin(), d.end());
+    });
+    c->Send(Line("hello from KG7K"));
+  });
+
+  ShellUser user(&sim_, channel_.get(), "KD7NM", 74);
+  user.Connect(*Ax25Address::Parse("N7SEA"));
+  sim_.RunUntil(sim_.Now() + Seconds(60));
+  user.SendLine("C KG7K");
+  sim_.RunUntil(sim_.Now() + Seconds(300));
+  EXPECT_TRUE(user.Saw("*** connected"));
+  EXPECT_TRUE(user.Saw("hello from KG7K"));
+  user.SendLine("anyone there?");
+  sim_.RunUntil(sim_.Now() + Seconds(300));
+  EXPECT_NE(local_got.find("anyone there?"), std::string::npos);
+}
+
+TEST_F(NodeShellFixture, ByeDisconnectsCleanly) {
+  ShellUser user(&sim_, channel_.get(), "KD7NM", 75);
+  user.Connect(*Ax25Address::Parse("N7SEA"));
+  sim_.RunUntil(sim_.Now() + Seconds(60));
+  user.SendLine("B");
+  sim_.RunUntil(sim_.Now() + Seconds(120));
+  EXPECT_TRUE(user.Saw("73"));
+  EXPECT_EQ(user.conn->state(), Ax25Connection::State::kDisconnected);
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/scenario/monitor.h"
+#include "src/scenario/netstat.h"
+#include "src/scenario/testbed.h"
+
+namespace upr {
+namespace {
+
+TEST(ChannelMonitorTest, CountsAndDecodesPingTraffic) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 1;
+  cfg.ether_hosts = 1;
+  cfg.radio_bit_rate = 9600;
+  Testbed tb(cfg);
+  ChannelMonitor monitor(&tb.sim(), &tb.channel());
+  // No static ARP: the monitor should see the ARP exchange too.
+  bool ok = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::EtherHostIp(0), 16,
+                               [&](bool success, SimTime) { ok = success; },
+                               Seconds(300));
+  tb.sim().RunUntil(Seconds(600));
+  ASSERT_TRUE(ok);
+  const MonitorCounters& c = monitor.counters();
+  EXPECT_EQ(c.ui_arp, 2u);   // request + reply
+  EXPECT_EQ(c.ui_ip, 2u);    // echo there and back on the radio leg
+  EXPECT_EQ(c.corrupted, 0u);
+  EXPECT_GT(c.bytes_on_air, 100u);
+  EXPECT_TRUE(monitor.Saw("UI"));
+  EXPECT_TRUE(monitor.Saw("(ARP)"));
+  EXPECT_TRUE(monitor.Saw("(IP 44.24.0.10 > 128.95.1.10"));
+}
+
+TEST(ChannelMonitorTest, DecodesTcpInsideIp) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 1;
+  cfg.ether_hosts = 1;
+  cfg.radio_bit_rate = 9600;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  ChannelMonitor monitor(&tb.sim(), &tb.channel());
+  tb.host(0).tcp().Listen(23, [](TcpConnection*) {});
+  TcpConnection* c = tb.pc(0).tcp().Connect(Testbed::EtherHostIp(0), 23);
+  ASSERT_NE(c, nullptr);
+  tb.sim().RunUntil(Seconds(120));
+  EXPECT_TRUE(monitor.Saw("TCP"));
+  EXPECT_TRUE(monitor.Saw("SYN"));
+}
+
+TEST(ChannelMonitorTest, FlagsCollisionsAndKeepsBoundedHistory) {
+  Simulator sim;
+  RadioChannel channel(&sim);
+  ChannelMonitor monitor(&sim, &channel, nullptr, /*keep_lines=*/4);
+  RadioPort* a = channel.CreatePort("a");
+  RadioPort* b = channel.CreatePort("b");
+  a->StartTransmit(Bytes(50, 1), 0, 0);
+  b->StartTransmit(Bytes(50, 2), 0, 0);  // collides
+  sim.RunAll();
+  EXPECT_EQ(monitor.counters().corrupted, 2u);
+  EXPECT_TRUE(monitor.Saw("collision"));
+  for (int i = 0; i < 10; ++i) {
+    a->StartTransmit(Bytes(10, 3), 0, 0);
+    sim.RunAll();
+  }
+  EXPECT_LE(monitor.lines().size(), 4u);
+}
+
+TEST(NetstatTest, FormatsInterfacesRoutesAndStats) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 1;
+  cfg.ether_hosts = 1;
+  cfg.radio_bit_rate = 9600;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  bool ok = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::EtherHostIp(0), 16,
+                               [&](bool success, SimTime) { ok = success; },
+                               Seconds(300));
+  tb.sim().RunUntil(Seconds(600));
+  ASSERT_TRUE(ok);
+
+  std::string s = FormatNetstat(tb.gateway().stack());
+  EXPECT_NE(s.find("microvax"), std::string::npos);
+  EXPECT_NE(s.find("pr0"), std::string::npos);
+  EXPECT_NE(s.find("qe0"), std::string::npos);
+  EXPECT_NE(s.find("44.24.0.28/8"), std::string::npos);
+  EXPECT_NE(s.find("128.95.1.1/24"), std::string::npos);
+  EXPECT_NE(s.find("forwarded"), std::string::npos);
+  // The direct routes must appear with interface names.
+  std::string routes = FormatRoutes(tb.gateway().stack());
+  EXPECT_NE(routes.find("44.0.0.0/8"), std::string::npos);
+  EXPECT_NE(routes.find("128.95.1.0/24"), std::string::npos);
+}
+
+TEST(NetstatTest, RouteFlagsDistinguishGatewayAndHostRoutes) {
+  Simulator sim;
+  NetStack stack(&sim, "h");
+  RouteTable& rt = stack.routes();
+  rt.AddDirect(IpV4Prefix::FromCidr(IpV4Address(10, 0, 0, 0), 24), nullptr);
+  rt.AddVia(IpV4Prefix::FromCidr(IpV4Address(44, 56, 0, 5), 32),
+            IpV4Address(10, 0, 0, 2), nullptr);
+  std::string s = FormatRoutes(stack);
+  EXPECT_NE(s.find(" U "), std::string::npos);
+  EXPECT_NE(s.find("UGH"), std::string::npos);
+}
+
+TEST(NetstatTest, GatewayFormatterShowsTableState) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 1;
+  cfg.ether_hosts = 1;
+  cfg.radio_bit_rate = 9600;
+  cfg.enforce_access_control = true;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  bool ok = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::EtherHostIp(0), 16,
+                               [&](bool success, SimTime) { ok = success; },
+                               Seconds(300));
+  tb.sim().RunUntil(Seconds(600));
+  ASSERT_TRUE(ok);
+  std::string s = FormatGateway(tb.gateway().gateway());
+  EXPECT_NE(s.find("1 live entries"), std::string::npos);
+  EXPECT_NE(s.find("radio->wire"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/serial/serial_line.h"
+#include "src/sim/simulator.h"
+
+namespace upr {
+namespace {
+
+TEST(SerialLineTest, DeliversBytesInOrder) {
+  Simulator sim;
+  SerialLine line(&sim, 9600);
+  Bytes got;
+  line.b().set_receive_handler([&](std::uint8_t b) { got.push_back(b); });
+  line.a().Write(Bytes{1, 2, 3, 4});
+  sim.RunAll();
+  EXPECT_EQ(got, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(SerialLineTest, ByteTimingMatchesBaudRate) {
+  Simulator sim;
+  SerialLine line(&sim, 9600);
+  // 10 bits per byte at 9600 baud.
+  EXPECT_EQ(line.byte_time(), Microseconds(10.0 * 1e6 / 9600.0));
+  std::vector<SimTime> arrivals;
+  line.b().set_receive_handler([&](std::uint8_t) { arrivals.push_back(sim.Now()); });
+  line.a().Write(Bytes{0, 0, 0});
+  sim.RunAll();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], line.byte_time());
+  EXPECT_EQ(arrivals[1], 2 * line.byte_time());
+  EXPECT_EQ(arrivals[2], 3 * line.byte_time());
+}
+
+TEST(SerialLineTest, BacklogSerializesBursts) {
+  Simulator sim;
+  SerialLine line(&sim, 1200);
+  int received = 0;
+  line.b().set_receive_handler([&](std::uint8_t) { ++received; });
+  line.a().Write(Bytes(120, 0x55));  // one second of data at 1200 baud
+  EXPECT_EQ(line.a().backlog(), 120u);
+  sim.RunUntil(Milliseconds(500));
+  EXPECT_EQ(received, 60);
+  sim.RunAll();
+  EXPECT_EQ(received, 120);
+  EXPECT_EQ(line.a().backlog(), 0u);
+}
+
+TEST(SerialLineTest, FullDuplexDirectionsIndependent) {
+  Simulator sim;
+  SerialLine line(&sim, 9600);
+  int a_got = 0, b_got = 0;
+  line.a().set_receive_handler([&](std::uint8_t) { ++a_got; });
+  line.b().set_receive_handler([&](std::uint8_t) { ++b_got; });
+  line.a().Write(Bytes(10, 1));
+  line.b().Write(Bytes(10, 2));
+  sim.RunAll();
+  EXPECT_EQ(a_got, 10);
+  EXPECT_EQ(b_got, 10);
+  EXPECT_EQ(line.a().bytes_sent(), 10u);
+  EXPECT_EQ(line.a().bytes_received(), 10u);
+}
+
+TEST(SerialLineTest, LaterWritesQueueBehindEarlier) {
+  Simulator sim;
+  SerialLine line(&sim, 9600);
+  std::vector<std::uint8_t> got;
+  line.b().set_receive_handler([&](std::uint8_t b) { got.push_back(b); });
+  line.a().Write(Bytes{1});
+  line.a().Write(Bytes{2});
+  sim.RunAll();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2}));
+  // Second byte lands a full byte-time after the first.
+}
+
+}  // namespace
+}  // namespace upr

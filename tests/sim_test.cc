@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace upr {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(30), [&] { order.push_back(3); });
+  sim.Schedule(Milliseconds(10), [&] { order.push_back(1); });
+  sim.Schedule(Milliseconds(20), [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Milliseconds(30));
+}
+
+TEST(SimulatorTest, EqualTimestampsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto id = sim.Schedule(Seconds(1), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndSafeAfterRun) {
+  Simulator sim;
+  int runs = 0;
+  auto id = sim.Schedule(Seconds(1), [&] { ++runs; });
+  sim.RunAll();
+  sim.Cancel(id);  // already executed: no-op
+  sim.Cancel(id);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(5), [&] { order.push_back(5); });
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.Now(), Seconds(2));
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.Schedule(Seconds(1), recurse);
+    }
+  };
+  sim.Schedule(Seconds(1), recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(Seconds(2), [] {});
+  sim.RunAll();
+  SimTime before = sim.Now();
+  bool ran = false;
+  sim.Schedule(-Seconds(5), [&] { ran = true; });
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), before);
+}
+
+TEST(TimerTest, FiresOnceAfterDelay) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(&sim, [&] { ++fires; });
+  t.Restart(Seconds(3));
+  EXPECT_TRUE(t.running());
+  sim.RunAll();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(TimerTest, RestartResetsDeadline) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(&sim, [&] { ++fires; });
+  t.Restart(Seconds(1));
+  sim.RunUntil(Milliseconds(500));
+  t.Restart(Seconds(1));
+  sim.RunUntil(Seconds(1));  // original deadline passes
+  EXPECT_EQ(fires, 0);
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TimerTest, StopCancels) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(&sim, [&] { ++fires; });
+  t.Restart(Seconds(1));
+  t.Stop();
+  sim.RunAll();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerTest, TimerCanRearmItself) {
+  Simulator sim;
+  int fires = 0;
+  Timer* handle = nullptr;
+  Timer t(&sim, [&] {
+    if (++fires < 3) {
+      handle->Restart(Seconds(1));
+    }
+  });
+  handle = &t;
+  t.Restart(Seconds(1));
+  sim.RunAll();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(TimeHelpersTest, Conversions) {
+  EXPECT_EQ(Seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(Milliseconds(2), 2'000'000);
+  EXPECT_EQ(Microseconds(3), 3'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(4)), 4.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Milliseconds(7)), 7.0);
+}
+
+TEST(TimeHelpersTest, TransmitTimeAt1200Baud) {
+  // 150 bytes at 1200 bit/s = 1 second: the paper's dominant cost.
+  EXPECT_EQ(TransmitTime(150, 1200), Seconds(1));
+  EXPECT_EQ(TransmitTime(1500, 10'000'000), Microseconds(1200));
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "src/ether/ethernet.h"
+#include "src/net/netstack.h"
+#include "src/scenario/testbed.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/tcp.h"
+
+namespace upr {
+namespace {
+
+TEST(TcpSegmentTest, EncodeDecodeRoundTrip) {
+  TcpSegment s;
+  s.source_port = 1024;
+  s.destination_port = 23;
+  s.seq = 0xDEADBEEF;
+  s.ack = 0x12345678;
+  s.flags.syn = true;
+  s.flags.ack = true;
+  s.window = 4096;
+  s.mss_option = 512;
+  s.payload = BytesFromString("option test");
+  IpV4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  auto d = TcpSegment::Decode(s.Encode(src, dst), src, dst);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->source_port, 1024);
+  EXPECT_EQ(d->destination_port, 23);
+  EXPECT_EQ(d->seq, 0xDEADBEEFu);
+  EXPECT_EQ(d->ack, 0x12345678u);
+  EXPECT_TRUE(d->flags.syn);
+  EXPECT_TRUE(d->flags.ack);
+  EXPECT_FALSE(d->flags.fin);
+  ASSERT_TRUE(d->mss_option);
+  EXPECT_EQ(*d->mss_option, 512);
+  EXPECT_EQ(d->payload, BytesFromString("option test"));
+}
+
+TEST(TcpSegmentTest, ChecksumCoversPseudoHeader) {
+  TcpSegment s;
+  s.source_port = 1;
+  s.destination_port = 2;
+  IpV4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  Bytes wire = s.Encode(src, dst);
+  // Valid against the right addresses, invalid against others.
+  EXPECT_TRUE(TcpSegment::Decode(wire, src, dst));
+  EXPECT_FALSE(TcpSegment::Decode(wire, src, IpV4Address(10, 0, 0, 3)));
+  wire[0] ^= 1;
+  EXPECT_FALSE(TcpSegment::Decode(wire, src, dst));
+}
+
+TEST(SeqCompareTest, WrapsCorrectly) {
+  EXPECT_TRUE(SeqLt(0xFFFFFFF0u, 0x10u));
+  EXPECT_TRUE(SeqGt(0x10u, 0xFFFFFFF0u));
+  EXPECT_TRUE(SeqLe(5u, 5u));
+  EXPECT_FALSE(SeqLt(5u, 5u));
+}
+
+TEST(RtoEstimatorTest, FixedNeverAdapts) {
+  TcpConfig cfg;
+  cfg.rto_algorithm = RtoAlgorithm::kFixed;
+  cfg.fixed_rto = Seconds(3);
+  RtoEstimator e(cfg);
+  EXPECT_EQ(e.Timeout(), Seconds(3));
+  e.Sample(Seconds(20));
+  e.Sample(Seconds(20));
+  EXPECT_EQ(e.Timeout(), Seconds(3));
+}
+
+TEST(RtoEstimatorTest, Rfc793ConvergesTowardRtt) {
+  TcpConfig cfg;
+  cfg.rto_algorithm = RtoAlgorithm::kRfc793;
+  cfg.initial_rtt = Seconds(1);
+  cfg.max_rto = Seconds(120);
+  RtoEstimator e(cfg);
+  for (int i = 0; i < 60; ++i) {
+    e.Sample(Seconds(15));
+  }
+  // SRTT -> 15 s; RTO = 2*SRTT -> 30 s.
+  EXPECT_NEAR(ToSeconds(e.srtt()), 15.0, 0.5);
+  EXPECT_NEAR(ToSeconds(e.Timeout()), 30.0, 1.0);
+}
+
+TEST(RtoEstimatorTest, JacobsonTracksVariance) {
+  TcpConfig cfg;
+  cfg.rto_algorithm = RtoAlgorithm::kJacobson;
+  cfg.max_rto = Seconds(240);
+  RtoEstimator e(cfg);
+  e.Sample(Seconds(10));
+  EXPECT_EQ(e.srtt(), Seconds(10));
+  EXPECT_EQ(e.rttvar(), Seconds(5));
+  for (int i = 0; i < 50; ++i) {
+    e.Sample(Seconds(10));
+  }
+  // Variance decays toward zero on a steady path; RTO approaches SRTT.
+  EXPECT_LT(ToSeconds(e.rttvar()), 1.0);
+  EXPECT_LT(ToSeconds(e.Timeout()), 15.0);
+  EXPECT_GE(e.Timeout(), Seconds(10));
+}
+
+TEST(RtoEstimatorTest, BackoffDoublesUpToMax) {
+  TcpConfig cfg;
+  cfg.rto_algorithm = RtoAlgorithm::kFixed;
+  cfg.fixed_rto = Seconds(2);
+  cfg.max_rto = Seconds(10);
+  RtoEstimator e(cfg);
+  EXPECT_EQ(e.BackedOff(0), Seconds(2));
+  EXPECT_EQ(e.BackedOff(1), Seconds(4));
+  EXPECT_EQ(e.BackedOff(2), Seconds(8));
+  EXPECT_EQ(e.BackedOff(3), Seconds(10));  // clamped
+  cfg.exponential_backoff = false;
+  RtoEstimator flat(cfg);
+  EXPECT_EQ(flat.BackedOff(5), Seconds(2));
+}
+
+TEST(RtoEstimatorTest, MinRtoEnforced) {
+  TcpConfig cfg;
+  cfg.rto_algorithm = RtoAlgorithm::kJacobson;
+  cfg.min_rto = Seconds(1);
+  RtoEstimator e(cfg);
+  for (int i = 0; i < 20; ++i) {
+    e.Sample(Milliseconds(5));
+  }
+  EXPECT_EQ(e.Timeout(), Seconds(1));
+}
+
+// Two hosts on a LAN for fast, loss-free TCP tests.
+class TcpLanTest : public ::testing::Test {
+ protected:
+  TcpLanTest() : segment_(&sim_) {
+    a_stack_ = std::make_unique<NetStack>(&sim_, "a");
+    b_stack_ = std::make_unique<NetStack>(&sim_, "b");
+    auto ia = std::make_unique<EthernetInterface>(&segment_, "qe0",
+                                                  EtherAddr::FromIndex(1));
+    ia->Configure(IpV4Address(10, 0, 0, 1), 24);
+    a_stack_->AddInterface(std::move(ia));
+    auto ib = std::make_unique<EthernetInterface>(&segment_, "qe0",
+                                                  EtherAddr::FromIndex(2));
+    ib->Configure(IpV4Address(10, 0, 0, 2), 24);
+    b_stack_->AddInterface(std::move(ib));
+    a_ = std::make_unique<Tcp>(a_stack_.get(), TcpConfig{}, 1);
+    b_ = std::make_unique<Tcp>(b_stack_.get(), TcpConfig{}, 2);
+  }
+
+  Simulator sim_;
+  EtherSegment segment_;
+  std::unique_ptr<NetStack> a_stack_;
+  std::unique_ptr<NetStack> b_stack_;
+  std::unique_ptr<Tcp> a_;
+  std::unique_ptr<Tcp> b_;
+};
+
+TEST_F(TcpLanTest, HandshakeEstablishesBothSides) {
+  TcpConnection* server = nullptr;
+  b_->Listen(23, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  ASSERT_NE(client, nullptr);
+  bool client_up = false;
+  client->set_connected_handler([&] { client_up = true; });
+  sim_.RunUntil(Seconds(5));
+  EXPECT_TRUE(client_up);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+}
+
+TEST_F(TcpLanTest, ConnectToClosedPortGetsReset) {
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 9999);
+  ASSERT_NE(client, nullptr);
+  std::string error;
+  client->set_error_handler([&](const std::string& e) { error = e; });
+  sim_.RunUntil(Seconds(5));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_NE(error.find("reset"), std::string::npos);
+  EXPECT_EQ(b_->resets_sent(), 1u);
+}
+
+TEST_F(TcpLanTest, ConnectWithNoRouteFails) {
+  EXPECT_EQ(a_->Connect(IpV4Address(99, 0, 0, 1), 23), nullptr);
+}
+
+TEST_F(TcpLanTest, BulkTransferBothDirections) {
+  Bytes to_server(20000, 0);
+  for (std::size_t i = 0; i < to_server.size(); ++i) {
+    to_server[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  Bytes to_client = BytesFromString("response payload");
+  Bytes server_got, client_got;
+  b_->Listen(23, [&](TcpConnection* c) {
+    c->set_data_handler([&, c](const Bytes& d) {
+      server_got.insert(server_got.end(), d.begin(), d.end());
+      if (server_got.size() == to_server.size()) {
+        c->Send(to_client);
+      }
+    });
+  });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  client->set_data_handler([&](const Bytes& d) {
+    client_got.insert(client_got.end(), d.begin(), d.end());
+  });
+  client->set_connected_handler([&] { client->Send(to_server); });
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(server_got, to_server);
+  EXPECT_EQ(client_got, to_client);
+  EXPECT_EQ(client->stats().retransmissions, 0u);
+}
+
+TEST_F(TcpLanTest, GracefulCloseReachesClosedOnBothEnds) {
+  TcpConnection* server = nullptr;
+  b_->Listen(23, [&](TcpConnection* c) {
+    server = c;
+    c->set_remote_closed_handler([c] { c->Close(); });
+  });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  client->set_connected_handler([&] { client->Close(); });
+  sim_.RunUntil(Seconds(30));
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+  // Client entered TIME_WAIT, then closes after 2MSL.
+  EXPECT_TRUE(client->state() == TcpState::kTimeWait ||
+              client->state() == TcpState::kClosed);
+  sim_.RunUntil(Seconds(120));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  a_->ReapClosed();
+  b_->ReapClosed();
+  EXPECT_EQ(a_->connection_count(), 0u);
+  EXPECT_EQ(b_->connection_count(), 0u);
+}
+
+TEST_F(TcpLanTest, CloseFlushesPendingData) {
+  Bytes server_got;
+  bool server_saw_fin = false;
+  b_->Listen(23, [&](TcpConnection* c) {
+    c->set_data_handler([&](const Bytes& d) {
+      server_got.insert(server_got.end(), d.begin(), d.end());
+    });
+    c->set_remote_closed_handler([&] { server_saw_fin = true; });
+  });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  Bytes data(5000, 0x3C);
+  client->set_connected_handler([&] {
+    client->Send(data);
+    client->Close();  // FIN must trail the data
+  });
+  sim_.RunUntil(Seconds(30));
+  EXPECT_EQ(server_got, data);
+  EXPECT_TRUE(server_saw_fin);
+}
+
+TEST_F(TcpLanTest, AbortSendsReset) {
+  TcpConnection* server = nullptr;
+  b_->Listen(23, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  sim_.RunUntil(Seconds(5));
+  std::string server_error;
+  ASSERT_NE(server, nullptr);
+  server->set_error_handler([&](const std::string& e) { server_error = e; });
+  client->Abort();
+  sim_.RunUntil(Seconds(10));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+  EXPECT_NE(server_error.find("reset"), std::string::npos);
+}
+
+TEST_F(TcpLanTest, SendBufferLimitRespected) {
+  TcpConfig small;
+  small.send_buffer_limit = 1000;
+  Tcp a2(a_stack_.get(), small, 5);
+  // (Registers over protocol 6 — fine, last registration wins in this stack.)
+  b_->Listen(24, [](TcpConnection*) {});
+  TcpConnection* c = a2.Connect(IpV4Address(10, 0, 0, 2), 24);
+  ASSERT_NE(c, nullptr);
+  std::size_t accepted = c->Send(Bytes(5000, 1));
+  EXPECT_LE(accepted, 1000u);
+}
+
+TEST_F(TcpLanTest, ZeroWindowStallsAndPersistProbeRecovers) {
+  TcpConnection* server = nullptr;
+  b_->Listen(23, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  ASSERT_NE(client, nullptr);
+  sim_.RunUntil(Seconds(2));
+  ASSERT_NE(server, nullptr);
+  ASSERT_EQ(client->state(), TcpState::kEstablished);
+
+  // Server slams its window shut; client then tries to send.
+  Bytes server_got;
+  server->set_data_handler([&](const Bytes& d) {
+    server_got.insert(server_got.end(), d.begin(), d.end());
+  });
+  server->set_advertised_window(0);
+  // Let the window update (via an ack of something) reach the client: force
+  // an exchange so snd_wnd_ becomes 0 at the client.
+  client->Send(Bytes(100, 0x01));
+  sim_.RunUntil(Seconds(4));
+  ASSERT_EQ(server_got.size(), 100u);
+
+  Bytes big(2000, 0x02);
+  client->Send(big);
+  sim_.RunUntil(Seconds(6));
+  // Stalled: at most a window probe's worth of progress.
+  EXPECT_LE(server_got.size(), 102u);
+  EXPECT_GT(client->unsent_bytes(), 0u);
+
+  // Window reopens; everything flows.
+  server->set_advertised_window(4096);
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(server_got.size(), 2100u);
+}
+
+TEST_F(TcpLanTest, PersistProbesBackOffWhileWindowClosed) {
+  TcpConnection* server = nullptr;
+  b_->Listen(23, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 23);
+  ASSERT_NE(client, nullptr);
+  sim_.RunUntil(Seconds(2));
+  ASSERT_NE(server, nullptr);
+  std::size_t got = 0;
+  server->set_data_handler([&](const Bytes& d) { got += d.size(); });
+  server->set_advertised_window(0);
+  client->Send(Bytes(10, 0x01));  // learns of the zero window from the ACK
+  sim_.RunUntil(Seconds(4));
+  std::size_t after_first = got;
+  client->Send(Bytes(500, 0x02));
+  // Probes trickle one byte at a time with exponential backoff; after a
+  // minute only a handful of probe bytes got through.
+  sim_.RunUntil(Seconds(64));
+  EXPECT_LT(got - after_first, 10u);
+  EXPECT_GT(got - after_first, 0u);  // but it never fully deadlocks
+}
+
+TEST_F(TcpLanTest, DelayedAckCoalescesAcks) {
+  TcpConfig delack;
+  delack.delayed_ack = true;
+  Tcp b2(b_stack_.get(), delack, 9);  // replaces protocol-6 handler on b
+  TcpConnection* server = nullptr;
+  b2.Listen(24, [&](TcpConnection* c) {
+    server = c;
+    c->set_data_handler([](const Bytes&) {});
+  });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 24);
+  ASSERT_NE(client, nullptr);
+  client->set_connected_handler([&] { client->Send(Bytes(4096, 0x77)); });
+  sim_.RunUntil(Seconds(30));
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->stats().bytes_received, 4096u);
+  // 8 data segments; delayed ack coalesces to roughly one ack per two.
+  EXPECT_LE(server->stats().segments_sent, 7u);
+  EXPECT_EQ(client->stats().retransmissions, 0u);
+}
+
+TEST_F(TcpLanTest, DelayedAckTimerFiresForOddSegment) {
+  TcpConfig delack;
+  delack.delayed_ack = true;
+  delack.delayed_ack_timeout = Milliseconds(200);
+  Tcp b2(b_stack_.get(), delack, 9);
+  TcpConnection* server = nullptr;
+  b2.Listen(24, [&](TcpConnection* c) {
+    server = c;
+    c->set_data_handler([](const Bytes&) {});
+  });
+  TcpConnection* client = a_->Connect(IpV4Address(10, 0, 0, 2), 24);
+  ASSERT_NE(client, nullptr);
+  client->set_connected_handler([&] { client->Send(Bytes(100, 0x01)); });
+  sim_.RunUntil(Seconds(30));
+  // The lone segment was acked (by timer), so no retransmission happened.
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->stats().bytes_received, 100u);
+  EXPECT_EQ(client->stats().retransmissions, 0u);
+  EXPECT_EQ(client->unacked_segments(), 0u);
+}
+
+// Radio-path TCP: loss forces retransmission; Jacobson adapts.
+TEST(TcpRadioTest, LossyLinkStillDeliversReliably) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 2;
+  cfg.ether_hosts = 0;
+  cfg.radio_loss_rate = 0.15;
+  cfg.radio_bit_rate = 9600;  // keep the test fast
+  cfg.seed = 5;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  Bytes got;
+  Bytes payload(4000, 0xA5);
+  tb.pc(1).tcp().Listen(23, [&](TcpConnection* c) {
+    c->set_data_handler([&](const Bytes& d) {
+      got.insert(got.end(), d.begin(), d.end());
+    });
+  });
+  TcpConnection* client = tb.pc(0).tcp().Connect(Testbed::RadioPcIp(1), 23);
+  ASSERT_NE(client, nullptr);
+  client->set_connected_handler([&, client] { client->Send(payload); });
+  tb.sim().RunUntil(Seconds(3600));
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(client->stats().retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace upr

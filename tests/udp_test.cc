@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/ether/ethernet.h"
+#include "src/net/netstack.h"
+#include "src/sim/simulator.h"
+#include "src/udp/udp.h"
+
+namespace upr {
+namespace {
+
+TEST(UdpDatagramTest, EncodeDecodeRoundTrip) {
+  UdpDatagram d;
+  d.source_port = 5000;
+  d.destination_port = 53;
+  d.payload = BytesFromString("query");
+  IpV4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  auto p = UdpDatagram::Decode(d.Encode(src, dst), src, dst);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->source_port, 5000);
+  EXPECT_EQ(p->destination_port, 53);
+  EXPECT_EQ(p->payload, BytesFromString("query"));
+}
+
+TEST(UdpDatagramTest, ChecksumRejectsCorruptionAndWrongAddresses) {
+  UdpDatagram d;
+  d.source_port = 1;
+  d.destination_port = 2;
+  d.payload = Bytes{9, 9, 9};
+  IpV4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  Bytes wire = d.Encode(src, dst);
+  // Different destination breaks the pseudo-header checksum. (Swapping src
+  // and dst would NOT: one's-complement addition commutes.)
+  EXPECT_FALSE(UdpDatagram::Decode(wire, src, IpV4Address(10, 0, 0, 7)));
+  wire[9] ^= 0x80;
+  EXPECT_FALSE(UdpDatagram::Decode(wire, src, dst));
+  EXPECT_FALSE(UdpDatagram::Decode(Bytes{1, 2, 3}, src, dst));
+}
+
+class UdpLanTest : public ::testing::Test {
+ protected:
+  UdpLanTest() : segment_(&sim_), a_stack_(&sim_, "a"), b_stack_(&sim_, "b") {
+    auto ia = std::make_unique<EthernetInterface>(&segment_, "qe0",
+                                                  EtherAddr::FromIndex(1));
+    ia->Configure(IpV4Address(10, 0, 0, 1), 24);
+    a_stack_.AddInterface(std::move(ia));
+    auto ib = std::make_unique<EthernetInterface>(&segment_, "qe0",
+                                                  EtherAddr::FromIndex(2));
+    ib->Configure(IpV4Address(10, 0, 0, 2), 24);
+    b_stack_.AddInterface(std::move(ib));
+    a_ = std::make_unique<Udp>(&a_stack_);
+    b_ = std::make_unique<Udp>(&b_stack_);
+  }
+
+  Simulator sim_;
+  EtherSegment segment_;
+  NetStack a_stack_;
+  NetStack b_stack_;
+  std::unique_ptr<Udp> a_;
+  std::unique_ptr<Udp> b_;
+};
+
+TEST_F(UdpLanTest, RequestResponse) {
+  b_->Bind(53, [&](IpV4Address src, std::uint16_t sport, const Bytes& data) {
+    EXPECT_EQ(data, BytesFromString("ping?"));
+    b_->SendTo(src, sport, 53, BytesFromString("pong!"));
+  });
+  Bytes reply;
+  a_->Bind(5000, [&](IpV4Address, std::uint16_t, const Bytes& data) { reply = data; });
+  EXPECT_TRUE(a_->SendTo(IpV4Address(10, 0, 0, 2), 53, 5000, BytesFromString("ping?")));
+  sim_.RunUntil(Seconds(5));
+  EXPECT_EQ(reply, BytesFromString("pong!"));
+  EXPECT_EQ(b_->datagrams_delivered(), 1u);
+  EXPECT_EQ(a_->datagrams_delivered(), 1u);
+}
+
+TEST_F(UdpLanTest, UnboundPortTriggersIcmpUnreachable) {
+  bool got_error = false;
+  a_stack_.icmp().set_error_handler([&](const Ipv4Header&, const IcmpMessage& msg) {
+    EXPECT_EQ(msg.type, kIcmpUnreachable);
+    EXPECT_EQ(msg.code, kUnreachPort);
+    got_error = true;
+  });
+  a_->SendTo(IpV4Address(10, 0, 0, 2), 1234, 5000, BytesFromString("anyone?"));
+  sim_.RunUntil(Seconds(5));
+  EXPECT_TRUE(got_error);
+  EXPECT_EQ(b_->port_unreachable(), 1u);
+}
+
+TEST_F(UdpLanTest, EphemeralPortAssignedWhenZero) {
+  IpV4Address seen_src;
+  std::uint16_t seen_port = 0;
+  b_->Bind(53, [&](IpV4Address src, std::uint16_t sport, const Bytes&) {
+    seen_src = src;
+    seen_port = sport;
+  });
+  a_->SendTo(IpV4Address(10, 0, 0, 2), 53, 0, Bytes{1});
+  sim_.RunUntil(Seconds(5));
+  EXPECT_EQ(seen_src, IpV4Address(10, 0, 0, 1));
+  EXPECT_GE(seen_port, 2048);
+}
+
+TEST_F(UdpLanTest, SendWithoutRouteFails) {
+  EXPECT_FALSE(a_->SendTo(IpV4Address(99, 0, 0, 1), 1, 1, Bytes{}));
+}
+
+TEST_F(UdpLanTest, UnbindStopsDelivery) {
+  int got = 0;
+  b_->Bind(53, [&](IpV4Address, std::uint16_t, const Bytes&) { ++got; });
+  a_->SendTo(IpV4Address(10, 0, 0, 2), 53, 1000, Bytes{1});
+  sim_.RunUntil(Seconds(2));
+  b_->Unbind(53);
+  a_->SendTo(IpV4Address(10, 0, 0, 2), 53, 1000, Bytes{2});
+  sim_.RunUntil(Seconds(4));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(UdpLanTest, LargeDatagramFragmentsAndReassembles) {
+  Bytes big(3000, 0x5A);
+  Bytes got;
+  b_->Bind(7, [&](IpV4Address, std::uint16_t, const Bytes& d) { got = d; });
+  a_->SendTo(IpV4Address(10, 0, 0, 2), 7, 7, big);
+  sim_.RunUntil(Seconds(5));
+  EXPECT_EQ(got, big);
+  EXPECT_GT(a_stack_.ip_stats().fragments_created, 0u);
+  EXPECT_EQ(b_stack_.ip_stats().reassembled, 1u);
+}
+
+TEST_F(UdpLanTest, LocalDelivery) {
+  Bytes got;
+  a_->Bind(9, [&](IpV4Address, std::uint16_t, const Bytes& d) { got = d; });
+  a_->SendTo(IpV4Address(10, 0, 0, 1), 9, 9, BytesFromString("loop"));
+  sim_.RunAll();
+  EXPECT_EQ(got, BytesFromString("loop"));
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "src/util/byte_buffer.h"
+#include "src/util/crc.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+
+namespace upr {
+namespace {
+
+TEST(ByteReaderTest, ReadsBigEndianPrimitives) {
+  Bytes b{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  ByteReader r(b);
+  EXPECT_EQ(r.ReadU8(), 0x01);
+  EXPECT_EQ(r.ReadU16(), 0x0203);
+  EXPECT_EQ(r.ReadU32(), 0x04050607u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, OverrunSetsErrorAndReturnsZero) {
+  Bytes b{0x01};
+  ByteReader r(b);
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, ReadBytesExactAndOverrun) {
+  Bytes b{1, 2, 3};
+  ByteReader r(b);
+  EXPECT_EQ(r.ReadBytes(2), (Bytes{1, 2}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.ReadBytes(5).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, ReadRestConsumesRemaining) {
+  Bytes b{9, 8, 7, 6};
+  ByteReader r(b);
+  r.Skip(1);
+  EXPECT_EQ(r.ReadRest(), (Bytes{8, 7, 6}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteWriterTest, RoundTripsWithReader) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  ByteReader r(out);
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+}
+
+TEST(PacketTest, PrependAndStrip) {
+  Packet p = Packet::FromBytes(BytesFromString("payload"));
+  p.Prepend(BytesFromString("hdr:"));
+  EXPECT_EQ(p.ToBytes(), BytesFromString("hdr:payload"));
+  p.StripFront(4);
+  EXPECT_EQ(p.ToBytes(), BytesFromString("payload"));
+  p.StripBack(3);
+  EXPECT_EQ(p.ToBytes(), BytesFromString("payl"));
+}
+
+TEST(PacketTest, PrependGrowsPastHeadroom) {
+  Packet p(2);
+  p.Append(BytesFromString("x"));
+  Bytes big(300, 0x42);
+  p.Prepend(big);
+  ASSERT_EQ(p.size(), 301u);
+  EXPECT_EQ(p.data()[0], 0x42);
+  EXPECT_EQ(p.data()[300], 'x');
+}
+
+TEST(Crc16Test, KnownVector) {
+  // CRC-16/X-25 check value for "123456789".
+  Bytes data = BytesFromString("123456789");
+  EXPECT_EQ(Crc16Ccitt(data), 0x906E);
+}
+
+TEST(Crc16Test, EmptyInput) {
+  EXPECT_EQ(Crc16Ccitt(nullptr, 0), 0x0000);
+}
+
+TEST(Crc16Test, DetectsSingleBitFlip) {
+  Bytes data = BytesFromString("the quick brown fox");
+  std::uint16_t good = Crc16Ccitt(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc16Ccitt(data), good);
+}
+
+TEST(InternetChecksumTest, RfcExampleStyle) {
+  // Sum of a buffer plus its checksum folds to zero.
+  Bytes data{0x45, 0x00, 0x00, 0x54, 0xAB, 0xCD, 0x40, 0x00, 0x40, 0x01};
+  std::uint16_t sum = InternetChecksum(data);
+  Bytes with_sum = data;
+  with_sum.push_back(static_cast<std::uint8_t>(sum >> 8));
+  with_sum.push_back(static_cast<std::uint8_t>(sum & 0xFF));
+  EXPECT_EQ(InternetChecksum(with_sum), 0);
+}
+
+TEST(InternetChecksumTest, OddLengthHandled) {
+  Bytes data{0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xFBFD
+  EXPECT_EQ(InternetChecksum(data), 0xFBFD);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    auto v = r.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(1);
+  EXPECT_FALSE(r.Chance(0.0));
+  EXPECT_TRUE(r.Chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng r(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Chance(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RunningStatsTest, MeanMinMaxStddev) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(SamplesTest, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 0.2);
+}
+
+TEST(HexDumpTest, Formats) {
+  EXPECT_EQ(HexDump(Bytes{0xC0, 0x00, 0xFF}), "c0 00 ff");
+  EXPECT_EQ(HexDump(Bytes{}), "");
+}
+
+}  // namespace
+}  // namespace upr

@@ -1,0 +1,243 @@
+// uprsim — command-line scenario runner.
+//
+// Builds the paper's testbed from flags, runs a workload, and prints the
+// operator's view: optional live channel monitor, then netstat for every
+// host and the gateway's access-control state.
+//
+//   uprsim --pcs 2 --rate 1200 --workload ping --monitor
+//   uprsim --pcs 1 --hosts 1 --workload telnet --duration 1800 --netstat
+//   uprsim --pcs 2 --digis 1 --workload tcp --loss 0.1 --access-control
+//
+// Exit status is 0 when the workload completed, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/telnet.h"
+#include "src/scenario/monitor.h"
+#include "src/scenario/netstat.h"
+#include "src/scenario/testbed.h"
+
+using namespace upr;
+
+namespace {
+
+struct Options {
+  std::size_t pcs = 1;
+  std::size_t hosts = 1;
+  std::size_t digis = 0;
+  std::uint64_t rate = 1200;
+  double loss = 0.0;
+  double ber = 0.0;
+  bool tnc_filter = false;
+  bool access_control = false;
+  bool monitor = false;
+  bool netstat = false;
+  double duration = 600.0;
+  std::uint64_t seed = 42;
+  std::string workload = "ping";
+};
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --pcs N            radio PCs (default 1)\n"
+      "  --hosts N          Ethernet hosts (default 1)\n"
+      "  --digis N          digipeaters (default 0)\n"
+      "  --rate BPS         radio channel bit rate (default 1200)\n"
+      "  --loss P           per-frame loss probability (default 0)\n"
+      "  --ber B            per-bit error rate (default 0)\n"
+      "  --filter           enable the TNC address filter (the paper's fix)\n"
+      "  --access-control   enforce the gateway access table (paper 4.3)\n"
+      "  --workload W       ping | tcp | telnet (default ping)\n"
+      "  --duration SECS    simulated run length (default 600)\n"
+      "  --seed S           PRNG seed (default 42)\n"
+      "  --monitor          print decoded channel traffic as it happens\n"
+      "  --netstat          print per-host netstat at the end\n",
+      argv0);
+}
+
+bool ParseOptions(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pcs") {
+      opt->pcs = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--hosts") {
+      opt->hosts = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--digis") {
+      opt->digis = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--rate") {
+      opt->rate = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--loss") {
+      opt->loss = std::strtod(next(), nullptr);
+    } else if (arg == "--ber") {
+      opt->ber = std::strtod(next(), nullptr);
+    } else if (arg == "--filter") {
+      opt->tnc_filter = true;
+    } else if (arg == "--access-control") {
+      opt->access_control = true;
+    } else if (arg == "--workload") {
+      opt->workload = next();
+    } else if (arg == "--duration") {
+      opt->duration = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      opt->seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--monitor") {
+      opt->monitor = true;
+    } else if (arg == "--netstat") {
+      opt->netstat = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseOptions(argc, argv, &opt)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (opt.pcs == 0) {
+    std::fprintf(stderr, "need at least one radio PC\n");
+    return 2;
+  }
+
+  TestbedConfig cfg;
+  cfg.radio_pcs = opt.pcs;
+  cfg.ether_hosts = opt.hosts;
+  cfg.digipeaters = opt.digis;
+  cfg.radio_bit_rate = opt.rate;
+  cfg.radio_loss_rate = opt.loss;
+  cfg.radio_bit_error_rate = opt.ber;
+  cfg.tnc_address_filter = opt.tnc_filter;
+  cfg.enforce_access_control = opt.access_control;
+  cfg.seed = opt.seed;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+
+  std::unique_ptr<ChannelMonitor> monitor;
+  if (opt.monitor) {
+    monitor = std::make_unique<ChannelMonitor>(
+        &tb.sim(), &tb.channel(),
+        [](const std::string& line) { std::printf("%s\n", line.c_str()); });
+  }
+
+  bool workload_ok = false;
+  std::unique_ptr<TelnetServer> telnetd;
+  std::unique_ptr<TelnetClient> telnet;
+
+  IpV4Address target = opt.hosts > 0 ? Testbed::EtherHostIp(0)
+                                     : Testbed::RadioPcIp(opt.pcs > 1 ? 1 : 0);
+
+  if (opt.workload == "ping") {
+    int replies = 0, wanted = 3;
+    std::function<void(int)> ping = [&](int remaining) {
+      if (remaining == 0) {
+        return;
+      }
+      tb.pc(0).stack().icmp().Ping(target, 32, [&, remaining](bool ok, SimTime rtt) {
+        if (ok) {
+          ++replies;
+          std::printf("reply from %s: time=%.2f s\n", target.ToString().c_str(),
+                      ToSeconds(rtt));
+        } else {
+          std::printf("ping timed out\n");
+        }
+        ping(remaining - 1);
+      });
+    };
+    ping(wanted);
+    tb.sim().RunUntil(Seconds(opt.duration));
+    workload_ok = replies == wanted;
+  } else if (opt.workload == "tcp") {
+    constexpr std::size_t kBytes = 8 * 1024;
+    std::size_t received = 0;
+    NetStack* sink_stack;
+    Tcp* sink;
+    if (opt.hosts > 0) {
+      sink = &tb.host(0).tcp();
+      sink_stack = &tb.host(0).stack();
+    } else {
+      sink = &tb.pc(opt.pcs > 1 ? 1 : 0).tcp();
+      sink_stack = nullptr;
+    }
+    (void)sink_stack;
+    sink->Listen(5001, [&](TcpConnection* c) {
+      c->set_data_handler([&](const Bytes& d) { received += d.size(); });
+    });
+    TcpConnection* conn = tb.pc(0).tcp().Connect(target, 5001);
+    if (conn != nullptr) {
+      conn->set_connected_handler([conn] { conn->Send(Bytes(kBytes, 0x42)); });
+      SimTime start = tb.sim().Now();
+      while (received < kBytes && tb.sim().Now() < Seconds(opt.duration) &&
+             tb.sim().Step()) {
+      }
+      workload_ok = received >= kBytes;
+      if (workload_ok) {
+        double secs = ToSeconds(tb.sim().Now() - start);
+        std::printf("transferred %zu bytes (%.0f bps goodput, %llu rexmits)\n",
+                    received, received * 8.0 / secs,
+                    static_cast<unsigned long long>(conn->stats().retransmissions));
+      } else {
+        std::printf("transfer incomplete: %zu/%zu bytes\n", received, kBytes);
+      }
+    }
+  } else if (opt.workload == "telnet") {
+    if (opt.hosts == 0) {
+      std::fprintf(stderr, "telnet workload needs --hosts >= 1\n");
+      return 2;
+    }
+    telnetd = std::make_unique<TelnetServer>(&tb.host(0).tcp(), "june");
+    telnet = std::make_unique<TelnetClient>(&tb.pc(0).tcp());
+    bool echoed = false;
+    telnet->set_line_handler([&](const std::string& line) {
+      std::printf("  [telnet] %s\n", line.c_str());
+      if (line.find("73 de uprsim") != std::string::npos) {
+        echoed = true;
+      }
+    });
+    telnet->Connect(Testbed::EtherHostIp(0), "operator");
+    tb.sim().Schedule(Seconds(opt.duration * 0.4),
+                      [&] { telnet->SendCommand("echo 73 de uprsim"); });
+    tb.sim().Schedule(Seconds(opt.duration * 0.8), [&] { telnet->Quit(); });
+    tb.sim().RunUntil(Seconds(opt.duration));
+    workload_ok = echoed;
+  } else {
+    std::fprintf(stderr, "unknown workload %s\n", opt.workload.c_str());
+    return 2;
+  }
+
+  std::printf("\n=== channel ===\n");
+  std::printf("transmissions %llu, collisions %llu, utilization %.1f%%\n",
+              static_cast<unsigned long long>(tb.channel().transmissions()),
+              static_cast<unsigned long long>(tb.channel().collisions()),
+              tb.channel().Utilization() * 100.0);
+
+  if (opt.netstat) {
+    std::printf("\n%s", FormatNetstat(tb.gateway().stack()).c_str());
+    std::printf("%s", FormatGateway(tb.gateway().gateway()).c_str());
+    for (std::size_t i = 0; i < opt.pcs; ++i) {
+      std::printf("\n%s", FormatNetstat(tb.pc(i).stack()).c_str());
+    }
+  }
+
+  std::printf("\nworkload %s: %s\n", opt.workload.c_str(),
+              workload_ok ? "completed" : "FAILED");
+  return workload_ok ? 0 : 1;
+}
