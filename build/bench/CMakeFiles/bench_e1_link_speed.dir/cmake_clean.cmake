@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_link_speed.dir/bench_e1_link_speed.cc.o"
+  "CMakeFiles/bench_e1_link_speed.dir/bench_e1_link_speed.cc.o.d"
+  "bench_e1_link_speed"
+  "bench_e1_link_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_link_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_gateway_load.dir/bench_e2_gateway_load.cc.o"
+  "CMakeFiles/bench_e2_gateway_load.dir/bench_e2_gateway_load.cc.o.d"
+  "bench_e2_gateway_load"
+  "bench_e2_gateway_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_gateway_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_tcp_timeout.dir/bench_e3_tcp_timeout.cc.o"
+  "CMakeFiles/bench_e3_tcp_timeout.dir/bench_e3_tcp_timeout.cc.o.d"
+  "bench_e3_tcp_timeout"
+  "bench_e3_tcp_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_tcp_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

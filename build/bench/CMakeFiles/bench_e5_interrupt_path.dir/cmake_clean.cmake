@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_interrupt_path.dir/bench_e5_interrupt_path.cc.o"
+  "CMakeFiles/bench_e5_interrupt_path.dir/bench_e5_interrupt_path.cc.o.d"
+  "bench_e5_interrupt_path"
+  "bench_e5_interrupt_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_interrupt_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

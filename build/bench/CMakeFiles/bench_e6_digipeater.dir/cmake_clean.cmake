@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_digipeater.dir/bench_e6_digipeater.cc.o"
+  "CMakeFiles/bench_e6_digipeater.dir/bench_e6_digipeater.cc.o.d"
+  "bench_e6_digipeater"
+  "bench_e6_digipeater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_digipeater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_arp.dir/bench_e7_arp.cc.o"
+  "CMakeFiles/bench_e7_arp.dir/bench_e7_arp.cc.o.d"
+  "bench_e7_arp"
+  "bench_e7_arp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_arp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

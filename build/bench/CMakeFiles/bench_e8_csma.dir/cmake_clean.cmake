@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_csma.dir/bench_e8_csma.cc.o"
+  "CMakeFiles/bench_e8_csma.dir/bench_e8_csma.cc.o.d"
+  "bench_e8_csma"
+  "bench_e8_csma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_csma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_netrom.dir/bench_e9_netrom.cc.o"
+  "CMakeFiles/bench_e9_netrom.dir/bench_e9_netrom.cc.o.d"
+  "bench_e9_netrom"
+  "bench_e9_netrom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_netrom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_stack.cc" "bench/CMakeFiles/bench_fig2_stack.dir/bench_fig2_stack.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_stack.dir/bench_fig2_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/upr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/upr_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/tnc/CMakeFiles/upr_tnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/upr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ether/CMakeFiles/upr_ether.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/upr_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/upr_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/upr_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/netrom/CMakeFiles/upr_netrom.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/upr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/upr_kiss.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/upr_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/upr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ax25/CMakeFiles/upr_ax25.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/upr_apps_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/upr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

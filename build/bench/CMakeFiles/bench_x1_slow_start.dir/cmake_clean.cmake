@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_slow_start.dir/bench_x1_slow_start.cc.o"
+  "CMakeFiles/bench_x1_slow_start.dir/bench_x1_slow_start.cc.o.d"
+  "bench_x1_slow_start"
+  "bench_x1_slow_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_slow_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_redirect.dir/bench_x2_redirect.cc.o"
+  "CMakeFiles/bench_x2_redirect.dir/bench_x2_redirect.cc.o.d"
+  "bench_x2_redirect"
+  "bench_x2_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

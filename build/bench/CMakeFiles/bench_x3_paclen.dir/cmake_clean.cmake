@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_paclen.dir/bench_x3_paclen.cc.o"
+  "CMakeFiles/bench_x3_paclen.dir/bench_x3_paclen.cc.o.d"
+  "bench_x3_paclen"
+  "bench_x3_paclen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_paclen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

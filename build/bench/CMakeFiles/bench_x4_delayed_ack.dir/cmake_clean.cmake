@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_delayed_ack.dir/bench_x4_delayed_ack.cc.o"
+  "CMakeFiles/bench_x4_delayed_ack.dir/bench_x4_delayed_ack.cc.o.d"
+  "bench_x4_delayed_ack"
+  "bench_x4_delayed_ack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_delayed_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_vc_mode.dir/bench_x5_vc_mode.cc.o"
+  "CMakeFiles/bench_x5_vc_mode.dir/bench_x5_vc_mode.cc.o.d"
+  "bench_x5_vc_mode"
+  "bench_x5_vc_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_vc_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bbs_demo.dir/bbs_demo.cpp.o"
+  "CMakeFiles/example_bbs_demo.dir/bbs_demo.cpp.o.d"
+  "example_bbs_demo"
+  "example_bbs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bbs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

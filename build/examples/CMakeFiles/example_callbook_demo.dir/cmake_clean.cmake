@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_callbook_demo.dir/callbook_demo.cpp.o"
+  "CMakeFiles/example_callbook_demo.dir/callbook_demo.cpp.o.d"
+  "example_callbook_demo"
+  "example_callbook_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_callbook_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gateway_demo.dir/gateway_demo.cpp.o"
+  "CMakeFiles/example_gateway_demo.dir/gateway_demo.cpp.o.d"
+  "example_gateway_demo"
+  "example_gateway_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gateway_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netrom_backbone.dir/netrom_backbone.cpp.o"
+  "CMakeFiles/example_netrom_backbone.dir/netrom_backbone.cpp.o.d"
+  "example_netrom_backbone"
+  "example_netrom_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netrom_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_terminal_demo.dir/terminal_demo.cpp.o"
+  "CMakeFiles/example_terminal_demo.dir/terminal_demo.cpp.o.d"
+  "example_terminal_demo"
+  "example_terminal_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_terminal_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

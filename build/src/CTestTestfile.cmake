@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("kiss")
+subdirs("ax25")
+subdirs("serial")
+subdirs("radio")
+subdirs("tnc")
+subdirs("ether")
+subdirs("net")
+subdirs("driver")
+subdirs("tcp")
+subdirs("udp")
+subdirs("gateway")
+subdirs("netrom")
+subdirs("apps")
+subdirs("scenario")

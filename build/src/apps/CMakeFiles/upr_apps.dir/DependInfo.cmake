@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_gateway.cc" "src/apps/CMakeFiles/upr_apps.dir/app_gateway.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/app_gateway.cc.o.d"
+  "/root/repo/src/apps/bbs.cc" "src/apps/CMakeFiles/upr_apps.dir/bbs.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/bbs.cc.o.d"
+  "/root/repo/src/apps/beacon.cc" "src/apps/CMakeFiles/upr_apps.dir/beacon.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/beacon.cc.o.d"
+  "/root/repo/src/apps/callbook.cc" "src/apps/CMakeFiles/upr_apps.dir/callbook.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/callbook.cc.o.d"
+  "/root/repo/src/apps/ftp.cc" "src/apps/CMakeFiles/upr_apps.dir/ftp.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/ftp.cc.o.d"
+  "/root/repo/src/apps/smtp.cc" "src/apps/CMakeFiles/upr_apps.dir/smtp.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/smtp.cc.o.d"
+  "/root/repo/src/apps/telnet.cc" "src/apps/CMakeFiles/upr_apps.dir/telnet.cc.o" "gcc" "src/apps/CMakeFiles/upr_apps.dir/telnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/upr_apps_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/upr_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/upr_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ax25/CMakeFiles/upr_ax25.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/upr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/upr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/upr_kiss.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/upr_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/upr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

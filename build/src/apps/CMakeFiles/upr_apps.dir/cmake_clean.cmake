@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_apps.dir/app_gateway.cc.o"
+  "CMakeFiles/upr_apps.dir/app_gateway.cc.o.d"
+  "CMakeFiles/upr_apps.dir/bbs.cc.o"
+  "CMakeFiles/upr_apps.dir/bbs.cc.o.d"
+  "CMakeFiles/upr_apps.dir/beacon.cc.o"
+  "CMakeFiles/upr_apps.dir/beacon.cc.o.d"
+  "CMakeFiles/upr_apps.dir/callbook.cc.o"
+  "CMakeFiles/upr_apps.dir/callbook.cc.o.d"
+  "CMakeFiles/upr_apps.dir/ftp.cc.o"
+  "CMakeFiles/upr_apps.dir/ftp.cc.o.d"
+  "CMakeFiles/upr_apps.dir/smtp.cc.o"
+  "CMakeFiles/upr_apps.dir/smtp.cc.o.d"
+  "CMakeFiles/upr_apps.dir/telnet.cc.o"
+  "CMakeFiles/upr_apps.dir/telnet.cc.o.d"
+  "libupr_apps.a"
+  "libupr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

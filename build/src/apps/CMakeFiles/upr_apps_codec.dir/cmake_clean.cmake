@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_apps_codec.dir/line_codec.cc.o"
+  "CMakeFiles/upr_apps_codec.dir/line_codec.cc.o.d"
+  "libupr_apps_codec.a"
+  "libupr_apps_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_apps_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_ax25.dir/address.cc.o"
+  "CMakeFiles/upr_ax25.dir/address.cc.o.d"
+  "CMakeFiles/upr_ax25.dir/frame.cc.o"
+  "CMakeFiles/upr_ax25.dir/frame.cc.o.d"
+  "CMakeFiles/upr_ax25.dir/lapb.cc.o"
+  "CMakeFiles/upr_ax25.dir/lapb.cc.o.d"
+  "libupr_ax25.a"
+  "libupr_ax25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_ax25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

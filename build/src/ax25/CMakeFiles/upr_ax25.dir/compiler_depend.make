@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for upr_ax25.
+# This may be replaced when dependencies are built.

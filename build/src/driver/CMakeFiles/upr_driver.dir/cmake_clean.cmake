@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_driver.dir/packet_radio_interface.cc.o"
+  "CMakeFiles/upr_driver.dir/packet_radio_interface.cc.o.d"
+  "CMakeFiles/upr_driver.dir/vc_ip_interface.cc.o"
+  "CMakeFiles/upr_driver.dir/vc_ip_interface.cc.o.d"
+  "libupr_driver.a"
+  "libupr_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

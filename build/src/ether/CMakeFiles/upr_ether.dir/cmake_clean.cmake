@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_ether.dir/ethernet.cc.o"
+  "CMakeFiles/upr_ether.dir/ethernet.cc.o.d"
+  "libupr_ether.a"
+  "libupr_ether.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_ether.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_gateway.dir/access_control.cc.o"
+  "CMakeFiles/upr_gateway.dir/access_control.cc.o.d"
+  "CMakeFiles/upr_gateway.dir/gateway.cc.o"
+  "CMakeFiles/upr_gateway.dir/gateway.cc.o.d"
+  "libupr_gateway.a"
+  "libupr_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

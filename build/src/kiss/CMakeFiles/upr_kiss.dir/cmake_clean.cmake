@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_kiss.dir/kiss.cc.o"
+  "CMakeFiles/upr_kiss.dir/kiss.cc.o.d"
+  "libupr_kiss.a"
+  "libupr_kiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_kiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

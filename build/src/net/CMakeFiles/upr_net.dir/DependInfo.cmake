@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/upr_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/hw_address.cc" "src/net/CMakeFiles/upr_net.dir/hw_address.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/hw_address.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/upr_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/ip_address.cc" "src/net/CMakeFiles/upr_net.dir/ip_address.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/ip_address.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/upr_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/netstack.cc" "src/net/CMakeFiles/upr_net.dir/netstack.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/netstack.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/upr_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/upr_net.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/upr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ax25/CMakeFiles/upr_ax25.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

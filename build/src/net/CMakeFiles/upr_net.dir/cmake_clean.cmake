@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_net.dir/arp.cc.o"
+  "CMakeFiles/upr_net.dir/arp.cc.o.d"
+  "CMakeFiles/upr_net.dir/hw_address.cc.o"
+  "CMakeFiles/upr_net.dir/hw_address.cc.o.d"
+  "CMakeFiles/upr_net.dir/icmp.cc.o"
+  "CMakeFiles/upr_net.dir/icmp.cc.o.d"
+  "CMakeFiles/upr_net.dir/ip_address.cc.o"
+  "CMakeFiles/upr_net.dir/ip_address.cc.o.d"
+  "CMakeFiles/upr_net.dir/ipv4.cc.o"
+  "CMakeFiles/upr_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/upr_net.dir/netstack.cc.o"
+  "CMakeFiles/upr_net.dir/netstack.cc.o.d"
+  "CMakeFiles/upr_net.dir/routing.cc.o"
+  "CMakeFiles/upr_net.dir/routing.cc.o.d"
+  "libupr_net.a"
+  "libupr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

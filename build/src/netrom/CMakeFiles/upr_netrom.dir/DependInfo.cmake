@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netrom/netrom.cc" "src/netrom/CMakeFiles/upr_netrom.dir/netrom.cc.o" "gcc" "src/netrom/CMakeFiles/upr_netrom.dir/netrom.cc.o.d"
+  "/root/repo/src/netrom/netrom_transport.cc" "src/netrom/CMakeFiles/upr_netrom.dir/netrom_transport.cc.o" "gcc" "src/netrom/CMakeFiles/upr_netrom.dir/netrom_transport.cc.o.d"
+  "/root/repo/src/netrom/node_shell.cc" "src/netrom/CMakeFiles/upr_netrom.dir/node_shell.cc.o" "gcc" "src/netrom/CMakeFiles/upr_netrom.dir/node_shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/upr_apps_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/upr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/upr_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ax25/CMakeFiles/upr_ax25.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/upr_kiss.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/upr_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/upr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_netrom.dir/netrom.cc.o"
+  "CMakeFiles/upr_netrom.dir/netrom.cc.o.d"
+  "CMakeFiles/upr_netrom.dir/netrom_transport.cc.o"
+  "CMakeFiles/upr_netrom.dir/netrom_transport.cc.o.d"
+  "CMakeFiles/upr_netrom.dir/node_shell.cc.o"
+  "CMakeFiles/upr_netrom.dir/node_shell.cc.o.d"
+  "libupr_netrom.a"
+  "libupr_netrom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_netrom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

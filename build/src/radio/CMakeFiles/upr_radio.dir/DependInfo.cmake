@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cc" "src/radio/CMakeFiles/upr_radio.dir/channel.cc.o" "gcc" "src/radio/CMakeFiles/upr_radio.dir/channel.cc.o.d"
+  "/root/repo/src/radio/csma_mac.cc" "src/radio/CMakeFiles/upr_radio.dir/csma_mac.cc.o" "gcc" "src/radio/CMakeFiles/upr_radio.dir/csma_mac.cc.o.d"
+  "/root/repo/src/radio/digipeater.cc" "src/radio/CMakeFiles/upr_radio.dir/digipeater.cc.o" "gcc" "src/radio/CMakeFiles/upr_radio.dir/digipeater.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/upr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ax25/CMakeFiles/upr_ax25.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_radio.dir/channel.cc.o"
+  "CMakeFiles/upr_radio.dir/channel.cc.o.d"
+  "CMakeFiles/upr_radio.dir/csma_mac.cc.o"
+  "CMakeFiles/upr_radio.dir/csma_mac.cc.o.d"
+  "CMakeFiles/upr_radio.dir/digipeater.cc.o"
+  "CMakeFiles/upr_radio.dir/digipeater.cc.o.d"
+  "libupr_radio.a"
+  "libupr_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_scenario.dir/monitor.cc.o"
+  "CMakeFiles/upr_scenario.dir/monitor.cc.o.d"
+  "CMakeFiles/upr_scenario.dir/netstat.cc.o"
+  "CMakeFiles/upr_scenario.dir/netstat.cc.o.d"
+  "CMakeFiles/upr_scenario.dir/testbed.cc.o"
+  "CMakeFiles/upr_scenario.dir/testbed.cc.o.d"
+  "libupr_scenario.a"
+  "libupr_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_serial.dir/serial_line.cc.o"
+  "CMakeFiles/upr_serial.dir/serial_line.cc.o.d"
+  "libupr_serial.a"
+  "libupr_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

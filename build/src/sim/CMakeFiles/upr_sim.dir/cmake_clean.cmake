@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_sim.dir/simulator.cc.o"
+  "CMakeFiles/upr_sim.dir/simulator.cc.o.d"
+  "libupr_sim.a"
+  "libupr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_tcp.dir/tcp.cc.o"
+  "CMakeFiles/upr_tcp.dir/tcp.cc.o.d"
+  "libupr_tcp.a"
+  "libupr_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

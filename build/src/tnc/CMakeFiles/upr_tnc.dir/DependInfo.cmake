@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tnc/command_tnc.cc" "src/tnc/CMakeFiles/upr_tnc.dir/command_tnc.cc.o" "gcc" "src/tnc/CMakeFiles/upr_tnc.dir/command_tnc.cc.o.d"
+  "/root/repo/src/tnc/kiss_tnc.cc" "src/tnc/CMakeFiles/upr_tnc.dir/kiss_tnc.cc.o" "gcc" "src/tnc/CMakeFiles/upr_tnc.dir/kiss_tnc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/upr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/upr_kiss.dir/DependInfo.cmake"
+  "/root/repo/build/src/ax25/CMakeFiles/upr_ax25.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/upr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/upr_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/upr_apps_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

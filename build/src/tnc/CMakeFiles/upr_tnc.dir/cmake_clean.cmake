@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_tnc.dir/command_tnc.cc.o"
+  "CMakeFiles/upr_tnc.dir/command_tnc.cc.o.d"
+  "CMakeFiles/upr_tnc.dir/kiss_tnc.cc.o"
+  "CMakeFiles/upr_tnc.dir/kiss_tnc.cc.o.d"
+  "libupr_tnc.a"
+  "libupr_tnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_tnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for upr_tnc.
+# This may be replaced when dependencies are built.

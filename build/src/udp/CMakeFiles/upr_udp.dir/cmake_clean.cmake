@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_udp.dir/udp.cc.o"
+  "CMakeFiles/upr_udp.dir/udp.cc.o.d"
+  "libupr_udp.a"
+  "libupr_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

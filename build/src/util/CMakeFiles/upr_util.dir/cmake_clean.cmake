@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upr_util.dir/byte_buffer.cc.o"
+  "CMakeFiles/upr_util.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/upr_util.dir/crc.cc.o"
+  "CMakeFiles/upr_util.dir/crc.cc.o.d"
+  "CMakeFiles/upr_util.dir/logging.cc.o"
+  "CMakeFiles/upr_util.dir/logging.cc.o.d"
+  "CMakeFiles/upr_util.dir/random.cc.o"
+  "CMakeFiles/upr_util.dir/random.cc.o.d"
+  "CMakeFiles/upr_util.dir/stats.cc.o"
+  "CMakeFiles/upr_util.dir/stats.cc.o.d"
+  "libupr_util.a"
+  "libupr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax25_test.dir/ax25_test.cc.o"
+  "CMakeFiles/ax25_test.dir/ax25_test.cc.o.d"
+  "ax25_test"
+  "ax25_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax25_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

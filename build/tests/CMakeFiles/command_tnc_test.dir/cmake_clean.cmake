@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_tnc_test.dir/command_tnc_test.cc.o"
+  "CMakeFiles/command_tnc_test.dir/command_tnc_test.cc.o.d"
+  "command_tnc_test"
+  "command_tnc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_tnc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

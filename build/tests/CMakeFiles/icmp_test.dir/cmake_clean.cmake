@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icmp_test.dir/icmp_test.cc.o"
+  "CMakeFiles/icmp_test.dir/icmp_test.cc.o.d"
+  "icmp_test"
+  "icmp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

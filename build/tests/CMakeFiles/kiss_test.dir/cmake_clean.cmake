@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_test.dir/kiss_test.cc.o"
+  "CMakeFiles/kiss_test.dir/kiss_test.cc.o.d"
+  "kiss_test"
+  "kiss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

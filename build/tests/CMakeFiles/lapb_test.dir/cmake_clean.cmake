@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapb_test.dir/lapb_test.cc.o"
+  "CMakeFiles/lapb_test.dir/lapb_test.cc.o.d"
+  "lapb_test"
+  "lapb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrom_test.dir/netrom_test.cc.o"
+  "CMakeFiles/netrom_test.dir/netrom_test.cc.o.d"
+  "netrom_test"
+  "netrom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

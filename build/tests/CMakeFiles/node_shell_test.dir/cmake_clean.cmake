@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_shell_test.dir/node_shell_test.cc.o"
+  "CMakeFiles/node_shell_test.dir/node_shell_test.cc.o.d"
+  "node_shell_test"
+  "node_shell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_shell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

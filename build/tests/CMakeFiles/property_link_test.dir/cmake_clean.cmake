@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_link_test.dir/property_link_test.cc.o"
+  "CMakeFiles/property_link_test.dir/property_link_test.cc.o.d"
+  "property_link_test"
+  "property_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

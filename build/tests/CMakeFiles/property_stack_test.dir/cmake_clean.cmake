@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_stack_test.dir/property_stack_test.cc.o"
+  "CMakeFiles/property_stack_test.dir/property_stack_test.cc.o.d"
+  "property_stack_test"
+  "property_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnc_test.dir/tnc_test.cc.o"
+  "CMakeFiles/tnc_test.dir/tnc_test.cc.o.d"
+  "tnc_test"
+  "tnc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_ip_test.dir/vc_ip_test.cc.o"
+  "CMakeFiles/vc_ip_test.dir/vc_ip_test.cc.o.d"
+  "vc_ip_test"
+  "vc_ip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uprsim.dir/uprsim.cpp.o"
+  "CMakeFiles/uprsim.dir/uprsim.cpp.o.d"
+  "uprsim"
+  "uprsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uprsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(uprsim_ping_smoke "/root/repo/build/tools/uprsim" "--pcs" "1" "--workload" "ping" "--duration" "300")
+set_tests_properties(uprsim_ping_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(uprsim_tcp_smoke "/root/repo/build/tools/uprsim" "--pcs" "1" "--workload" "tcp" "--rate" "2400" "--duration" "1200")
+set_tests_properties(uprsim_tcp_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(uprsim_telnet_smoke "/root/repo/build/tools/uprsim" "--workload" "telnet" "--duration" "900" "--netstat")
+set_tests_properties(uprsim_telnet_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(uprsim_digis_smoke "/root/repo/build/tools/uprsim" "--pcs" "2" "--hosts" "0" "--digis" "1" "--workload" "ping" "--duration" "900")
+set_tests_properties(uprsim_digis_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
