@@ -118,8 +118,9 @@ src/scenario/CMakeFiles/upr_scenario.dir/netstat.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/netstack.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/driver/packet_radio_interface.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -139,9 +140,7 @@ src/scenario/CMakeFiles/upr_scenario.dir/netstat.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -213,12 +212,19 @@ src/scenario/CMakeFiles/upr_scenario.dir/netstat.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/icmp.h \
- /usr/include/c++/12/optional /root/repo/src/net/ip_address.h \
- /root/repo/src/net/ipv4.h /root/repo/src/util/byte_buffer.h \
- /usr/include/c++/12/cstddef /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ax25/address.h \
+ /usr/include/c++/12/optional /root/repo/src/util/byte_buffer.h \
+ /usr/include/c++/12/cstddef /root/repo/src/ax25/frame.h \
+ /root/repo/src/kiss/kiss.h /root/repo/src/net/arp.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/hw_address.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/net/ip_address.h /root/repo/src/sim/simulator.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/interface.h /root/repo/src/net/routing.h \
+ /root/repo/src/net/interface.h /root/repo/src/serial/serial_line.h \
+ /root/repo/src/net/netstack.h /root/repo/src/net/icmp.h \
+ /root/repo/src/net/ipv4.h /root/repo/src/net/routing.h \
  /usr/include/c++/12/cstdarg /root/repo/src/gateway/gateway.h \
  /root/repo/src/gateway/access_control.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

@@ -299,15 +299,15 @@ tests/CMakeFiles/scenario_test.dir/scenario_test.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/random.h \
- /root/repo/src/scenario/netstat.h /root/repo/src/net/netstack.h \
- /root/repo/src/net/icmp.h /root/repo/src/net/ip_address.h \
- /root/repo/src/net/ipv4.h /root/repo/src/net/interface.h \
- /root/repo/src/net/routing.h /root/repo/src/scenario/testbed.h \
+ /root/repo/src/scenario/netstat.h \
  /root/repo/src/driver/packet_radio_interface.h \
  /root/repo/src/kiss/kiss.h /root/repo/src/net/arp.h \
- /root/repo/src/net/hw_address.h /root/repo/src/serial/serial_line.h \
- /root/repo/src/ether/ethernet.h /root/repo/src/gateway/gateway.h \
- /root/repo/src/gateway/access_control.h \
+ /root/repo/src/net/hw_address.h /root/repo/src/net/ip_address.h \
+ /root/repo/src/net/interface.h /root/repo/src/serial/serial_line.h \
+ /root/repo/src/net/netstack.h /root/repo/src/net/icmp.h \
+ /root/repo/src/net/ipv4.h /root/repo/src/net/routing.h \
+ /root/repo/src/scenario/testbed.h /root/repo/src/ether/ethernet.h \
+ /root/repo/src/gateway/gateway.h /root/repo/src/gateway/access_control.h \
  /root/repo/src/radio/digipeater.h /root/repo/src/radio/csma_mac.h \
  /root/repo/src/tcp/tcp.h /root/repo/src/tnc/kiss_tnc.h \
  /root/repo/src/udp/udp.h

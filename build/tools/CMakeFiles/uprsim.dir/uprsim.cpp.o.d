@@ -223,13 +223,13 @@ tools/CMakeFiles/uprsim.dir/uprsim.cpp.o: /root/repo/tools/uprsim.cpp \
  /root/repo/src/util/random.h /root/repo/src/scenario/monitor.h \
  /root/repo/src/ax25/frame.h /root/repo/src/ax25/address.h \
  /root/repo/src/radio/channel.h /root/repo/src/scenario/netstat.h \
- /root/repo/src/scenario/testbed.h \
  /root/repo/src/driver/packet_radio_interface.h \
  /root/repo/src/kiss/kiss.h /root/repo/src/net/arp.h \
  /root/repo/src/net/hw_address.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/serial/serial_line.h /root/repo/src/ether/ethernet.h \
- /root/repo/src/gateway/gateway.h /root/repo/src/gateway/access_control.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/radio/digipeater.h /root/repo/src/radio/csma_mac.h \
- /root/repo/src/tnc/kiss_tnc.h /root/repo/src/udp/udp.h
+ /root/repo/src/serial/serial_line.h /root/repo/src/scenario/testbed.h \
+ /root/repo/src/ether/ethernet.h /root/repo/src/gateway/gateway.h \
+ /root/repo/src/gateway/access_control.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/radio/digipeater.h \
+ /root/repo/src/radio/csma_mac.h /root/repo/src/tnc/kiss_tnc.h \
+ /root/repo/src/udp/udp.h

@@ -52,7 +52,10 @@ struct PacketRadioConfig {
 };
 
 struct DriverStats {
-  std::uint64_t interrupts = 0;           // per-character receive interrupts
+  // Receive interrupts taken: one per serial delivery event. In per-byte
+  // mode that is one per character (§2.2); in silo mode one per silo-full.
+  std::uint64_t interrupts = 0;
+  std::uint64_t chars_in = 0;             // characters those interrupts carried
   SimTime interrupt_cpu_time = 0;
   std::uint64_t frames_in = 0;            // complete KISS frames from TNC
   std::uint64_t frames_not_for_us = 0;    // callsign filter rejections
@@ -100,8 +103,16 @@ class PacketRadioInterface : public NetInterface {
   void AddArpEntry(IpV4Address ip, const Ax25Address& station,
                    std::vector<Ax25Address> digipeaters = {});
 
+  // Mean characters per receive interrupt (1.0 in per-byte serial mode).
+  double chars_per_interrupt() const {
+    return dstats_.interrupts == 0
+               ? 0.0
+               : static_cast<double>(dstats_.chars_in) /
+                     static_cast<double>(dstats_.interrupts);
+  }
+
  private:
-  void OnSerialByte(std::uint8_t byte);
+  void OnSerialChunk(const std::uint8_t* data, std::size_t len);
   void OnKissFrame(const KissFrame& frame);
   void TransmitUi(std::uint8_t pid, const Bytes& payload, const Ax25HwAddr& dst);
   void WriteKiss(const Bytes& ax25_wire);

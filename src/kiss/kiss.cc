@@ -40,9 +40,39 @@ Bytes KissEncodeData(const Bytes& ax25_frame, std::uint8_t port) {
   return KissEncode(f);
 }
 
-void KissDecoder::Feed(const Bytes& bytes) {
-  for (std::uint8_t b : bytes) {
+void KissDecoder::Feed(const Bytes& bytes) { Feed(bytes.data(), bytes.size()); }
+
+void KissDecoder::Feed(const std::uint8_t* data, std::size_t len) {
+  std::size_t i = 0;
+  while (i < len) {
+    std::uint8_t b = data[i];
+    if (state_ == State::kInFrame && b != kKissFend && b != kKissFesc) {
+      // Bulk-append the run of ordinary bytes up to the next special byte.
+      std::size_t j = i + 1;
+      while (j < len && data[j] != kKissFend && data[j] != kKissFesc) {
+        ++j;
+      }
+      if (current_.size() + (j - i) > max_frame_) {
+        ++oversize_drops_;
+        current_.clear();
+        state_ = State::kDiscard;
+      } else {
+        current_.insert(current_.end(), data + i, data + j);
+      }
+      i = j;
+      continue;
+    }
+    if (state_ == State::kDiscard && b != kKissFend) {
+      // Skip straight to the resynchronizing FEND.
+      std::size_t j = i + 1;
+      while (j < len && data[j] != kKissFend) {
+        ++j;
+      }
+      i = j;
+      continue;
+    }
     Feed(b);
+    ++i;
   }
 }
 

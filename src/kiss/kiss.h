@@ -65,6 +65,10 @@ class KissDecoder {
       : handler_(std::move(handler)), max_frame_(max_frame) {}
 
   void Feed(std::uint8_t byte);
+  // Chunked feed, for silo-mode serial delivery: behaves exactly as feeding
+  // each byte in turn (same frames, same error counters), but ordinary
+  // payload runs are appended in bulk instead of byte-by-byte.
+  void Feed(const std::uint8_t* data, std::size_t len);
   void Feed(const Bytes& bytes);
 
   // Drops any partial frame and resynchronizes to the next FEND.

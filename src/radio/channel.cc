@@ -38,11 +38,17 @@ SimTime RadioPort::AirTime(std::size_t len, SimTime head, SimTime tail) const {
   return head + TransmitTime(len, channel_->config_.bit_rate) + tail;
 }
 
-void RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
+bool RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
                               std::function<void()> on_done) {
   if (transmitting_) {
     UPR_ERROR(kTag, "%s: StartTransmit while already transmitting", name_.c_str());
-    return;
+    ++rejected_transmits_;
+    // The frame is rejected but the completion callback must not be dropped:
+    // a MAC waiting on it to clear its busy flag would stall forever.
+    if (on_done) {
+      channel_->sim_->Schedule(0, std::move(on_done));
+    }
+    return false;
   }
   RadioChannel* ch = channel_;
   Simulator* sim = ch->sim_;
@@ -102,6 +108,7 @@ void RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
       on_done();
     }
   });
+  return true;
 }
 
 void RadioChannel::Deliver(RadioPort* sender, const Bytes& frame, bool corrupted,

@@ -48,9 +48,12 @@ class RadioPort {
   bool transmitting() const { return transmitting_; }
 
   // Begins a transmission of `frame` occupying the channel for
-  // head + frame-bits/bit-rate + tail. Caller must not already be
-  // transmitting. `on_done` (optional) runs when the transmission ends.
-  void StartTransmit(Bytes frame, SimTime head, SimTime tail,
+  // head + frame-bits/bit-rate + tail. `on_done` (optional) runs when the
+  // transmission ends. If the port is already transmitting the frame is
+  // rejected: nothing goes on the air, false is returned, and `on_done` is
+  // still invoked (asynchronously, at the current time) so a MAC waiting on
+  // it can recover instead of stalling forever.
+  bool StartTransmit(Bytes frame, SimTime head, SimTime tail,
                      std::function<void()> on_done = nullptr);
 
   // Air time this port's transmission of `len` bytes would take.
@@ -59,6 +62,8 @@ class RadioPort {
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_received() const { return frames_received_; }
   std::uint64_t frames_corrupted_rx() const { return frames_corrupted_rx_; }
+  // StartTransmit calls rejected because a transmission was in progress.
+  std::uint64_t rejected_transmits() const { return rejected_transmits_; }
 
  private:
   friend class RadioChannel;
@@ -76,6 +81,7 @@ class RadioPort {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t frames_corrupted_rx_ = 0;
+  std::uint64_t rejected_transmits_ = 0;
 };
 
 class RadioChannel {

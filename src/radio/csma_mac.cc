@@ -47,6 +47,16 @@ void CsmaMac::TrySend() {
   // re-sensing (the collision vulnerability window). Zero turnaround keys
   // synchronously — ideal carrier sense, collision-free.
   auto key_up = [this, frame = std::move(frame)]() mutable {
+    if (port_->transmitting()) {
+      // The port was keyed (by user-level code, outside this MAC) during the
+      // turnaround window. StartTransmit would reject the frame and lose it;
+      // put it back at the head of the queue and retry after a slot.
+      ++deferrals_;
+      queue_.push_front(std::move(frame));
+      busy_ = false;
+      ScheduleRetry();
+      return;
+    }
     port_->StartTransmit(std::move(frame), params_.tx_delay, params_.tx_tail, [this] {
       busy_ = false;
       TrySend();

@@ -102,6 +102,52 @@ std::string FormatGateway(PacketRadioGateway& gateway) {
   return out;
 }
 
+std::string FormatSerial(const SerialLine& line, const std::string& name) {
+  auto side = [](const char* tag, const SerialEndpoint& e) {
+    return Sprintf("  %s: %llu sent, %llu rcvd, %llu events, %.2f bytes/event, "
+                   "%llu overruns (%llu bytes dropped), backlog %llu\n",
+                   tag, static_cast<unsigned long long>(e.bytes_sent()),
+                   static_cast<unsigned long long>(e.bytes_received()),
+                   static_cast<unsigned long long>(e.events_scheduled()),
+                   e.bytes_per_event(),
+                   static_cast<unsigned long long>(e.overruns()),
+                   static_cast<unsigned long long>(e.bytes_dropped()),
+                   static_cast<unsigned long long>(e.backlog()));
+  };
+  const SerialLineConfig& cfg = line.config();
+  std::string out =
+      Sprintf("serial %s: %u baud, %s mode", name.c_str(), cfg.baud_rate,
+              cfg.mode == SerialLineConfig::Mode::kSilo ? "silo" : "per-byte");
+  if (cfg.mode == SerialLineConfig::Mode::kSilo) {
+    out += Sprintf(" (depth %zu, alarm %.1f ms)", cfg.silo_depth,
+                   ToMillis(cfg.silo_timeout));
+  }
+  out += "\n";
+  out += side("a", line.a());
+  out += side("b", line.b());
+  return out;
+}
+
+std::string FormatDriverStats(const PacketRadioInterface& driver) {
+  const DriverStats& d = driver.driver_stats();
+  return Sprintf("driver %s: %llu interrupts, %llu chars, %.2f chars/interrupt, "
+                 "%.1f ms interrupt cpu, %llu frames in, %llu output drops\n",
+                 driver.name().c_str(),
+                 static_cast<unsigned long long>(d.interrupts),
+                 static_cast<unsigned long long>(d.chars_in),
+                 driver.chars_per_interrupt(), ToMillis(d.interrupt_cpu_time),
+                 static_cast<unsigned long long>(d.frames_in),
+                 static_cast<unsigned long long>(d.output_drops));
+}
+
+std::string FormatSimulator(const Simulator& sim) {
+  return Sprintf("sim: %llu events scheduled, %zu executed, %zu pending, "
+                 "event pool %zu (%zu free)\n",
+                 static_cast<unsigned long long>(sim.events_scheduled()),
+                 sim.executed_events(), sim.pending_events(),
+                 sim.pool_capacity(), sim.pool_free());
+}
+
 std::string FormatNetstat(const NetStack& stack) {
   std::string out = "--- " + stack.hostname() + " ---\n";
   out += FormatInterfaces(stack);

@@ -6,7 +6,10 @@
 
 #include <string>
 
+#include "src/driver/packet_radio_interface.h"
 #include "src/net/netstack.h"
+#include "src/serial/serial_line.h"
+#include "src/sim/simulator.h"
 
 namespace upr {
 
@@ -23,6 +26,17 @@ std::string FormatIpStats(const NetStack& stack);
 
 // §4.3 access-control table state + gateway counters.
 std::string FormatGateway(PacketRadioGateway& gateway);
+
+// Interrupt-path counters for a serial line (experiment E5): delivery events
+// scheduled, bytes per event, FIFO overruns — both directions.
+std::string FormatSerial(const SerialLine& line, const std::string& name);
+
+// Driver-side interrupt counters: interrupts taken, characters per
+// interrupt, modelled CPU time.
+std::string FormatDriverStats(const PacketRadioInterface& driver);
+
+// Simulator event-pool diagnostics: events scheduled/executed, pool size.
+std::string FormatSimulator(const Simulator& sim);
 
 // All of the above.
 std::string FormatNetstat(const NetStack& stack);

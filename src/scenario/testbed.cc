@@ -6,7 +6,9 @@ RadioStation::RadioStation(Simulator* sim, RadioChannel* channel,
                            RadioStationConfig config)
     : config_(std::move(config)) {
   stack_ = std::make_unique<NetStack>(sim, config_.hostname);
-  serial_ = std::make_unique<SerialLine>(sim, config_.serial_baud);
+  SerialLineConfig serial_config = config_.serial;
+  serial_config.baud_rate = config_.serial_baud;
+  serial_ = std::make_unique<SerialLine>(sim, serial_config);
   TncConfig tnc_config = config_.tnc;
   if (tnc_config.local_addresses.empty()) {
     tnc_config.local_addresses.push_back(config_.callsign);
@@ -40,7 +42,9 @@ GatewayHost::GatewayHost(Simulator* sim, RadioChannel* channel, EtherSegment* se
                          GatewayHostConfig config)
     : config_(std::move(config)) {
   stack_ = std::make_unique<NetStack>(sim, config_.hostname);
-  serial_ = std::make_unique<SerialLine>(sim, config_.serial_baud);
+  SerialLineConfig serial_config = config_.serial;
+  serial_config.baud_rate = config_.serial_baud;
+  serial_ = std::make_unique<SerialLine>(sim, serial_config);
   TncConfig tnc_config = config_.tnc;
   if (tnc_config.local_addresses.empty()) {
     tnc_config.local_addresses.push_back(config_.callsign);
@@ -92,6 +96,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   gw.radio_ip = GatewayRadioIp();
   gw.ether_ip = GatewayEtherIp();
   gw.serial_baud = config_.serial_baud;
+  gw.serial = config_.serial;
   gw.tnc.address_filter = config_.tnc_address_filter;
   gw.tnc.mac = config_.mac;
   gw.tcp = config_.tcp;
@@ -105,6 +110,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     pc.callsign = PcCallsign(i);
     pc.ip = RadioPcIp(i);
     pc.serial_baud = config_.serial_baud;
+    pc.serial = config_.serial;
     pc.tnc.address_filter = config_.tnc_address_filter;
     pc.tnc.mac = config_.mac;
     pc.tcp = config_.tcp;

@@ -1,40 +1,123 @@
 #include "src/serial/serial_line.h"
 
+#include <cmath>
+
 namespace upr {
 
-SerialLine::SerialLine(Simulator* sim, std::uint32_t baud_rate)
-    : sim_(sim), baud_(baud_rate) {
+SerialLine::SerialLine(Simulator* sim, SerialLineConfig config)
+    : sim_(sim), config_(config) {
   a_.line_ = this;
   a_.peer_ = &b_;
   b_.line_ = this;
   b_.peer_ = &a_;
 }
 
-SimTime SerialLine::byte_time() const {
-  return static_cast<SimTime>(10.0 / static_cast<double>(baud_) *
-                              static_cast<double>(kSecond));
+SerialLine::SerialLine(Simulator* sim, std::uint32_t baud_rate)
+    : SerialLine(sim, SerialLineConfig{.baud_rate = baud_rate}) {}
+
+SimTime SerialLine::byte_time() const { return transfer_time(1); }
+
+SimTime SerialLine::transfer_time(std::uint64_t n) const {
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(n) * 10.0 /
+                   static_cast<double>(config_.baud_rate) *
+                   static_cast<double>(kSecond)));
 }
 
 void SerialEndpoint::Write(std::uint8_t byte) { Write(Bytes{byte}); }
 
+void SerialEndpoint::DeliverChunk(const std::uint8_t* data, std::size_t len) {
+  bytes_received_ += len;
+  ++deliveries_;
+  if (on_bytes_) {
+    on_bytes_(data, len);
+    return;
+  }
+  if (on_byte_) {
+    for (std::size_t i = 0; i < len; ++i) {
+      on_byte_(data[i]);
+    }
+  }
+}
+
+void SerialEndpoint::FlushSilo(SimTime when) {
+  if (silo_alarm_armed_) {
+    line_->sim_->Cancel(silo_alarm_id_);
+    silo_alarm_armed_ = false;
+  }
+  if (silo_.empty()) {
+    return;
+  }
+  SerialEndpoint* dst = peer_;
+  ++events_scheduled_;
+  line_->sim_->ScheduleAt(when, [this, dst, chunk = std::move(silo_)] {
+    backlog_ -= chunk.size();
+    dst->DeliverChunk(chunk.data(), chunk.size());
+  });
+  silo_.clear();
+}
+
+void SerialEndpoint::ArmSiloAlarm() {
+  if (silo_alarm_armed_) {
+    line_->sim_->Cancel(silo_alarm_id_);
+  }
+  silo_alarm_armed_ = true;
+  SimTime when = busy_until_ + line_->config_.silo_timeout;
+  SerialEndpoint* dst = peer_;
+  silo_alarm_id_ = line_->sim_->ScheduleAt(when, [this, dst] {
+    silo_alarm_armed_ = false;
+    if (silo_.empty()) {
+      return;
+    }
+    Bytes chunk = std::move(silo_);
+    silo_.clear();
+    ++events_scheduled_;
+    backlog_ -= chunk.size();
+    dst->DeliverChunk(chunk.data(), chunk.size());
+  });
+}
+
 void SerialEndpoint::Write(const Bytes& bytes) {
   Simulator* sim = line_->sim_;
-  SimTime per_byte = line_->byte_time();
-  if (busy_until_ < sim->Now()) {
+  const SerialLineConfig& cfg = line_->config_;
+  if (busy_until_ <= sim->Now()) {
+    // Line idle: start a fresh timing epoch at now.
     busy_until_ = sim->Now();
+    tx_epoch_ = sim->Now();
+    tx_bytes_since_epoch_ = 0;
   }
+  std::uint64_t dropped = 0;
   for (std::uint8_t b : bytes) {
-    busy_until_ += per_byte;
+    if (cfg.max_backlog != 0 && backlog_ >= cfg.max_backlog) {
+      // FIFO full: the DZ would overrun; drop with a stat, don't buffer
+      // without bound.
+      ++dropped;
+      continue;
+    }
+    ++tx_bytes_since_epoch_;
+    busy_until_ = tx_epoch_ + line_->transfer_time(tx_bytes_since_epoch_);
     ++bytes_sent_;
     ++backlog_;
-    SerialEndpoint* dst = peer_;
-    sim->ScheduleAt(busy_until_, [this, dst, b] {
-      --backlog_;
-      ++dst->bytes_received_;
-      if (dst->on_byte_) {
-        dst->on_byte_(b);
+    if (cfg.mode == SerialLineConfig::Mode::kPerByte) {
+      SerialEndpoint* dst = peer_;
+      ++events_scheduled_;
+      sim->ScheduleAt(busy_until_, [this, dst, b] {
+        --backlog_;
+        dst->DeliverChunk(&b, 1);
+      });
+    } else {
+      silo_.push_back(b);
+      if (silo_.size() >= cfg.silo_depth) {
+        FlushSilo(busy_until_);
       }
-    });
+    }
+  }
+  if (cfg.mode == SerialLineConfig::Mode::kSilo && !silo_.empty()) {
+    ArmSiloAlarm();
+  }
+  if (dropped != 0) {
+    ++overruns_;
+    bytes_dropped_ += dropped;
   }
 }
 

@@ -9,11 +9,27 @@ std::uint64_t Simulator::Schedule(SimTime delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+Simulator::Event* Simulator::AllocEvent() {
+  if (!free_.empty()) {
+    Event* ev = free_.back();
+    free_.pop_back();
+    ev->cancelled = false;
+    return ev;
+  }
+  pool_.push_back(std::make_unique<Event>());
+  return pool_.back().get();
+}
+
+void Simulator::Recycle(Event* ev) {
+  ev->fn = nullptr;  // release the closure's captures now, not at reuse
+  free_.push_back(ev);
+}
+
 std::uint64_t Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   if (when < now_) {
     when = now_;
   }
-  auto ev = std::make_shared<Event>();
+  Event* ev = AllocEvent();
   ev->when = when;
   ev->seq = next_seq_++;
   ev->fn = std::move(fn);
@@ -28,18 +44,20 @@ void Simulator::Cancel(std::uint64_t id) {
   if (it == live_.end()) {
     return;
   }
-  if (auto ev = it->second.lock(); ev && !ev->cancelled) {
-    ev->cancelled = true;
-    --pending_;
-  }
+  // The event stays queued (priority_queue has no remove) but marked; it is
+  // recycled when it surfaces in PopNext/RunUntil.
+  it->second->cancelled = true;
+  it->second->fn = nullptr;
+  --pending_;
   live_.erase(it);
 }
 
-std::shared_ptr<Simulator::Event> Simulator::PopNext() {
+Simulator::Event* Simulator::PopNext() {
   while (!queue_.empty()) {
-    auto ev = queue_.top();
+    Event* ev = queue_.top();
     queue_.pop();
     if (ev->cancelled) {
+      Recycle(ev);
       continue;
     }
     live_.erase(ev->seq);
@@ -50,13 +68,17 @@ std::shared_ptr<Simulator::Event> Simulator::PopNext() {
 }
 
 bool Simulator::Step() {
-  auto ev = PopNext();
+  Event* ev = PopNext();
   if (!ev) {
     return false;
   }
   now_ = ev->when;
   ++executed_;
-  ev->fn();
+  // Move the closure out and recycle before running: the callback may
+  // schedule new events, which must be free to reuse this slot.
+  std::function<void()> fn = std::move(ev->fn);
+  Recycle(ev);
+  fn();
   return true;
 }
 
@@ -64,9 +86,10 @@ std::size_t Simulator::RunUntil(SimTime deadline) {
   std::size_t n = 0;
   while (!queue_.empty()) {
     // Peek: skip cancelled entries without advancing time.
-    auto top = queue_.top();
+    Event* top = queue_.top();
     if (top->cancelled) {
       queue_.pop();
+      Recycle(top);
       continue;
     }
     if (top->when > deadline) {

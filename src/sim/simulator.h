@@ -81,6 +81,13 @@ class Simulator {
   bool Idle() const;
   std::size_t pending_events() const { return pending_; }
   std::size_t executed_events() const { return executed_; }
+  // Total events ever scheduled (the interrupt-rate analogue: every serial
+  // byte, timer and frame delivery passes through here).
+  std::uint64_t events_scheduled() const { return next_seq_ - 1; }
+  // Event objects allocated over the simulator's lifetime. Events are pooled
+  // on a free list, so this tracks peak concurrency, not event count.
+  std::size_t pool_capacity() const { return pool_.size(); }
+  std::size_t pool_free() const { return free_.size(); }
 
  private:
   struct Event {
@@ -90,7 +97,7 @@ class Simulator {
     bool cancelled = false;
   };
   struct EventCompare {
-    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
+    bool operator()(const Event* a, const Event* b) const {
       if (a->when != b->when) {
         return a->when > b->when;
       }
@@ -98,17 +105,26 @@ class Simulator {
     }
   };
 
-  // Pops the next non-cancelled event, or nullptr.
-  std::shared_ptr<Event> PopNext();
+  // Free-list allocation: events live in `pool_` for the simulator's
+  // lifetime and recycle through `free_` instead of a per-schedule
+  // make_shared (the old scheme paid an allocation and a control block per
+  // serial byte — the hot path bench_e5 measures).
+  Event* AllocEvent();
+  void Recycle(Event* ev);
+
+  // Pops the next non-cancelled event, or nullptr. The returned event is
+  // still owned by the pool; callers must Recycle() it.
+  Event* PopNext();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t pending_ = 0;   // non-cancelled events in queue
   std::size_t executed_ = 0;
-  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, EventCompare>
-      queue_;
-  // id (== seq) -> event, for O(1) cancellation.
-  std::unordered_map<std::uint64_t, std::weak_ptr<Event>> live_;
+  std::priority_queue<Event*, std::vector<Event*>, EventCompare> queue_;
+  // id (== seq) -> event, for O(1) cancellation. Absent once run/cancelled.
+  std::unordered_map<std::uint64_t, Event*> live_;
+  std::vector<std::unique_ptr<Event>> pool_;
+  std::vector<Event*> free_;
 };
 
 // RAII one-shot timer bound to a Simulator. Restart() re-arms; destruction or

@@ -61,7 +61,14 @@ CommandModeTnc::CommandModeTnc(Simulator* sim, RadioChannel* channel,
     AttachConnection(conn);
     mode_ = Mode::kConverse;
   });
-  serial_->set_receive_handler([this](std::uint8_t b) { OnSerialByte(b); });
+  // The command interpreter is inherently per-character (echo, Ctrl-C);
+  // unroll silo chunks into the byte handler.
+  serial_->set_receive_chunk_handler(
+      [this](const std::uint8_t* data, std::size_t len) {
+        for (std::size_t i = 0; i < len; ++i) {
+          OnSerialByte(data[i]);
+        }
+      });
   port_->set_receive_handler(
       [this](const Bytes& wire, bool corrupted) { OnRadioReceive(wire, corrupted); });
   Prompt();

@@ -25,19 +25,23 @@ KissTnc::KissTnc(Simulator* sim, RadioChannel* channel, SerialEndpoint* serial,
       decoder_([this](const KissFrame& f) { OnKissFrame(f); }) {
   port_ = channel->CreatePort("tnc:" + name_);
   mac_ = std::make_unique<CsmaMac>(sim, port_, config_.mac, seed);
-  serial_->set_receive_handler([this](std::uint8_t b) { OnSerialByte(b); });
+  serial_->set_receive_chunk_handler(
+      [this](const std::uint8_t* data, std::size_t len) { OnSerialChunk(data, len); });
   port_->set_receive_handler(
       [this](const Bytes& wire, bool corrupted) { OnRadioReceive(wire, corrupted); });
 }
 
-void KissTnc::OnSerialByte(std::uint8_t b) {
+void KissTnc::OnSerialChunk(const std::uint8_t* data, std::size_t len) {
   if (!kiss_mode_) {
     return;  // would be the TNC-2 command interpreter; out of scope
   }
-  decoder_.Feed(b);
+  decoder_.Feed(data, len);
 }
 
 void KissTnc::OnKissFrame(const KissFrame& f) {
+  if (!kiss_mode_) {
+    return;  // a kReturn earlier in the same delivery chunk left KISS mode
+  }
   switch (f.command) {
     case KissCommand::kData: {
       if (f.payload.empty()) {

@@ -55,7 +55,7 @@ class KissTnc {
   bool in_kiss_mode() const { return kiss_mode_; }
 
  private:
-  void OnSerialByte(std::uint8_t b);
+  void OnSerialChunk(const std::uint8_t* data, std::size_t len);
   void OnKissFrame(const KissFrame& f);
   void OnRadioReceive(const Bytes& wire, bool corrupted);
   bool PassesFilter(const Bytes& ax25_body) const;

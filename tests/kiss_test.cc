@@ -139,6 +139,112 @@ TEST_F(KissRoundTrip, EmptyPayloadDataFrame) {
   EXPECT_TRUE(frames_[0].payload.empty());
 }
 
+// --- Chunked vs byte-at-a-time equivalence (silo-mode prerequisite) ---------
+
+// Feeds `wire` into two decoders — one byte at a time and in chunks of
+// `chunk` — and checks frames and error counters agree exactly.
+void ExpectChunkedEquivalent(const Bytes& wire, std::size_t chunk) {
+  std::vector<KissFrame> by_byte, by_chunk;
+  KissDecoder d1([&](const KissFrame& f) { by_byte.push_back(f); });
+  KissDecoder d2([&](const KissFrame& f) { by_chunk.push_back(f); });
+  for (std::uint8_t b : wire) {
+    d1.Feed(b);
+  }
+  for (std::size_t i = 0; i < wire.size(); i += chunk) {
+    std::size_t n = std::min(chunk, wire.size() - i);
+    d2.Feed(wire.data() + i, n);
+  }
+  ASSERT_EQ(by_byte.size(), by_chunk.size()) << "chunk=" << chunk;
+  for (std::size_t i = 0; i < by_byte.size(); ++i) {
+    EXPECT_EQ(by_byte[i].payload, by_chunk[i].payload);
+    EXPECT_EQ(by_byte[i].port, by_chunk[i].port);
+    EXPECT_EQ(by_byte[i].command, by_chunk[i].command);
+  }
+  EXPECT_EQ(d1.frames_decoded(), d2.frames_decoded());
+  EXPECT_EQ(d1.protocol_errors(), d2.protocol_errors());
+  EXPECT_EQ(d1.oversize_drops(), d2.oversize_drops());
+}
+
+TEST(KissChunkedFeed, EquivalentAcrossChunkSizesAndEscapeDensities) {
+  // Escape-heavy payload: every escape may straddle a chunk boundary for
+  // some chunk size below.
+  Bytes payload;
+  for (int i = 0; i < 300; ++i) {
+    switch (i % 4) {
+      case 0: payload.push_back(kKissFend); break;
+      case 1: payload.push_back(kKissFesc); break;
+      default: payload.push_back(static_cast<std::uint8_t>(i)); break;
+    }
+  }
+  Bytes wire = KissEncodeData(payload);
+  Bytes second = KissEncodeData(Bytes{1, 2, 3});
+  wire.insert(wire.end(), second.begin(), second.end());
+  for (std::size_t chunk : {1u, 2u, 3u, 7u, 16u, 64u, 1000u}) {
+    ExpectChunkedEquivalent(wire, chunk);
+  }
+}
+
+TEST(KissChunkedFeed, InvalidEscapeAbortsAndResyncsInChunks) {
+  // FESC followed by a non-transpose byte aborts the frame; the next FEND
+  // resynchronizes — same counters whether fed bytewise or chunked.
+  Bytes wire{kKissFend, 0x00, 0x01, kKissFesc, 0x99, 0x02, 0x03, kKissFend};
+  Bytes good = KissEncodeData(Bytes{0x42});
+  wire.insert(wire.end(), good.begin(), good.end());
+  for (std::size_t chunk : {1u, 2u, 4u, 100u}) {
+    ExpectChunkedEquivalent(wire, chunk);
+  }
+  // And the chunked decoder really recovers the trailing frame.
+  std::vector<KissFrame> frames;
+  KissDecoder d([&](const KissFrame& f) { frames.push_back(f); });
+  d.Feed(wire.data(), wire.size());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, Bytes{0x42});
+  EXPECT_EQ(d.protocol_errors(), 1u);
+}
+
+TEST(KissChunkedFeed, OversizeDiscardAndResyncMatchesBytewise) {
+  Bytes big(100, 0xAA);
+  Bytes wire = KissEncodeData(big);
+  Bytes good = KissEncodeData(Bytes{7, 8});
+  wire.insert(wire.end(), good.begin(), good.end());
+  std::vector<KissFrame> by_byte, by_chunk;
+  KissDecoder d1([&](const KissFrame& f) { by_byte.push_back(f); }, 16);
+  KissDecoder d2([&](const KissFrame& f) { by_chunk.push_back(f); }, 16);
+  for (std::uint8_t b : wire) {
+    d1.Feed(b);
+  }
+  d2.Feed(wire.data(), wire.size());
+  ASSERT_EQ(by_byte.size(), 1u);
+  ASSERT_EQ(by_chunk.size(), 1u);
+  EXPECT_EQ(by_chunk[0].payload, (Bytes{7, 8}));
+  EXPECT_EQ(d1.oversize_drops(), 1u);
+  EXPECT_EQ(d2.oversize_drops(), 1u);
+}
+
+TEST(KissChunkedFeed, FrameExactlyAtMaxSizeSurvivesChunked) {
+  // max_frame_ counts type byte + payload; a frame exactly at the cap must
+  // decode, one byte over must not — in both feeding disciplines.
+  Bytes at_cap(15, 0x11);   // 1 type byte + 15 = 16 = cap
+  Bytes over_cap(16, 0x22); // 1 + 16 = 17 > cap
+  for (bool chunked : {false, true}) {
+    std::vector<KissFrame> frames;
+    KissDecoder d([&](const KissFrame& f) { frames.push_back(f); }, 16);
+    Bytes wire = KissEncodeData(at_cap);
+    Bytes wire2 = KissEncodeData(over_cap);
+    wire.insert(wire.end(), wire2.begin(), wire2.end());
+    if (chunked) {
+      d.Feed(wire.data(), wire.size());
+    } else {
+      for (std::uint8_t b : wire) {
+        d.Feed(b);
+      }
+    }
+    ASSERT_EQ(frames.size(), 1u) << "chunked=" << chunked;
+    EXPECT_EQ(frames[0].payload, at_cap);
+    EXPECT_EQ(d.oversize_drops(), 1u);
+  }
+}
+
 TEST(KissEncodeTest, WireFormatExact) {
   // FEND, type 0x00, payload, FEND.
   Bytes wire = KissEncodeData(Bytes{0x10, 0x20});

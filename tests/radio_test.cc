@@ -100,6 +100,57 @@ TEST(RadioChannelTest, TransmitterMissesFramesWhileKeyed) {
   EXPECT_EQ(a_got, 0);
 }
 
+TEST(RadioChannelTest, StartTransmitWhileBusyInvokesCallbackAndRejects) {
+  // Regression: the busy-port early-return used to silently drop `on_done`,
+  // deadlocking any MAC waiting on it to clear its busy flag.
+  Simulator sim;
+  RadioChannel ch(&sim);
+  RadioPort* a = ch.CreatePort("a");
+  RadioPort* b = ch.CreatePort("b");
+  int b_got = 0;
+  b->set_receive_handler([&](const Bytes&, bool) { ++b_got; });
+  bool first_done = false, second_done = false;
+  EXPECT_TRUE(a->StartTransmit(Bytes(100, 1), 0, 0, [&] { first_done = true; }));
+  // Still keyed: the second frame must be rejected, but its callback must
+  // still fire so the caller can recover.
+  EXPECT_FALSE(a->StartTransmit(Bytes(100, 2), 0, 0, [&] { second_done = true; }));
+  EXPECT_EQ(a->rejected_transmits(), 1u);
+  sim.RunAll();
+  EXPECT_TRUE(first_done);
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(a->frames_sent(), 1u);  // the rejected frame never hit the air
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(CsmaMacTest, MacRecoversWhenPortWasAlreadyKeyed) {
+  // A user program keys the port directly (outside the MAC) while the MAC
+  // decides to transmit: the MAC's frame is rejected, but the completion
+  // callback still runs, so the MAC un-sticks and retries its queue.
+  Simulator sim;
+  RadioChannel ch(&sim);
+  RadioPort* port = ch.CreatePort("a");
+  RadioPort* peer = ch.CreatePort("b");
+  int peer_got = 0;
+  peer->set_receive_handler([&](const Bytes&, bool) { ++peer_got; });
+  MacParams params;
+  params.persistence = 1.0;
+  params.turnaround = Milliseconds(30);
+  params.tx_delay = 0;
+  params.tx_tail = 0;
+  CsmaMac mac(&sim, port, params, /*seed=*/5);
+  mac.Enqueue(Bytes(10, 0xAB));
+  // During the MAC's turnaround commitment window, key the port directly.
+  sim.RunUntil(Milliseconds(10));
+  port->StartTransmit(Bytes(10, 0xCD), 0, Milliseconds(100));
+  sim.RunAll();
+  // Without the fix the MAC's busy flag stays set forever and the queue
+  // never drains; with it the frame is re-queued, retried and sent.
+  EXPECT_EQ(mac.queue_depth(), 0u);
+  EXPECT_GE(mac.deferrals(), 1u);
+  EXPECT_EQ(port->rejected_transmits(), 0u);  // MAC re-queues, never rejects
+  EXPECT_EQ(peer_got, 2);
+}
+
 TEST(RadioChannelTest, RandomLossCorruptsFrames) {
   Simulator sim;
   RadioChannelConfig cfg;

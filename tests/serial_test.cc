@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "src/serial/serial_line.h"
@@ -7,6 +8,13 @@
 
 namespace upr {
 namespace {
+
+// Exact land time of the n-th byte (1-based) of a burst starting at t=0:
+// round(n * 10 bits / baud), the cumulative-rounding rule SerialLine uses.
+SimTime LandTime(std::uint64_t n, std::uint32_t baud) {
+  return static_cast<SimTime>(std::llround(
+      static_cast<double>(n) * 10.0 / baud * static_cast<double>(kSecond)));
+}
 
 TEST(SerialLineTest, DeliversBytesInOrder) {
   Simulator sim;
@@ -21,16 +29,31 @@ TEST(SerialLineTest, DeliversBytesInOrder) {
 TEST(SerialLineTest, ByteTimingMatchesBaudRate) {
   Simulator sim;
   SerialLine line(&sim, 9600);
-  // 10 bits per byte at 9600 baud.
-  EXPECT_EQ(line.byte_time(), Microseconds(10.0 * 1e6 / 9600.0));
+  // 10 bits per byte at 9600 baud, rounded to the nearest nanosecond.
+  EXPECT_EQ(line.byte_time(), LandTime(1, 9600));
   std::vector<SimTime> arrivals;
   line.b().set_receive_handler([&](std::uint8_t) { arrivals.push_back(sim.Now()); });
   line.a().Write(Bytes{0, 0, 0});
   sim.RunAll();
   ASSERT_EQ(arrivals.size(), 3u);
-  EXPECT_EQ(arrivals[0], line.byte_time());
-  EXPECT_EQ(arrivals[1], 2 * line.byte_time());
-  EXPECT_EQ(arrivals[2], 3 * line.byte_time());
+  // Each arrival is the *cumulative* rounded time, not n truncated additions.
+  EXPECT_EQ(arrivals[0], LandTime(1, 9600));
+  EXPECT_EQ(arrivals[1], LandTime(2, 9600));
+  EXPECT_EQ(arrivals[2], LandTime(3, 9600));
+}
+
+TEST(SerialLineTest, NonDivisorBaudRateDoesNotDrift) {
+  // 9600 baud: 1041666.67 ns/byte. The old per-byte truncation lost 2/3 ns
+  // per byte (~0.06 ms/s of drift); cumulative rounding keeps the clock
+  // within half a nanosecond of exact forever. 9600 bytes at 9600 baud with
+  // 10-bit framing is exactly 10 seconds.
+  Simulator sim;
+  SerialLine line(&sim, 9600);
+  SimTime last = 0;
+  line.b().set_receive_handler([&](std::uint8_t) { last = sim.Now(); });
+  line.a().Write(Bytes(9600, 0x55));
+  sim.RunAll();
+  EXPECT_EQ(last, Seconds(10));
 }
 
 TEST(SerialLineTest, BacklogSerializesBursts) {
@@ -72,6 +95,162 @@ TEST(SerialLineTest, LaterWritesQueueBehindEarlier) {
   sim.RunAll();
   EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2}));
   // Second byte lands a full byte-time after the first.
+}
+
+// --- Silo (DZ/DH batched) mode ---------------------------------------------
+
+SerialLineConfig SiloConfig(std::uint32_t baud, std::size_t depth,
+                            SimTime timeout = 0) {
+  SerialLineConfig c;
+  c.baud_rate = baud;
+  c.mode = SerialLineConfig::Mode::kSilo;
+  c.silo_depth = depth;
+  c.silo_timeout = timeout;
+  return c;
+}
+
+TEST(SerialSiloTest, DeliversFullSilosAsChunks) {
+  Simulator sim;
+  SerialLine line(&sim, SiloConfig(9600, 16));
+  std::vector<std::size_t> chunk_sizes;
+  Bytes got;
+  line.b().set_receive_chunk_handler([&](const std::uint8_t* d, std::size_t n) {
+    chunk_sizes.push_back(n);
+    got.insert(got.end(), d, d + n);
+  });
+  Bytes sent(40, 0);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<std::uint8_t>(i);
+  }
+  line.a().Write(sent);
+  sim.RunAll();
+  EXPECT_EQ(chunk_sizes, (std::vector<std::size_t>{16, 16, 8}));
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(line.a().events_scheduled(), 3u);
+  EXPECT_EQ(line.b().deliveries(), 3u);
+  EXPECT_DOUBLE_EQ(line.b().bytes_per_event(), 40.0 / 3.0);
+}
+
+TEST(SerialSiloTest, ChunkArrivesWhenLastByteLands) {
+  Simulator sim;
+  SerialLine line(&sim, SiloConfig(9600, 16));
+  std::vector<SimTime> arrivals;
+  line.b().set_receive_chunk_handler(
+      [&](const std::uint8_t*, std::size_t) { arrivals.push_back(sim.Now()); });
+  line.a().Write(Bytes(20, 0x42));
+  sim.RunAll();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Full silo: at the 16th byte's land time. Partial: at the 20th's (no
+  // timeout configured).
+  EXPECT_EQ(arrivals[0], LandTime(16, 9600));
+  EXPECT_EQ(arrivals[1], LandTime(20, 9600));
+}
+
+TEST(SerialSiloTest, SiloAlarmFlushesPartialAfterTimeout) {
+  Simulator sim;
+  SerialLine line(&sim, SiloConfig(9600, 64, Milliseconds(5)));
+  std::vector<SimTime> arrivals;
+  std::vector<std::size_t> sizes;
+  line.b().set_receive_chunk_handler([&](const std::uint8_t*, std::size_t n) {
+    arrivals.push_back(sim.Now());
+    sizes.push_back(n);
+  });
+  line.a().Write(Bytes(10, 0x11));
+  sim.RunAll();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(sizes[0], 10u);
+  EXPECT_EQ(arrivals[0], LandTime(10, 9600) + Milliseconds(5));
+}
+
+TEST(SerialSiloTest, NewBytesExtendArmedAlarm) {
+  Simulator sim;
+  SerialLine line(&sim, SiloConfig(9600, 64, Milliseconds(50)));
+  std::vector<std::size_t> sizes;
+  line.b().set_receive_chunk_handler(
+      [&](const std::uint8_t*, std::size_t n) { sizes.push_back(n); });
+  line.a().Write(Bytes(4, 1));
+  // Before the alarm fires, more bytes arrive: they join the same silo.
+  sim.RunUntil(Milliseconds(10));
+  line.a().Write(Bytes(4, 2));
+  sim.RunAll();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{8}));
+}
+
+TEST(SerialSiloTest, ByteHandlerStillWorksInSiloMode) {
+  Simulator sim;
+  SerialLine line(&sim, SiloConfig(9600, 16));
+  Bytes got;
+  line.b().set_receive_handler([&](std::uint8_t b) { got.push_back(b); });
+  Bytes sent{1, 2, 3, 4, 5, 6, 7, 8};
+  line.a().Write(sent);
+  sim.RunAll();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(SerialSiloTest, SameByteStreamAsPerByteModeWithFewerEvents) {
+  // The acceptance criterion: the silo path must deliver a byte-identical
+  // stream with >= 3x fewer delivery events than per-byte mode.
+  Bytes sent;
+  for (int i = 0; i < 500; ++i) {
+    sent.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+  }
+
+  Simulator sim_pb;
+  SerialLine per_byte(&sim_pb, 9600);
+  Bytes got_pb;
+  per_byte.b().set_receive_chunk_handler([&](const std::uint8_t* d, std::size_t n) {
+    got_pb.insert(got_pb.end(), d, d + n);
+  });
+  per_byte.a().Write(sent);
+  sim_pb.RunAll();
+
+  Simulator sim_silo;
+  SerialLine silo(&sim_silo, SiloConfig(9600, 16));
+  Bytes got_silo;
+  silo.b().set_receive_chunk_handler([&](const std::uint8_t* d, std::size_t n) {
+    got_silo.insert(got_silo.end(), d, d + n);
+  });
+  silo.a().Write(sent);
+  sim_silo.RunAll();
+
+  EXPECT_EQ(got_pb, sent);
+  EXPECT_EQ(got_silo, sent);
+  EXPECT_EQ(per_byte.a().events_scheduled(), 500u);
+  EXPECT_LE(silo.a().events_scheduled() * 3, per_byte.a().events_scheduled());
+  EXPECT_LE(sim_silo.events_scheduled() * 3, sim_pb.events_scheduled());
+}
+
+// --- Bounded transmit FIFO ---------------------------------------------------
+
+TEST(SerialBacklogCapTest, OverflowDropsWithStatInsteadOfBuffering) {
+  Simulator sim;
+  SerialLineConfig cfg;
+  cfg.baud_rate = 1200;
+  cfg.max_backlog = 100;
+  SerialLine line(&sim, cfg);
+  int received = 0;
+  line.b().set_receive_handler([&](std::uint8_t) { ++received; });
+  line.a().Write(Bytes(250, 0x77));
+  // FIFO capped at 100: 150 bytes dropped, one overrun event recorded.
+  EXPECT_EQ(line.a().backlog(), 100u);
+  EXPECT_EQ(line.a().overruns(), 1u);
+  EXPECT_EQ(line.a().bytes_dropped(), 150u);
+  EXPECT_EQ(line.a().bytes_sent(), 100u);
+  sim.RunAll();
+  EXPECT_EQ(received, 100);
+  // Once drained, new writes go through again.
+  line.a().Write(Bytes(10, 0x01));
+  sim.RunAll();
+  EXPECT_EQ(received, 110);
+  EXPECT_EQ(line.a().overruns(), 1u);
+}
+
+TEST(SerialBacklogCapTest, UnboundedByDefault) {
+  Simulator sim;
+  SerialLine line(&sim, 1200);
+  line.a().Write(Bytes(100000, 0));
+  EXPECT_EQ(line.a().backlog(), 100000u);
+  EXPECT_EQ(line.a().overruns(), 0u);
 }
 
 }  // namespace

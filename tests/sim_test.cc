@@ -138,6 +138,59 @@ TEST(TimerTest, TimerCanRearmItself) {
   EXPECT_EQ(sim.Now(), Seconds(3));
 }
 
+TEST(SimulatorTest, EventPoolRecyclesInsteadOfGrowing) {
+  Simulator sim;
+  // A self-rescheduling chain keeps at most one event live; the pool must
+  // not grow with the number of events executed.
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 10000) {
+      sim.Schedule(kMicrosecond, tick);
+    }
+  };
+  sim.Schedule(kMicrosecond, tick);
+  sim.RunAll();
+  EXPECT_EQ(fires, 10000);
+  EXPECT_EQ(sim.events_scheduled(), 10000u);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+  EXPECT_LE(sim.pool_capacity(), 4u);
+  EXPECT_EQ(sim.pool_free(), sim.pool_capacity());
+}
+
+TEST(SimulatorTest, CancelledEventsReturnToPool) {
+  Simulator sim;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.Schedule(Seconds(1), [] {}));
+  }
+  for (auto id : ids) {
+    sim.Cancel(id);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pool_free(), sim.pool_capacity());
+  // Recycled slots are reused by later schedules.
+  std::size_t capacity = sim.pool_capacity();
+  bool ran = false;
+  sim.Schedule(Seconds(1), [&] { ran = true; });
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.pool_capacity(), capacity);
+}
+
+TEST(SimulatorTest, CancelOfRecycledIdDoesNotAffectNewEvent) {
+  Simulator sim;
+  auto id = sim.Schedule(Seconds(1), [] {});
+  sim.RunAll();
+  // `id` already ran; a new event may reuse its pool slot. Cancelling the
+  // stale id must be a no-op for the new event.
+  bool ran = false;
+  sim.Schedule(Seconds(1), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+}
+
 TEST(TimeHelpersTest, Conversions) {
   EXPECT_EQ(Seconds(1.5), 1'500'000'000);
   EXPECT_EQ(Milliseconds(2), 2'000'000);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification script.
+#
+# Job 1: regular build + full test suite (the ROADMAP.md tier-1 command).
+# Job 2: ASan+UBSan build + full test suite, so lifetime bugs in the
+#        simulator event pool / serial callback plumbing cannot land silently.
+#
+# Usage: tools/check.sh [--no-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "=== tier-1: regular build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${jobs}"
+ctest --test-dir build --output-on-failure -j"${jobs}"
+
+if [[ "${1:-}" == "--no-asan" ]]; then
+  exit 0
+fi
+
+echo "=== tier-1: ASan+UBSan build + ctest ==="
+cmake -B build-asan -S . -DUPR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j"${jobs}"
+ctest --test-dir build-asan --output-on-failure -j"${jobs}"

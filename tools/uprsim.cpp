@@ -34,6 +34,7 @@ struct Options {
   bool access_control = false;
   bool monitor = false;
   bool netstat = false;
+  std::size_t silo = 0;
   double duration = 600.0;
   std::uint64_t seed = 42;
   std::string workload = "ping";
@@ -53,6 +54,8 @@ void Usage(const char* argv0) {
       "  --workload W       ping | tcp | telnet (default ping)\n"
       "  --duration SECS    simulated run length (default 600)\n"
       "  --seed S           PRNG seed (default 42)\n"
+      "  --silo N           batch serial delivery, N chars per interrupt\n"
+      "                     (default 0 = per-character, the paper's DZ)\n"
       "  --monitor          print decoded channel traffic as it happens\n"
       "  --netstat          print per-host netstat at the end\n",
       argv0);
@@ -90,6 +93,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->duration = std::strtod(next(), nullptr);
     } else if (arg == "--seed") {
       opt->seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--silo") {
+      opt->silo = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--monitor") {
       opt->monitor = true;
     } else if (arg == "--netstat") {
@@ -128,6 +133,10 @@ int main(int argc, char** argv) {
   cfg.tnc_address_filter = opt.tnc_filter;
   cfg.enforce_access_control = opt.access_control;
   cfg.seed = opt.seed;
+  if (opt.silo > 0) {
+    cfg.serial.mode = SerialLineConfig::Mode::kSilo;
+    cfg.serial.silo_depth = opt.silo;
+  }
   Testbed tb(cfg);
   tb.PopulateRadioArp();
 
@@ -232,9 +241,15 @@ int main(int argc, char** argv) {
   if (opt.netstat) {
     std::printf("\n%s", FormatNetstat(tb.gateway().stack()).c_str());
     std::printf("%s", FormatGateway(tb.gateway().gateway()).c_str());
+    std::printf("%s", FormatSerial(tb.gateway().serial(), "microvax dz0").c_str());
+    std::printf("%s", FormatDriverStats(*tb.gateway().radio_if()).c_str());
     for (std::size_t i = 0; i < opt.pcs; ++i) {
       std::printf("\n%s", FormatNetstat(tb.pc(i).stack()).c_str());
+      std::printf("%s", FormatSerial(tb.pc(i).serial(),
+                                     "pc" + std::to_string(i) + " com0").c_str());
+      std::printf("%s", FormatDriverStats(*tb.pc(i).radio_if()).c_str());
     }
+    std::printf("\n%s", FormatSimulator(tb.sim()).c_str());
   }
 
   std::printf("\nworkload %s: %s\n", opt.workload.c_str(),
