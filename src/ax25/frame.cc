@@ -1,6 +1,7 @@
 #include "src/ax25/frame.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace upr {
 
@@ -14,6 +15,35 @@ constexpr std::uint8_t kCtlDm = 0x0F;
 constexpr std::uint8_t kCtlUi = 0x03;
 constexpr std::uint8_t kCtlFrmr = 0x87;
 constexpr std::uint8_t kPfBit = 0x10;
+
+std::uint8_t ControlByte(const Ax25Frame& f) {
+  std::uint8_t pf = f.poll_final ? kPfBit : 0;
+  switch (f.type) {
+    case Ax25FrameType::kI:
+      return static_cast<std::uint8_t>((f.nr & 7) << 5 | pf | (f.ns & 7) << 1);
+    case Ax25FrameType::kRr:
+      return static_cast<std::uint8_t>((f.nr & 7) << 5 | pf | 0x01);
+    case Ax25FrameType::kRnr:
+      return static_cast<std::uint8_t>((f.nr & 7) << 5 | pf | 0x05);
+    case Ax25FrameType::kRej:
+      return static_cast<std::uint8_t>((f.nr & 7) << 5 | pf | 0x09);
+    case Ax25FrameType::kSabm:
+      return kCtlSabm | pf;
+    case Ax25FrameType::kDisc:
+      return kCtlDisc | pf;
+    case Ax25FrameType::kUa:
+      return kCtlUa | pf;
+    case Ax25FrameType::kDm:
+      return kCtlDm | pf;
+    case Ax25FrameType::kUi:
+      return kCtlUi | pf;
+    case Ax25FrameType::kFrmr:
+      return kCtlFrmr | pf;
+    case Ax25FrameType::kUnknown:
+      return kCtlUi;
+  }
+  return kCtlUi;
+}
 
 }  // namespace
 
@@ -86,75 +116,44 @@ Ax25Digipeater* Ax25Frame::NextDigipeater() {
   return nullptr;
 }
 
-Bytes Ax25Frame::Encode() const {
-  Bytes out;
-  out.reserve(14 + digipeaters.size() * kAx25AddressBytes + 2 + info.size());
+void Ax25Frame::EncodeTo(PacketBuf* pb) const {
+  BufLayerScope scope(BufLayer::kAx25);
+  std::uint8_t* h = pb->Prepend(HeaderLength());
+  std::size_t pos = 0;
 
   // Address field. AX.25 v2.0 command/response encoding: a command frame has
   // the C bit set in the destination and clear in the source; a response the
   // opposite.
   bool last_is_dst_src = digipeaters.empty();
   auto dst = destination.Encode(command, false);
-  out.insert(out.end(), dst.begin(), dst.end());
+  std::memcpy(h + pos, dst.data(), kAx25AddressBytes);
+  pos += kAx25AddressBytes;
   auto src = source.Encode(!command, last_is_dst_src);
-  out.insert(out.end(), src.begin(), src.end());
+  std::memcpy(h + pos, src.data(), kAx25AddressBytes);
+  pos += kAx25AddressBytes;
   for (std::size_t i = 0; i < digipeaters.size(); ++i) {
     bool last = (i + 1 == digipeaters.size());
     auto d = digipeaters[i].address.Encode(digipeaters[i].repeated, last);
-    out.insert(out.end(), d.begin(), d.end());
+    std::memcpy(h + pos, d.data(), kAx25AddressBytes);
+    pos += kAx25AddressBytes;
   }
 
-  // Control field.
-  std::uint8_t pf = poll_final ? kPfBit : 0;
-  std::uint8_t ctl = 0;
-  switch (type) {
-    case Ax25FrameType::kI:
-      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | (ns & 7) << 1);
-      break;
-    case Ax25FrameType::kRr:
-      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | 0x01);
-      break;
-    case Ax25FrameType::kRnr:
-      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | 0x05);
-      break;
-    case Ax25FrameType::kRej:
-      ctl = static_cast<std::uint8_t>((nr & 7) << 5 | pf | 0x09);
-      break;
-    case Ax25FrameType::kSabm:
-      ctl = kCtlSabm | pf;
-      break;
-    case Ax25FrameType::kDisc:
-      ctl = kCtlDisc | pf;
-      break;
-    case Ax25FrameType::kUa:
-      ctl = kCtlUa | pf;
-      break;
-    case Ax25FrameType::kDm:
-      ctl = kCtlDm | pf;
-      break;
-    case Ax25FrameType::kUi:
-      ctl = kCtlUi | pf;
-      break;
-    case Ax25FrameType::kFrmr:
-      ctl = kCtlFrmr | pf;
-      break;
-    case Ax25FrameType::kUnknown:
-      ctl = kCtlUi;
-      break;
-  }
-  out.push_back(ctl);
-
+  h[pos++] = ControlByte(*this);
   if (HasPid()) {
-    out.push_back(pid);
+    h[pos++] = pid;
   }
-  if (type == Ax25FrameType::kI || type == Ax25FrameType::kUi ||
-      type == Ax25FrameType::kFrmr) {
-    out.insert(out.end(), info.begin(), info.end());
-  }
-  return out;
 }
 
-std::optional<Ax25Frame> Ax25Frame::Decode(const Bytes& wire) {
+Bytes Ax25Frame::Encode() const {
+  // Exact-fit PacketBuf (headroom == header length), so Release() moves the
+  // storage out: same one-allocation cost as direct serialization.
+  ByteView payload = CarriesInfo() ? ByteView(info) : ByteView();
+  PacketBuf pb = PacketBuf::FromView(payload, HeaderLength());
+  EncodeTo(&pb);
+  return pb.Release();
+}
+
+std::optional<Ax25Frame::DecodedView> Ax25Frame::DecodeView(ByteView wire) {
   // Minimum: dst + src + control.
   if (wire.size() < 2 * kAx25AddressBytes + 1) {
     return std::nullopt;
@@ -251,7 +250,26 @@ std::optional<Ax25Frame> Ax25Frame::Decode(const Bytes& wire) {
     }
     f.pid = wire[pos++];
   }
-  f.info.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos), wire.end());
+  DecodedView out;
+  out.frame = std::move(f);
+  out.info = wire.subspan(pos);
+  return out;
+}
+
+std::optional<Ax25Frame> Ax25Frame::Decode(const Bytes& wire) {
+  std::optional<DecodedView> v = DecodeView(wire);
+  if (!v) {
+    return std::nullopt;
+  }
+  Ax25Frame f = std::move(v->frame);
+  {
+    BufLayerScope scope(BufLayer::kAx25);
+    if (!v->info.empty()) {
+      BufNoteAlloc();
+      BufNoteCopy(v->info.size());
+    }
+  }
+  f.info.assign(v->info.begin(), v->info.end());
   return f;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/ax25/address.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -73,8 +74,24 @@ struct Ax25Frame {
                           std::uint8_t pid, Bytes info,
                           std::vector<Ax25Digipeater> digis = {});
 
+  // Address block + control (+ PID) length for this frame.
+  std::size_t HeaderLength() const {
+    return (2 + digipeaters.size()) * kAx25AddressBytes + 1 + (HasPid() ? 1 : 0);
+  }
+
+  // Prepends the frame header in front of `pb`, whose current data becomes
+  // the info field. The header is built in a small stack buffer and lands in
+  // headroom with a single prepend. `info` is ignored — the PacketBuf carries
+  // the payload on the datapath.
+  void EncodeTo(PacketBuf* pb) const;
+
   Bytes Encode() const;
   static std::optional<Ax25Frame> Decode(const Bytes& wire);
+
+  struct DecodedView;
+  // As Decode, but the info field stays a non-owning view into `wire`
+  // (frame.info is left empty). Valid only while the wire buffer lives.
+  static std::optional<DecodedView> DecodeView(ByteView wire);
 
   // True when every listed digipeater has already repeated the frame (or the
   // list is empty) — i.e. the frame is ready for its final destination.
@@ -88,6 +105,16 @@ struct Ax25Frame {
   bool HasPid() const {
     return type == Ax25FrameType::kI || type == Ax25FrameType::kUi;
   }
+
+  bool CarriesInfo() const {
+    return type == Ax25FrameType::kI || type == Ax25FrameType::kUi ||
+           type == Ax25FrameType::kFrmr;
+  }
+};
+
+struct Ax25Frame::DecodedView {
+  Ax25Frame frame;  // info empty; see `info` below
+  ByteView info;
 };
 
 }  // namespace upr

@@ -80,8 +80,11 @@ class PacketRadioInterface : public NetInterface {
   // The on-the-fly KISS unescaper; exposes framing-error counters.
   const KissDecoder& kiss_decoder() const { return decoder_; }
 
-  // NetInterface:
+  // NetInterface. The PacketBuf path is the native one: the AX.25 address
+  // block lands in the datagram's headroom and KISS escaping is the only
+  // wire-write. The Bytes overload copies into a fresh PacketBuf first.
   void Output(const Bytes& ip_datagram, IpV4Address next_hop) override;
+  void Output(PacketBuf&& ip_datagram, IpV4Address next_hop) override;
 
   // --- User-level AX.25 access (§2.4 future work) -------------------------
 
@@ -113,9 +116,10 @@ class PacketRadioInterface : public NetInterface {
 
  private:
   void OnSerialChunk(const std::uint8_t* data, std::size_t len);
-  void OnKissFrame(const KissFrame& frame);
-  void TransmitUi(std::uint8_t pid, const Bytes& payload, const Ax25HwAddr& dst);
-  void WriteKiss(const Bytes& ax25_wire);
+  // Zero-copy KISS delivery: `payload` aliases the decoder's frame buffer.
+  void OnKissFrame(std::uint8_t port, KissCommand command, ByteView payload);
+  void TransmitUi(std::uint8_t pid, PacketBuf&& payload, const Ax25HwAddr& dst);
+  void WriteKiss(ByteView ax25_wire);
 
   Simulator* sim_;
   SerialEndpoint* serial_;

@@ -40,35 +40,47 @@ EthernetInterface::EthernetInterface(EtherSegment* segment, std::string name,
       /*transmit_arp=*/
       [this](const Bytes& arp_packet, const std::optional<HwAddress>& dst) {
         EtherAddr to = dst ? std::get<EtherAddr>(*dst) : EtherAddr::Broadcast();
-        TransmitFrame(kEtherTypeArp, to, arp_packet);
+        PacketBuf pb;
+        {
+          BufLayerScope scope(BufLayer::kEther);
+          pb = PacketBuf::FromView(arp_packet, PacketBuf::kDefaultHeadroom);
+        }
+        TransmitFrame(kEtherTypeArp, to, std::move(pb));
       },
       /*send_resolved=*/
-      [this](const Bytes& ip_datagram, const HwAddress& dst) {
-        TransmitFrame(kEtherTypeIp, std::get<EtherAddr>(dst), ip_datagram);
+      [this](PacketBuf&& ip_datagram, const HwAddress& dst) {
+        TransmitFrame(kEtherTypeIp, std::get<EtherAddr>(dst), std::move(ip_datagram));
       });
   segment->Attach(this);
 }
 
 void EthernetInterface::Output(const Bytes& ip_datagram, IpV4Address next_hop) {
+  BufLayerScope scope(BufLayer::kEther);
+  Output(PacketBuf::FromView(ip_datagram, PacketBuf::kDefaultHeadroom), next_hop);
+}
+
+void EthernetInterface::Output(PacketBuf&& ip_datagram, IpV4Address next_hop) {
   if (!up_) {
     ++stats_.oerrors;
     return;
   }
   ++stats_.opackets;
   stats_.obytes += ip_datagram.size();
-  arp_->Send(ip_datagram, next_hop);
+  arp_->Send(std::move(ip_datagram), next_hop);
 }
 
 void EthernetInterface::TransmitFrame(std::uint16_t ethertype, const EtherAddr& dst,
-                                      const Bytes& payload) {
-  Bytes frame;
-  frame.reserve(kEtherHeaderBytes + payload.size());
-  ByteWriter w(&frame);
-  w.WriteBytes(dst.octets.data(), dst.octets.size());
-  w.WriteBytes(mac_.octets.data(), mac_.octets.size());
-  w.WriteU16(ethertype);
-  w.WriteBytes(payload);
-  segment_->Transmit(this, std::move(frame));
+                                      PacketBuf&& payload) {
+  std::uint8_t* h;
+  {
+    BufLayerScope scope(BufLayer::kEther);
+    h = payload.Prepend(kEtherHeaderBytes);
+  }
+  std::copy(dst.octets.begin(), dst.octets.end(), h);
+  std::copy(mac_.octets.begin(), mac_.octets.end(), h + 6);
+  h[12] = static_cast<std::uint8_t>(ethertype >> 8);
+  h[13] = static_cast<std::uint8_t>(ethertype & 0xFF);
+  segment_->Transmit(this, payload.Release());
 }
 
 void EthernetInterface::ReceiveFrame(const Bytes& frame) {
@@ -81,9 +93,15 @@ void EthernetInterface::ReceiveFrame(const Bytes& frame) {
     return;  // hardware address filter
   }
   std::uint16_t ethertype = static_cast<std::uint16_t>(frame[12] << 8 | frame[13]);
-  Bytes payload(frame.begin() + kEtherHeaderBytes, frame.end());
+  ByteView payload(frame.data() + kEtherHeaderBytes, frame.size() - kEtherHeaderBytes);
   if (ethertype == kEtherTypeIp) {
-    DeliverToStack(payload);
+    // The one receive-side copy: into an owned, headroom-carrying PacketBuf.
+    PacketBuf pb;
+    {
+      BufLayerScope scope(BufLayer::kEther);
+      pb = PacketBuf::FromView(payload, PacketBuf::kDefaultHeadroom);
+    }
+    DeliverToStack(std::move(pb));
   } else if (ethertype == kEtherTypeArp) {
     arp_->HandleArpPacket(payload);
   }

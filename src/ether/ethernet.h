@@ -53,13 +53,15 @@ class EthernetInterface : public NetInterface {
   const EtherAddr& mac() const { return mac_; }
   ArpResolver& arp() { return *arp_; }
 
-  // NetInterface:
+  // NetInterface. The PacketBuf path prepends the 14-byte Ethernet-II header
+  // into the datagram's headroom; the Bytes overload copies first.
   void Output(const Bytes& ip_datagram, IpV4Address next_hop) override;
+  void Output(PacketBuf&& ip_datagram, IpV4Address next_hop) override;
 
  private:
   friend class EtherSegment;
 
-  void TransmitFrame(std::uint16_t ethertype, const EtherAddr& dst, const Bytes& payload);
+  void TransmitFrame(std::uint16_t ethertype, const EtherAddr& dst, PacketBuf&& payload);
   void ReceiveFrame(const Bytes& frame);
 
   EtherSegment* segment_;

@@ -16,7 +16,7 @@ PacketRadioGateway::PacketRadioGateway(NetStack* stack, NetInterface* radio,
       table_(stack->sim(), config_.access_control) {
   stack_->set_forwarding(true);
   stack_->set_forward_filter(
-      [this](const Ipv4Header& h, const Bytes& p, NetInterface* in, NetInterface* out) {
+      [this](const Ipv4Header& h, ByteView p, NetInterface* in, NetInterface* out) {
         return FilterForward(h, p, in, out);
       });
   stack_->icmp().RegisterTypeHandler(
@@ -26,7 +26,7 @@ PacketRadioGateway::PacketRadioGateway(NetStack* stack, NetInterface* radio,
       });
 }
 
-bool PacketRadioGateway::FilterForward(const Ipv4Header& header, const Bytes& payload,
+bool PacketRadioGateway::FilterForward(const Ipv4Header& header, ByteView payload,
                                        NetInterface* in, NetInterface* out) {
   bool from_radio = in == radio_;
   bool to_radio = out == radio_;

@@ -50,7 +50,7 @@ class PacketRadioGateway {
   std::uint64_t control_rejected() const { return control_rejected_; }
 
  private:
-  bool FilterForward(const Ipv4Header& header, const Bytes& payload, NetInterface* in,
+  bool FilterForward(const Ipv4Header& header, ByteView payload, NetInterface* in,
                      NetInterface* out);
   void HandleControl(const Ipv4Header& ip, const IcmpMessage& msg, NetInterface* in);
 

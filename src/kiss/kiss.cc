@@ -1,43 +1,69 @@
 #include "src/kiss/kiss.h"
 
+#include <algorithm>
+
 namespace upr {
+
+namespace {
+
+inline bool NeedsEscape(std::uint8_t b) {
+  return b == kKissFend || b == kKissFesc;
+}
+
+}  // namespace
+
+void KissEncodeInto(ByteView payload, Bytes* out, std::uint8_t port,
+                    KissCommand command) {
+  BufLayerScope scope(BufLayer::kKiss);
+  std::uint8_t type;
+  if (command == KissCommand::kReturn) {
+    type = 0xFF;
+  } else {
+    type = static_cast<std::uint8_t>((port & 0x0F) << 4) |
+           (static_cast<std::uint8_t>(command) & 0x0F);
+  }
+  // Exact encoded size: FEND + type (escaped if it collides with a special) +
+  // payload with each FEND/FESC doubled + FEND. The old encoder reserved only
+  // payload + 4 and reallocated mid-encode on escape-dense frames.
+  std::size_t specials = static_cast<std::size_t>(
+      std::count_if(payload.begin(), payload.end(), NeedsEscape));
+  std::size_t encoded =
+      2 + (NeedsEscape(type) ? 2 : 1) + payload.size() + specials;
+  bool was_empty = out->empty();
+  out->reserve(out->size() + encoded);
+  if (was_empty) {
+    BufNoteAlloc();
+  }
+  auto put = [out](std::uint8_t b) {
+    if (b == kKissFend) {
+      out->push_back(kKissFesc);
+      out->push_back(kKissTfend);
+    } else if (b == kKissFesc) {
+      out->push_back(kKissFesc);
+      out->push_back(kKissTfesc);
+    } else {
+      out->push_back(b);
+    }
+  };
+  out->push_back(kKissFend);
+  put(type);
+  for (std::uint8_t b : payload) {
+    put(b);
+  }
+  out->push_back(kKissFend);
+  BufNoteCopy(encoded);
+}
 
 Bytes KissEncode(const KissFrame& frame) {
   Bytes out;
-  out.reserve(frame.payload.size() + 4);
-  out.push_back(kKissFend);
-  std::uint8_t type;
-  if (frame.command == KissCommand::kReturn) {
-    type = 0xFF;
-  } else {
-    type = static_cast<std::uint8_t>((frame.port & 0x0F) << 4) |
-           (static_cast<std::uint8_t>(frame.command) & 0x0F);
-  }
-  auto put = [&out](std::uint8_t b) {
-    if (b == kKissFend) {
-      out.push_back(kKissFesc);
-      out.push_back(kKissTfend);
-    } else if (b == kKissFesc) {
-      out.push_back(kKissFesc);
-      out.push_back(kKissTfesc);
-    } else {
-      out.push_back(b);
-    }
-  };
-  put(type);
-  for (std::uint8_t b : frame.payload) {
-    put(b);
-  }
-  out.push_back(kKissFend);
+  KissEncodeInto(frame.payload, &out, frame.port, frame.command);
   return out;
 }
 
 Bytes KissEncodeData(const Bytes& ax25_frame, std::uint8_t port) {
-  KissFrame f;
-  f.port = port;
-  f.command = KissCommand::kData;
-  f.payload = ax25_frame;
-  return KissEncode(f);
+  Bytes out;
+  KissEncodeInto(ax25_frame, &out, port, KissCommand::kData);
+  return out;
 }
 
 void KissDecoder::Feed(const Bytes& bytes) { Feed(bytes.data(), bytes.size()); }
@@ -87,16 +113,33 @@ void KissDecoder::EmitFrame() {
     return;
   }
   std::uint8_t type = current_[0];
-  KissFrame frame;
+  std::uint8_t port;
+  KissCommand command;
   if (type == 0xFF) {
-    frame.port = 0x0F;
-    frame.command = KissCommand::kReturn;
+    port = 0x0F;
+    command = KissCommand::kReturn;
   } else {
-    frame.port = static_cast<std::uint8_t>(type >> 4);
-    frame.command = static_cast<KissCommand>(type & 0x0F);
+    port = static_cast<std::uint8_t>(type >> 4);
+    command = static_cast<KissCommand>(type & 0x0F);
+  }
+  ++frames_decoded_;
+  if (view_handler_) {
+    // Zero-copy delivery: the view aliases current_ and is consumed within
+    // the callback; clear only afterwards.
+    view_handler_(port, command,
+                  ByteView(current_.data() + 1, current_.size() - 1));
+    current_.clear();
+    return;
+  }
+  KissFrame frame;
+  frame.port = port;
+  frame.command = command;
+  {
+    BufLayerScope scope(BufLayer::kKiss);
+    BufNoteAlloc();
+    BufNoteCopy(current_.size() - 1);
   }
   frame.payload.assign(current_.begin() + 1, current_.end());
-  ++frames_decoded_;
   current_.clear();
   handler_(frame);
 }

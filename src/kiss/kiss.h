@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -45,6 +46,15 @@ struct KissFrame {
   Bytes payload;
 };
 
+// Escape-writes one KISS frame onto the end of `*out` (leading and trailing
+// FENDs included). This is the datapath's single wire-write: the payload view
+// typically points straight into the PacketBuf that was carried down the
+// stack. The output is reserved at its exact encoded size up front (two bytes
+// per FEND/FESC occurrence), so even escape-dense frames never reallocate
+// mid-encode.
+void KissEncodeInto(ByteView payload, Bytes* out, std::uint8_t port = 0,
+                    KissCommand command = KissCommand::kData);
+
 // Encodes one KISS frame into the on-the-wire byte stream, including leading
 // and trailing FENDs.
 Bytes KissEncode(const KissFrame& frame);
@@ -60,9 +70,15 @@ Bytes KissEncodeData(const Bytes& ax25_frame, std::uint8_t port = 0);
 class KissDecoder {
  public:
   using FrameHandler = std::function<void(const KissFrame&)>;
+  // Zero-copy delivery: the payload view aliases the decoder's internal
+  // buffer and is valid only for the duration of the callback.
+  using FrameViewHandler =
+      std::function<void(std::uint8_t port, KissCommand command, ByteView payload)>;
 
   explicit KissDecoder(FrameHandler handler, std::size_t max_frame = 4096)
       : handler_(std::move(handler)), max_frame_(max_frame) {}
+  explicit KissDecoder(FrameViewHandler handler, std::size_t max_frame = 4096)
+      : view_handler_(std::move(handler)), max_frame_(max_frame) {}
 
   void Feed(std::uint8_t byte);
   // Chunked feed, for silo-mode serial delivery: behaves exactly as feeding
@@ -85,6 +101,7 @@ class KissDecoder {
   void Accept(std::uint8_t byte);
 
   FrameHandler handler_;
+  FrameViewHandler view_handler_;
   std::size_t max_frame_;
   State state_ = State::kIdle;
   Bytes current_;

@@ -80,8 +80,8 @@ Bytes ArpPacket::Encode() const {
   return out;
 }
 
-std::optional<ArpPacket> ArpPacket::Decode(const Bytes& wire) {
-  ByteReader r(wire);
+std::optional<ArpPacket> ArpPacket::Decode(ByteView wire) {
+  ByteReader r(wire.data(), wire.size());
   ArpPacket p;
   p.htype = r.ReadU16();
   std::uint16_t ptype = r.ReadU16();
@@ -138,7 +138,7 @@ void ArpResolver::AddStatic(IpV4Address ip, HwAddress hw) {
   }
   // Flush anything queued for this address.
   while (!e.pending.empty()) {
-    send_resolved_(e.pending.front(), *e.hw);
+    send_resolved_(std::move(e.pending.front()), *e.hw);
     e.pending.pop_front();
   }
 }
@@ -156,14 +156,14 @@ void ArpResolver::Flush() {
   }
 }
 
-void ArpResolver::Send(const Bytes& ip_datagram, IpV4Address next_hop) {
+void ArpResolver::Send(PacketBuf&& ip_datagram, IpV4Address next_hop) {
   if (next_hop.IsLimitedBroadcast()) {
-    send_resolved_(ip_datagram, config_.broadcast_hw);
+    send_resolved_(std::move(ip_datagram), config_.broadcast_hw);
     return;
   }
   Entry& e = cache_[next_hop];
   if (EntryValid(e)) {
-    send_resolved_(ip_datagram, *e.hw);
+    send_resolved_(std::move(ip_datagram), *e.hw);
     return;
   }
   // Not resolved (or expired): queue and (re)start resolution.
@@ -171,7 +171,7 @@ void ArpResolver::Send(const Bytes& ip_datagram, IpV4Address next_hop) {
     e.pending.pop_front();
     ++queue_drops_;
   }
-  e.pending.push_back(ip_datagram);
+  e.pending.push_back(std::move(ip_datagram));
   if (e.retry_event == 0) {
     e.hw.reset();
     e.retries = 0;
@@ -235,12 +235,12 @@ void ArpResolver::ResolveEntry(IpV4Address ip, const HwAddress& hw) {
     e.retry_event = 0;
   }
   while (!e.pending.empty()) {
-    send_resolved_(e.pending.front(), *e.hw);
+    send_resolved_(std::move(e.pending.front()), *e.hw);
     e.pending.pop_front();
   }
 }
 
-void ArpResolver::HandleArpPacket(const Bytes& wire) {
+void ArpResolver::HandleArpPacket(ByteView wire) {
   auto packet = ArpPacket::Decode(wire);
   if (!packet || packet->htype != config_.hardware_type) {
     return;

@@ -21,6 +21,7 @@
 #include "src/net/ip_address.h"
 #include "src/sim/simulator.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -38,7 +39,7 @@ struct ArpPacket {
   IpV4Address target_ip;
 
   Bytes Encode() const;
-  static std::optional<ArpPacket> Decode(const Bytes& wire);
+  static std::optional<ArpPacket> Decode(ByteView wire);
 };
 
 struct ArpConfig {
@@ -55,8 +56,9 @@ class ArpResolver {
   // Sends an encoded ARP packet; `dst` is nullopt for broadcast.
   using TransmitArp =
       std::function<void(const Bytes& arp_packet, const std::optional<HwAddress>& dst)>;
-  // Sends an IP datagram to a resolved link address.
-  using SendResolved = std::function<void(const Bytes& ip_datagram, const HwAddress& dst)>;
+  // Sends an IP datagram to a resolved link address. The buffer keeps its
+  // headroom so the driver can prepend link framing in place.
+  using SendResolved = std::function<void(PacketBuf&& ip_datagram, const HwAddress& dst)>;
   using LocalIp = std::function<IpV4Address()>;
 
   ArpResolver(Simulator* sim, ArpConfig config, LocalIp local_ip, HwAddress local_hw,
@@ -64,10 +66,13 @@ class ArpResolver {
 
   // Output path: resolve `next_hop` and send, queueing while resolution is in
   // flight. Broadcast next hops bypass the cache.
-  void Send(const Bytes& ip_datagram, IpV4Address next_hop);
+  void Send(PacketBuf&& ip_datagram, IpV4Address next_hop);
+  void Send(const Bytes& ip_datagram, IpV4Address next_hop) {
+    Send(PacketBuf::FromView(ip_datagram, PacketBuf::kDefaultHeadroom), next_hop);
+  }
 
   // Input path: process a received ARP packet addressed to this link.
-  void HandleArpPacket(const Bytes& wire);
+  void HandleArpPacket(ByteView wire);
 
   // Installs a permanent entry (AX.25 entries with digipeater paths go here).
   void AddStatic(IpV4Address ip, HwAddress hw);
@@ -88,7 +93,7 @@ class ArpResolver {
     bool permanent = false;
     int retries = 0;
     std::uint64_t retry_event = 0;
-    std::deque<Bytes> pending;
+    std::deque<PacketBuf> pending;
   };
 
   void SendRequest(IpV4Address ip);

@@ -25,8 +25,8 @@ Bytes IcmpMessage::Encode() const {
   return out;
 }
 
-std::optional<IcmpMessage> IcmpMessage::Decode(const Bytes& wire) {
-  if (wire.size() < 4 || InternetChecksum(wire) != 0) {
+std::optional<IcmpMessage> IcmpMessage::Decode(ByteView wire) {
+  if (wire.size() < 4 || InternetChecksum(wire.data(), wire.size()) != 0) {
     return std::nullopt;
   }
   IcmpMessage m;
@@ -69,7 +69,7 @@ std::optional<GatewayControlBody> GatewayControlBody::Decode(const Bytes& body) 
 
 Icmp::Icmp(NetStack* stack) : stack_(stack) {}
 
-void Icmp::HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in) {
+void Icmp::HandleInput(const Ipv4Header& ip, ByteView payload, NetInterface* in) {
   auto msg = IcmpMessage::Decode(payload);
   if (!msg) {
     return;
@@ -157,7 +157,7 @@ std::uint16_t Icmp::Ping(IpV4Address dst, std::size_t payload_len, PingCallback 
   return id;
 }
 
-void Icmp::SendError(const Ipv4Header& orig, const Bytes& orig_payload, std::uint8_t type,
+void Icmp::SendError(const Ipv4Header& orig, ByteView orig_payload, std::uint8_t type,
                      std::uint8_t code) {
   // Never generate errors about ICMP errors or broadcasts.
   if (orig.protocol == kIpProtoIcmp) {
@@ -183,16 +183,16 @@ void Icmp::SendError(const Ipv4Header& orig, const Bytes& orig_payload, std::uin
   stack_->SendDatagram(orig.source, kIpProtoIcmp, msg.Encode());
 }
 
-void Icmp::SendUnreachable(const Ipv4Header& orig, const Bytes& orig_payload,
+void Icmp::SendUnreachable(const Ipv4Header& orig, ByteView orig_payload,
                            std::uint8_t code) {
   SendError(orig, orig_payload, kIcmpUnreachable, code);
 }
 
-void Icmp::SendTimeExceeded(const Ipv4Header& orig, const Bytes& orig_payload) {
+void Icmp::SendTimeExceeded(const Ipv4Header& orig, ByteView orig_payload) {
   SendError(orig, orig_payload, kIcmpTimeExceeded, 0);
 }
 
-void Icmp::SendRedirect(const Ipv4Header& orig, const Bytes& orig_payload,
+void Icmp::SendRedirect(const Ipv4Header& orig, ByteView orig_payload,
                         IpV4Address better_gateway) {
   if (stack_->IsBroadcastAddress(orig.destination) || orig.source.IsAny()) {
     return;

@@ -56,7 +56,7 @@ struct IcmpMessage {
   Bytes body;  // everything after the 4-byte type/code/checksum header
 
   Bytes Encode() const;
-  static std::optional<IcmpMessage> Decode(const Bytes& wire);
+  static std::optional<IcmpMessage> Decode(ByteView wire);
 };
 
 // Payload of a kIcmpGatewayControl message (§4.3).
@@ -75,8 +75,9 @@ class Icmp {
  public:
   explicit Icmp(NetStack* stack);
 
-  // Registered with the stack for protocol 1.
-  void HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in);
+  // Registered with the stack for protocol 1. The payload view aliases the
+  // in-flight buffer; valid only during the call.
+  void HandleInput(const Ipv4Header& ip, ByteView payload, NetInterface* in);
 
   // Sends an echo request; `callback(success, rtt)` fires on reply or after
   // `timeout`. Returns the echo identifier.
@@ -87,8 +88,8 @@ class Icmp {
   // Error generators (rate-unlimited; the simulator is polite). `orig` is the
   // offending datagram's header, `orig_payload` its payload; RFC 792 echoes
   // the header + first 8 payload bytes back to the source.
-  void SendUnreachable(const Ipv4Header& orig, const Bytes& orig_payload, std::uint8_t code);
-  void SendTimeExceeded(const Ipv4Header& orig, const Bytes& orig_payload);
+  void SendUnreachable(const Ipv4Header& orig, ByteView orig_payload, std::uint8_t code);
+  void SendTimeExceeded(const Ipv4Header& orig, ByteView orig_payload);
 
   // Sends a gateway control message to `gateway`.
   void SendGatewayControl(IpV4Address gateway, std::uint8_t code,
@@ -99,7 +100,7 @@ class Icmp {
   // was "conceivable ... using ICMP [but] at this time, no mechanism is in
   // place" — multiple AMPRnet gateways on one wire each serving a different
   // slice of net 44 (see bench_x2_redirect).
-  void SendRedirect(const Ipv4Header& orig, const Bytes& orig_payload,
+  void SendRedirect(const Ipv4Header& orig, ByteView orig_payload,
                     IpV4Address better_gateway);
 
   // Whether received host redirects install /32 routes (on by default, as
@@ -129,7 +130,7 @@ class Icmp {
     std::uint64_t timeout_event = 0;
   };
 
-  void SendError(const Ipv4Header& orig, const Bytes& orig_payload, std::uint8_t type,
+  void SendError(const Ipv4Header& orig, ByteView orig_payload, std::uint8_t type,
                  std::uint8_t code);
 
   void HandleRedirect(const Ipv4Header& ip, const IcmpMessage& msg, NetInterface* in);

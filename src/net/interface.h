@@ -11,6 +11,7 @@
 
 #include "src/net/ip_address.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -49,6 +50,13 @@ class NetInterface {
   // Sends one IP datagram (already serialized) toward `next_hop` — a
   // neighbour on this link. Handles link-address resolution and framing.
   virtual void Output(const Bytes& ip_datagram, IpV4Address next_hop) = 0;
+  // PacketBuf-carrying variant — the datapath entry point. Headroom-aware
+  // drivers override it to prepend link framing in place; the default
+  // flattens the buffer and calls the Bytes overload so legacy drivers keep
+  // working unchanged.
+  virtual void Output(PacketBuf&& ip_datagram, IpV4Address next_hop) {
+    Output(ip_datagram.Release(), next_hop);
+  }
 
   NetStack* stack() const { return stack_; }
   InterfaceStats& stats() { return stats_; }
@@ -59,6 +67,8 @@ class NetInterface {
 
   // Delivers a received IP datagram to the owning stack's input queue.
   void DeliverToStack(const Bytes& ip_datagram);
+  // Move-in variant: the buffer rides the input queue without copying.
+  void DeliverToStack(PacketBuf&& ip_datagram);
 
   std::string name_;
   std::size_t mtu_;

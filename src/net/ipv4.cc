@@ -6,37 +6,57 @@
 
 namespace upr {
 
-Bytes Ipv4Header::Encode(const Bytes& payload) const {
-  Bytes opts = options;
-  while (opts.size() % 4 != 0) {
-    opts.push_back(0);  // EOL padding
-  }
-  std::size_t hlen = 20 + opts.size();
-  Bytes out;
-  out.reserve(hlen + payload.size());
-  ByteWriter w(&out);
-  w.WriteU8(static_cast<std::uint8_t>(0x40 | (hlen / 4)));
-  w.WriteU8(tos);
-  w.WriteU16(static_cast<std::uint16_t>(hlen + payload.size()));
-  w.WriteU16(identification);
+void Ipv4Header::EncodeTo(PacketBuf* pb) const {
+  BufLayerScope scope(BufLayer::kIp);
+  std::size_t hlen = HeaderLength();
+  std::size_t total = hlen + pb->size();
+  std::uint8_t* h = pb->Prepend(hlen);
+  h[0] = static_cast<std::uint8_t>(0x40 | (hlen / 4));
+  h[1] = tos;
+  h[2] = static_cast<std::uint8_t>(total >> 8);
+  h[3] = static_cast<std::uint8_t>(total);
+  h[4] = static_cast<std::uint8_t>(identification >> 8);
+  h[5] = static_cast<std::uint8_t>(identification);
   std::uint16_t frag = static_cast<std::uint16_t>((dont_fragment ? 0x4000 : 0) |
                                                   (more_fragments ? 0x2000 : 0) |
                                                   (fragment_offset & 0x1FFF));
-  w.WriteU16(frag);
-  w.WriteU8(ttl);
-  w.WriteU8(protocol);
-  w.WriteU16(0);  // checksum placeholder
-  w.WriteU32(source.value());
-  w.WriteU32(destination.value());
-  w.WriteBytes(opts);
-  std::uint16_t sum = InternetChecksum(out.data(), hlen);
-  out[10] = static_cast<std::uint8_t>(sum >> 8);
-  out[11] = static_cast<std::uint8_t>(sum & 0xFF);
-  w.WriteBytes(payload);
-  return out;
+  h[6] = static_cast<std::uint8_t>(frag >> 8);
+  h[7] = static_cast<std::uint8_t>(frag);
+  h[8] = ttl;
+  h[9] = protocol;
+  h[10] = 0;  // checksum placeholder
+  h[11] = 0;
+  std::uint32_t src = source.value();
+  std::uint32_t dst = destination.value();
+  h[12] = static_cast<std::uint8_t>(src >> 24);
+  h[13] = static_cast<std::uint8_t>(src >> 16);
+  h[14] = static_cast<std::uint8_t>(src >> 8);
+  h[15] = static_cast<std::uint8_t>(src);
+  h[16] = static_cast<std::uint8_t>(dst >> 24);
+  h[17] = static_cast<std::uint8_t>(dst >> 16);
+  h[18] = static_cast<std::uint8_t>(dst >> 8);
+  h[19] = static_cast<std::uint8_t>(dst);
+  std::size_t i = 20;
+  for (std::uint8_t b : options) {
+    h[i++] = b;
+  }
+  while (i < hlen) {
+    h[i++] = 0;  // EOL padding
+  }
+  std::uint16_t sum = InternetChecksum(h, hlen);
+  h[10] = static_cast<std::uint8_t>(sum >> 8);
+  h[11] = static_cast<std::uint8_t>(sum & 0xFF);
 }
 
-std::optional<Ipv4Header::Parsed> Ipv4Header::Decode(const Bytes& datagram) {
+Bytes Ipv4Header::Encode(const Bytes& payload) const {
+  // Exact-fit PacketBuf: after the prepend the storage is fully occupied, so
+  // Release() moves it out — same one-allocation cost as before.
+  PacketBuf pb = PacketBuf::FromView(payload, HeaderLength());
+  EncodeTo(&pb);
+  return pb.Release();
+}
+
+std::optional<Ipv4Header::ParsedView> Ipv4Header::DecodeView(ByteView datagram) {
   if (datagram.size() < 20) {
     return std::nullopt;
   }
@@ -51,9 +71,9 @@ std::optional<Ipv4Header::Parsed> Ipv4Header::Decode(const Bytes& datagram) {
   if (InternetChecksum(datagram.data(), hlen) != 0) {
     return std::nullopt;
   }
-  ByteReader r(datagram);
+  ByteReader r(datagram.data(), datagram.size());
   r.Skip(1);
-  Parsed p;
+  ParsedView p;
   p.header.tos = r.ReadU8();
   std::uint16_t total = r.ReadU16();
   if (total < hlen || total > datagram.size()) {
@@ -72,12 +92,41 @@ std::optional<Ipv4Header::Parsed> Ipv4Header::Decode(const Bytes& datagram) {
   if (hlen > 20) {
     p.header.options = r.ReadBytes(hlen - 20);
   }
-  p.payload.assign(datagram.begin() + static_cast<std::ptrdiff_t>(hlen),
-                   datagram.begin() + total);
   if (!r.ok()) {
     return std::nullopt;
   }
+  p.payload = datagram.subspan(hlen, total - hlen);
   return p;
+}
+
+std::optional<Ipv4Header::Parsed> Ipv4Header::Decode(const Bytes& datagram) {
+  std::optional<ParsedView> v = DecodeView(datagram);
+  if (!v) {
+    return std::nullopt;
+  }
+  Parsed p;
+  p.header = std::move(v->header);
+  {
+    BufLayerScope scope(BufLayer::kIp);
+    if (!v->payload.empty()) {
+      BufNoteAlloc();
+      BufNoteCopy(v->payload.size());
+    }
+  }
+  p.payload.assign(v->payload.begin(), v->payload.end());
+  return p;
+}
+
+void Ipv4Header::DecrementTtlInPlace(std::uint8_t* datagram) {
+  std::size_t hlen = static_cast<std::size_t>(datagram[0] & 0x0F) * 4;
+  --datagram[8];
+  // Full recompute (not RFC 1141 incremental) so the forwarded bytes are
+  // bit-identical to a re-encode — the equivalence property test relies on it.
+  datagram[10] = 0;
+  datagram[11] = 0;
+  std::uint16_t sum = InternetChecksum(datagram, hlen);
+  datagram[10] = static_cast<std::uint8_t>(sum >> 8);
+  datagram[11] = static_cast<std::uint8_t>(sum & 0xFF);
 }
 
 std::string Ipv4Header::ToString() const {

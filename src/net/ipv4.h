@@ -10,6 +10,7 @@
 
 #include "src/net/ip_address.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -34,6 +35,12 @@ struct Ipv4Header {
 
   std::size_t HeaderLength() const { return 20 + (options.size() + 3) / 4 * 4; }
 
+  // Prepends the serialized header (checksum computed in place) in front of
+  // `pb`'s current data, which becomes the datagram payload. This is the
+  // datapath primitive: the transport's segment stays where it is and the IP
+  // header lands in headroom.
+  void EncodeTo(PacketBuf* pb) const;
+
   // Serializes header + payload, computing the header checksum.
   Bytes Encode(const Bytes& payload) const;
 
@@ -41,12 +48,26 @@ struct Ipv4Header {
   // Validates version, length fields and checksum.
   static std::optional<Parsed> Decode(const Bytes& datagram);
 
+  struct ParsedView;
+  // As Decode, but the payload is a non-owning view into `datagram` — no
+  // copy. The view is valid only while the underlying buffer lives.
+  static std::optional<ParsedView> DecodeView(ByteView datagram);
+
+  // Forwarding fast path: decrements TTL and recomputes the header checksum
+  // directly in the datagram bytes. `datagram` must have passed DecodeView.
+  static void DecrementTtlInPlace(std::uint8_t* datagram);
+
   std::string ToString() const;
 };
 
 struct Ipv4Header::Parsed {
   Ipv4Header header;
   Bytes payload;
+};
+
+struct Ipv4Header::ParsedView {
+  Ipv4Header header;
+  ByteView payload;
 };
 
 }  // namespace upr

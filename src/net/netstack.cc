@@ -25,11 +25,17 @@ void NetInterface::DeliverToStack(const Bytes& ip_datagram) {
   }
 }
 
+void NetInterface::DeliverToStack(PacketBuf&& ip_datagram) {
+  if (stack_ != nullptr) {
+    stack_->EnqueueFromDriver(std::move(ip_datagram), this);
+  }
+}
+
 NetStack::NetStack(Simulator* sim, std::string hostname)
     : sim_(sim), hostname_(std::move(hostname)) {
   icmp_ = std::make_unique<Icmp>(this);
   RegisterProtocol(kIpProtoIcmp,
-                   [this](const Ipv4Header& h, const Bytes& p, NetInterface* in) {
+                   [this](const Ipv4Header& h, ByteView p, NetInterface* in) {
                      icmp_->HandleInput(h, p, in);
                    });
 }
@@ -81,7 +87,7 @@ bool NetStack::IsBroadcastAddress(IpV4Address a) const {
   return false;
 }
 
-bool NetStack::SendDatagram(IpV4Address dst, std::uint8_t protocol, const Bytes& payload,
+bool NetStack::SendDatagram(IpV4Address dst, std::uint8_t protocol, PacketBuf&& payload,
                             const SendOptions& opts) {
   Ipv4Header header;
   header.protocol = protocol;
@@ -95,7 +101,8 @@ bool NetStack::SendDatagram(IpV4Address dst, std::uint8_t protocol, const Bytes&
   if (IsLocalAddress(dst)) {
     header.source = opts.source.IsAny() ? dst : opts.source;
     ++ip_stats_.sent;
-    EnqueueFromDriver(header.Encode(payload), nullptr);
+    header.EncodeTo(&payload);
+    EnqueueFromDriver(std::move(payload), nullptr);
     return true;
   }
 
@@ -112,23 +119,35 @@ bool NetStack::SendDatagram(IpV4Address dst, std::uint8_t protocol, const Bytes&
     next_hop = IpV4Address::LimitedBroadcast();
   }
   ++ip_stats_.sent;
-  return TransmitVia(header, payload, out, next_hop);
+  header.EncodeTo(&payload);
+  return TransmitVia(header, std::move(payload), out, next_hop);
 }
 
-bool NetStack::TransmitVia(const Ipv4Header& header, const Bytes& payload,
+bool NetStack::SendDatagram(IpV4Address dst, std::uint8_t protocol, const Bytes& payload,
+                            const SendOptions& opts) {
+  PacketBuf pb;
+  {
+    BufLayerScope scope(BufLayer::kIp);
+    pb = PacketBuf::FromView(payload, PacketBuf::kDefaultHeadroom);
+  }
+  return SendDatagram(dst, protocol, std::move(pb), opts);
+}
+
+bool NetStack::TransmitVia(const Ipv4Header& header, PacketBuf&& datagram,
                            NetInterface* out, IpV4Address next_hop) {
-  std::size_t total = header.HeaderLength() + payload.size();
-  if (total <= out->mtu()) {
-    out->Output(header.Encode(payload), next_hop);
+  std::size_t hlen = header.HeaderLength();
+  if (datagram.size() <= out->mtu()) {
+    out->Output(std::move(datagram), next_hop);
     return true;
   }
+  ByteView payload = datagram.view().subspan(hlen);
   if (header.dont_fragment) {
     ++ip_stats_.cant_fragment;
     icmp_->SendUnreachable(header, payload, kUnreachFragNeeded);
     return false;
   }
   // Fragment: payload chunks must be multiples of 8 bytes except the last.
-  std::size_t max_data = (out->mtu() - header.HeaderLength()) / 8 * 8;
+  std::size_t max_data = (out->mtu() - hlen) / 8 * 8;
   if (max_data == 0) {
     ++ip_stats_.cant_fragment;
     return false;
@@ -140,15 +159,20 @@ bool NetStack::TransmitVia(const Ipv4Header& header, const Bytes& payload,
         header.fragment_offset + off / 8);
     bool last_piece = off + n >= payload.size();
     fh.more_fragments = header.more_fragments || !last_piece;
-    Bytes chunk(payload.begin() + static_cast<std::ptrdiff_t>(off),
-                payload.begin() + static_cast<std::ptrdiff_t>(off + n));
+    PacketBuf frag;
+    {
+      BufLayerScope scope(BufLayer::kIp);
+      frag = PacketBuf::FromView(payload.subspan(off, n),
+                                 PacketBuf::kDefaultHeadroom);
+    }
+    fh.EncodeTo(&frag);
     ++ip_stats_.fragments_created;
-    out->Output(fh.Encode(chunk), next_hop);
+    out->Output(std::move(frag), next_hop);
   }
   return true;
 }
 
-void NetStack::EnqueueFromDriver(Bytes ip_datagram, NetInterface* in) {
+void NetStack::EnqueueFromDriver(PacketBuf ip_datagram, NetInterface* in) {
   if (input_queue_.size() >= input_queue_limit_) {
     ++ip_stats_.input_drops;
     return;
@@ -165,12 +189,12 @@ void NetStack::DrainInputQueue() {
   while (!input_queue_.empty()) {
     QueuedInput q = std::move(input_queue_.front());
     input_queue_.pop_front();
-    ProcessDatagram(q.datagram, q.in);
+    ProcessDatagram(std::move(q.datagram), q.in);
   }
 }
 
-void NetStack::ProcessDatagram(const Bytes& datagram, NetInterface* in) {
-  auto parsed = Ipv4Header::Decode(datagram);
+void NetStack::ProcessDatagram(PacketBuf&& datagram, NetInterface* in) {
+  auto parsed = Ipv4Header::DecodeView(datagram.view());
   if (!parsed) {
     ++ip_stats_.header_errors;
     if (in != nullptr) {
@@ -195,10 +219,10 @@ void NetStack::ProcessDatagram(const Bytes& datagram, NetInterface* in) {
     ++ip_stats_.no_route;
     return;
   }
-  Forward(header, parsed->payload, datagram, in);
+  Forward(header, parsed->payload, std::move(datagram), in);
 }
 
-void NetStack::DeliverLocal(const Ipv4Header& header, const Bytes& payload,
+void NetStack::DeliverLocal(const Ipv4Header& header, ByteView payload,
                             NetInterface* in) {
   auto it = protocols_.find(header.protocol);
   if (it == protocols_.end()) {
@@ -210,7 +234,7 @@ void NetStack::DeliverLocal(const Ipv4Header& header, const Bytes& payload,
   it->second(header, payload, in);
 }
 
-void NetStack::Forward(const Ipv4Header& header, const Bytes& payload, const Bytes& raw,
+void NetStack::Forward(const Ipv4Header& header, ByteView payload, PacketBuf&& datagram,
                        NetInterface* in) {
   if (header.ttl <= 1) {
     ++ip_stats_.ttl_expired;
@@ -239,10 +263,13 @@ void NetStack::Forward(const Ipv4Header& header, const Bytes& payload, const Byt
     icmp_->SendRedirect(header, payload, *route->gateway);
   }
   ++ip_stats_.forwarded;
-  TransmitVia(fwd, payload, out, next_hop);
+  // The fast path of the refactor: no re-encode — patch TTL and checksum in
+  // the buffer that arrived and move it straight to the output interface.
+  Ipv4Header::DecrementTtlInPlace(datagram.data());
+  TransmitVia(fwd, std::move(datagram), out, next_hop);
 }
 
-void NetStack::HandleFragment(const Ipv4Header& header, const Bytes& payload,
+void NetStack::HandleFragment(const Ipv4Header& header, ByteView payload,
                               NetInterface* in) {
   ++ip_stats_.fragments_received;
   CleanReassembly();
@@ -253,7 +280,15 @@ void NetStack::HandleFragment(const Ipv4Header& header, const Bytes& payload,
     buf.deadline = sim_->Now() + reassembly_timeout_;
   }
   std::uint16_t byte_off = static_cast<std::uint16_t>(header.fragment_offset * 8);
-  buf.fragments.push_back(ReassemblyBuffer::Fragment{byte_off, payload});
+  {
+    BufLayerScope scope(BufLayer::kIp);
+    if (!payload.empty()) {
+      BufNoteAlloc();
+      BufNoteCopy(payload.size());
+    }
+  }
+  buf.fragments.push_back(
+      ReassemblyBuffer::Fragment{byte_off, Bytes(payload.begin(), payload.end())});
   if (header.fragment_offset == 0) {
     buf.first_header = header;
     buf.have_first = true;

@@ -20,6 +20,7 @@
 #include "src/net/routing.h"
 #include "src/sim/simulator.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -71,14 +72,16 @@ class NetStack {
   bool send_redirects() const { return send_redirects_; }
 
   // Called for every packet about to be forwarded; return false to drop.
-  // The gateway's §4.3 access-control table hooks in here.
-  using ForwardFilter = std::function<bool(const Ipv4Header& header, const Bytes& payload,
+  // The gateway's §4.3 access-control table hooks in here. The payload view
+  // aliases the in-flight buffer and is valid only during the call.
+  using ForwardFilter = std::function<bool(const Ipv4Header& header, ByteView payload,
                                            NetInterface* in, NetInterface* out)>;
   void set_forward_filter(ForwardFilter f) { forward_filter_ = std::move(f); }
 
   // Transport/protocol registration (ICMP registers itself; TCP/UDP attach
-  // from their modules).
-  using ProtocolHandler = std::function<void(const Ipv4Header& header, const Bytes& payload,
+  // from their modules). The payload view aliases the in-flight buffer and is
+  // valid only during the call; handlers copy what they keep.
+  using ProtocolHandler = std::function<void(const Ipv4Header& header, ByteView payload,
                                              NetInterface* in)>;
   void RegisterProtocol(std::uint8_t protocol, ProtocolHandler handler);
 
@@ -88,8 +91,14 @@ class NetStack {
     std::uint8_t tos = 0;
     bool dont_fragment = false;
   };
-  // Routes and transmits one datagram. Local destinations loop back through
-  // the input path. Returns false when no route exists.
+  // Routes and transmits one datagram whose transport payload rides in
+  // `payload`; the IP header is prepended into the buffer's headroom. Local
+  // destinations loop back through the input path. Returns false when no
+  // route exists.
+  bool SendDatagram(IpV4Address dst, std::uint8_t protocol, PacketBuf&& payload,
+                    const SendOptions& opts);
+  // Legacy entry points: copy the payload into a headroom-reserved PacketBuf
+  // and take the zero-copy path from there.
   bool SendDatagram(IpV4Address dst, std::uint8_t protocol, const Bytes& payload,
                     const SendOptions& opts);
   bool SendDatagram(IpV4Address dst, std::uint8_t protocol, const Bytes& payload) {
@@ -99,7 +108,10 @@ class NetStack {
   // Driver input: appends to the bounded IP input queue; a zero-delay event
   // drains it (the softnet half of the paper's interrupt handler). Packets
   // arriving at a full queue are dropped, as in 4.3BSD's IF_ENQUEUE.
-  void EnqueueFromDriver(Bytes ip_datagram, NetInterface* in);
+  void EnqueueFromDriver(PacketBuf ip_datagram, NetInterface* in);
+  void EnqueueFromDriver(Bytes ip_datagram, NetInterface* in) {
+    EnqueueFromDriver(PacketBuf::Adopt(std::move(ip_datagram)), in);
+  }
 
   bool IsLocalAddress(IpV4Address a) const;
   // True for the all-ones address or a directly attached subnet broadcast.
@@ -115,7 +127,7 @@ class NetStack {
 
  private:
   struct QueuedInput {
-    Bytes datagram;
+    PacketBuf datagram;
     NetInterface* in;
   };
   struct ReassemblyKey {
@@ -139,14 +151,18 @@ class NetStack {
   };
 
   void DrainInputQueue();
-  void ProcessDatagram(const Bytes& datagram, NetInterface* in);
-  void DeliverLocal(const Ipv4Header& header, const Bytes& payload, NetInterface* in);
-  void Forward(const Ipv4Header& header, const Bytes& payload, const Bytes& raw,
+  void ProcessDatagram(PacketBuf&& datagram, NetInterface* in);
+  void DeliverLocal(const Ipv4Header& header, ByteView payload, NetInterface* in);
+  // `datagram` is the full buffer (header + payload, payload aliasing it);
+  // the TTL is decremented in place and the buffer moves on to the output
+  // interface untouched.
+  void Forward(const Ipv4Header& header, ByteView payload, PacketBuf&& datagram,
                NetInterface* in);
-  // Fragments (if needed) and hands the datagram to the interface.
-  bool TransmitVia(const Ipv4Header& header, const Bytes& payload, NetInterface* out,
+  // Fragments (if needed) and hands the fully encoded datagram to the
+  // interface. `header` is its already-serialized IP header, parsed.
+  bool TransmitVia(const Ipv4Header& header, PacketBuf&& datagram, NetInterface* out,
                    IpV4Address next_hop);
-  void HandleFragment(const Ipv4Header& header, const Bytes& payload, NetInterface* in);
+  void HandleFragment(const Ipv4Header& header, ByteView payload, NetInterface* in);
   void CleanReassembly();
 
   Simulator* sim_;

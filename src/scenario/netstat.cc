@@ -148,6 +148,28 @@ std::string FormatSimulator(const Simulator& sim) {
                  sim.pool_capacity(), sim.pool_free());
 }
 
+std::string FormatBufStats() {
+  std::string out = Sprintf("%-10s %12s %8s %10s\n", "buf layer", "bytes-copied",
+                            "allocs", "prepend-re");
+  for (int i = 0; i < kBufLayerCount; ++i) {
+    auto layer = static_cast<BufLayer>(i);
+    const BufLayerStats& s = BufStatsFor(layer);
+    if (s.bytes_copied == 0 && s.allocs == 0 && s.prepend_reallocs == 0) {
+      continue;
+    }
+    out += Sprintf("%-10s %12llu %8llu %10llu\n", BufLayerName(layer),
+                   static_cast<unsigned long long>(s.bytes_copied),
+                   static_cast<unsigned long long>(s.allocs),
+                   static_cast<unsigned long long>(s.prepend_reallocs));
+  }
+  BufLayerStats t = BufStatsTotal();
+  out += Sprintf("%-10s %12llu %8llu %10llu\n", "total",
+                 static_cast<unsigned long long>(t.bytes_copied),
+                 static_cast<unsigned long long>(t.allocs),
+                 static_cast<unsigned long long>(t.prepend_reallocs));
+  return out;
+}
+
 std::string FormatNetstat(const NetStack& stack) {
   std::string out = "--- " + stack.hostname() + " ---\n";
   out += FormatInterfaces(stack);

@@ -38,6 +38,11 @@ std::string FormatDriverStats(const PacketRadioInterface& driver);
 // Simulator event-pool diagnostics: events scheduled/executed, pool size.
 std::string FormatSimulator(const Simulator& sim);
 
+// Per-layer PacketBuf accounting: bytes copied, allocations and
+// headroom-exhausted prepends attributed to each datapath layer. These are
+// process-wide (the buffers don't belong to one stack).
+std::string FormatBufStats();
+
 // All of the above.
 std::string FormatNetstat(const NetStack& stack);
 

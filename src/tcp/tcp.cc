@@ -27,37 +27,55 @@ std::uint32_t PseudoHeaderSum(IpV4Address src, IpV4Address dst, std::size_t tcp_
 
 // --- Codec -------------------------------------------------------------------
 
-Bytes TcpSegment::Encode(IpV4Address src, IpV4Address dst) const {
-  Bytes out;
-  ByteWriter w(&out);
-  w.WriteU16(source_port);
-  w.WriteU16(destination_port);
-  w.WriteU32(seq);
-  w.WriteU32(ack);
+void TcpSegment::EncodeTo(PacketBuf* pb, IpV4Address src, IpV4Address dst) const {
+  BufLayerScope scope(BufLayer::kTransport);
   std::size_t header_words = 5 + (mss_option ? 1 : 0);
+  std::size_t hlen = header_words * 4;
+  std::uint8_t* h = pb->Prepend(hlen);
+  h[0] = static_cast<std::uint8_t>(source_port >> 8);
+  h[1] = static_cast<std::uint8_t>(source_port);
+  h[2] = static_cast<std::uint8_t>(destination_port >> 8);
+  h[3] = static_cast<std::uint8_t>(destination_port);
+  h[4] = static_cast<std::uint8_t>(seq >> 24);
+  h[5] = static_cast<std::uint8_t>(seq >> 16);
+  h[6] = static_cast<std::uint8_t>(seq >> 8);
+  h[7] = static_cast<std::uint8_t>(seq);
+  h[8] = static_cast<std::uint8_t>(ack >> 24);
+  h[9] = static_cast<std::uint8_t>(ack >> 16);
+  h[10] = static_cast<std::uint8_t>(ack >> 8);
+  h[11] = static_cast<std::uint8_t>(ack);
   std::uint8_t flag_bits = static_cast<std::uint8_t>(
       (flags.fin ? 0x01 : 0) | (flags.syn ? 0x02 : 0) | (flags.rst ? 0x04 : 0) |
       (flags.psh ? 0x08 : 0) | (flags.ack ? 0x10 : 0) | (flags.urg ? 0x20 : 0));
-  w.WriteU8(static_cast<std::uint8_t>(header_words << 4));
-  w.WriteU8(flag_bits);
-  w.WriteU16(window);
-  w.WriteU16(0);  // checksum placeholder
-  w.WriteU16(0);  // urgent pointer
+  h[12] = static_cast<std::uint8_t>(header_words << 4);
+  h[13] = flag_bits;
+  h[14] = static_cast<std::uint8_t>(window >> 8);
+  h[15] = static_cast<std::uint8_t>(window);
+  h[16] = 0;  // checksum placeholder
+  h[17] = 0;
+  h[18] = 0;  // urgent pointer
+  h[19] = 0;
   if (mss_option) {
-    w.WriteU8(2);  // kind: MSS
-    w.WriteU8(4);
-    w.WriteU16(*mss_option);
+    h[20] = 2;  // kind: MSS
+    h[21] = 4;
+    h[22] = static_cast<std::uint8_t>(*mss_option >> 8);
+    h[23] = static_cast<std::uint8_t>(*mss_option);
   }
-  w.WriteBytes(payload);
   std::uint16_t sum =
-      ChecksumFinish(ChecksumPartial(out.data(), out.size(),
-                                     PseudoHeaderSum(src, dst, out.size())));
-  out[16] = static_cast<std::uint8_t>(sum >> 8);
-  out[17] = static_cast<std::uint8_t>(sum & 0xFF);
-  return out;
+      ChecksumFinish(ChecksumPartial(pb->data(), pb->size(),
+                                     PseudoHeaderSum(src, dst, pb->size())));
+  h[16] = static_cast<std::uint8_t>(sum >> 8);
+  h[17] = static_cast<std::uint8_t>(sum & 0xFF);
 }
 
-std::optional<TcpSegment> TcpSegment::Decode(const Bytes& wire, IpV4Address src,
+Bytes TcpSegment::Encode(IpV4Address src, IpV4Address dst) const {
+  std::size_t hlen = (5 + (mss_option ? 1 : 0)) * 4;
+  PacketBuf pb = PacketBuf::FromView(payload, hlen);
+  EncodeTo(&pb, src, dst);
+  return pb.Release();
+}
+
+std::optional<TcpSegment> TcpSegment::Decode(ByteView wire, IpV4Address src,
                                              IpV4Address dst) {
   if (wire.size() < 20) {
     return std::nullopt;
@@ -66,7 +84,7 @@ std::optional<TcpSegment> TcpSegment::Decode(const Bytes& wire, IpV4Address src,
                                      PseudoHeaderSum(src, dst, wire.size()))) != 0) {
     return std::nullopt;
   }
-  ByteReader r(wire);
+  ByteReader r(wire.data(), wire.size());
   TcpSegment s;
   s.source_port = r.ReadU16();
   s.destination_port = r.ReadU16();
@@ -109,6 +127,13 @@ std::optional<TcpSegment> TcpSegment::Decode(const Bytes& wire, IpV4Address src,
       s.mss_option = static_cast<std::uint16_t>(opts[i + 2] << 8 | opts[i + 3]);
     }
     i += len;
+  }
+  {
+    BufLayerScope scope(BufLayer::kTransport);
+    if (wire.size() > header_len) {
+      BufNoteAlloc();
+      BufNoteCopy(wire.size() - header_len);
+    }
   }
   s.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(header_len), wire.end());
   if (!r.ok()) {
@@ -756,7 +781,7 @@ void TcpConnection::Terminate(const std::string& reason, bool notify_error) {
 Tcp::Tcp(NetStack* stack, TcpConfig default_config, std::uint64_t seed)
     : stack_(stack), default_config_(default_config), rng_(seed) {
   stack_->RegisterProtocol(kIpProtoTcp,
-                           [this](const Ipv4Header& h, const Bytes& p, NetInterface* in) {
+                           [this](const Ipv4Header& h, ByteView p, NetInterface* in) {
                              HandleInput(h, p, in);
                            });
   stack_->icmp().set_error_handler(
@@ -864,7 +889,7 @@ void Tcp::ReapClosed() {
   }
 }
 
-void Tcp::HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in) {
+void Tcp::HandleInput(const Ipv4Header& ip, ByteView payload, NetInterface* in) {
   auto seg = TcpSegment::Decode(payload, ip.source, ip.destination);
   if (!seg) {
     return;
@@ -903,7 +928,15 @@ void Tcp::HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* 
 void Tcp::SendSegment(const TcpSegment& seg, IpV4Address src, IpV4Address dst) {
   NetStack::SendOptions opts;
   opts.source = src;
-  stack_->SendDatagram(dst, kIpProtoTcp, seg.Encode(src, dst), opts);
+  // One PacketBuf end to end: the payload is copied into headroom-reserved
+  // storage once and every layer below prepends in place.
+  PacketBuf pb;
+  {
+    BufLayerScope scope(BufLayer::kTransport);
+    pb = PacketBuf::FromView(seg.payload, PacketBuf::kDefaultHeadroom);
+  }
+  seg.EncodeTo(&pb, src, dst);
+  stack_->SendDatagram(dst, kIpProtoTcp, std::move(pb), opts);
 }
 
 void Tcp::SendReset(const TcpSegment& offending, IpV4Address src, IpV4Address dst) {

@@ -32,6 +32,7 @@
 #include "src/net/netstack.h"
 #include "src/sim/simulator.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 #include "src/util/random.h"
 
 namespace upr {
@@ -52,9 +53,14 @@ struct TcpSegment {
   std::optional<std::uint16_t> mss_option;  // SYN only
   Bytes payload;
 
+  // Prepends the TCP header (pseudo-header checksum over the whole segment)
+  // in front of `pb`, whose current data is the segment payload. The
+  // `payload` member is ignored on this path.
+  void EncodeTo(PacketBuf* pb, IpV4Address src, IpV4Address dst) const;
+
   // Checksum covers the RFC 793 pseudo-header.
   Bytes Encode(IpV4Address src, IpV4Address dst) const;
-  static std::optional<TcpSegment> Decode(const Bytes& wire, IpV4Address src,
+  static std::optional<TcpSegment> Decode(ByteView wire, IpV4Address src,
                                           IpV4Address dst);
   std::string ToString() const;
 };
@@ -315,7 +321,7 @@ class Tcp {
     TcpConfig config;
   };
 
-  void HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in);
+  void HandleInput(const Ipv4Header& ip, ByteView payload, NetInterface* in);
   // ICMP unreachable handling (BSD-style): hard errors (port unreachable,
   // administratively prohibited) abort the matching connection; soft errors
   // are ignored and left to retransmission.

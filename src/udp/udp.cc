@@ -19,30 +19,39 @@ std::uint32_t PseudoHeaderSum(IpV4Address src, IpV4Address dst, std::size_t len)
 
 }  // namespace
 
-Bytes UdpDatagram::Encode(IpV4Address src, IpV4Address dst) const {
-  Bytes out;
-  ByteWriter w(&out);
-  w.WriteU16(source_port);
-  w.WriteU16(destination_port);
-  w.WriteU16(static_cast<std::uint16_t>(8 + payload.size()));
-  w.WriteU16(0);
-  w.WriteBytes(payload);
+void UdpDatagram::EncodeTo(PacketBuf* pb, IpV4Address src, IpV4Address dst) const {
+  BufLayerScope scope(BufLayer::kTransport);
+  std::uint16_t len = static_cast<std::uint16_t>(8 + pb->size());
+  std::uint8_t* h = pb->Prepend(8);
+  h[0] = static_cast<std::uint8_t>(source_port >> 8);
+  h[1] = static_cast<std::uint8_t>(source_port);
+  h[2] = static_cast<std::uint8_t>(destination_port >> 8);
+  h[3] = static_cast<std::uint8_t>(destination_port);
+  h[4] = static_cast<std::uint8_t>(len >> 8);
+  h[5] = static_cast<std::uint8_t>(len);
+  h[6] = 0;
+  h[7] = 0;
   std::uint16_t sum = ChecksumFinish(
-      ChecksumPartial(out.data(), out.size(), PseudoHeaderSum(src, dst, out.size())));
+      ChecksumPartial(pb->data(), pb->size(), PseudoHeaderSum(src, dst, pb->size())));
   if (sum == 0) {
     sum = 0xFFFF;  // RFC 768: transmitted zero means "no checksum"
   }
-  out[6] = static_cast<std::uint8_t>(sum >> 8);
-  out[7] = static_cast<std::uint8_t>(sum & 0xFF);
-  return out;
+  h[6] = static_cast<std::uint8_t>(sum >> 8);
+  h[7] = static_cast<std::uint8_t>(sum & 0xFF);
 }
 
-std::optional<UdpDatagram> UdpDatagram::Decode(const Bytes& wire, IpV4Address src,
+Bytes UdpDatagram::Encode(IpV4Address src, IpV4Address dst) const {
+  PacketBuf pb = PacketBuf::FromView(payload, 8);
+  EncodeTo(&pb, src, dst);
+  return pb.Release();
+}
+
+std::optional<UdpDatagram> UdpDatagram::Decode(ByteView wire, IpV4Address src,
                                                IpV4Address dst) {
   if (wire.size() < 8) {
     return std::nullopt;
   }
-  ByteReader r(wire);
+  ByteReader r(wire.data(), wire.size());
   UdpDatagram d;
   d.source_port = r.ReadU16();
   d.destination_port = r.ReadU16();
@@ -56,13 +65,20 @@ std::optional<UdpDatagram> UdpDatagram::Decode(const Bytes& wire, IpV4Address sr
           0) {
     return std::nullopt;
   }
+  {
+    BufLayerScope scope(BufLayer::kTransport);
+    if (len > 8) {
+      BufNoteAlloc();
+      BufNoteCopy(len - 8u);
+    }
+  }
   d.payload.assign(wire.begin() + 8, wire.begin() + len);
   return d;
 }
 
 Udp::Udp(NetStack* stack) : stack_(stack) {
   stack_->RegisterProtocol(kIpProtoUdp,
-                           [this](const Ipv4Header& h, const Bytes& p, NetInterface* in) {
+                           [this](const Ipv4Header& h, ByteView p, NetInterface* in) {
                              HandleInput(h, p, in);
                            });
 }
@@ -84,7 +100,6 @@ bool Udp::SendTo(IpV4Address dst, std::uint16_t dport, std::uint16_t sport,
   UdpDatagram d;
   d.source_port = sport;
   d.destination_port = dport;
-  d.payload = data;
   // Source address filled by routing; encode with the interface it will pick.
   const Route* route = stack_->routes().Lookup(dst);
   if (route == nullptr || route->interface == nullptr) {
@@ -97,10 +112,17 @@ bool Udp::SendTo(IpV4Address dst, std::uint16_t dport, std::uint16_t sport,
                         : route->interface->address();
   NetStack::SendOptions opts;
   opts.source = src;
-  return stack_->SendDatagram(dst, kIpProtoUdp, d.Encode(src, dst), opts);
+  // One PacketBuf end to end: payload copied once, every header prepended.
+  PacketBuf pb;
+  {
+    BufLayerScope scope(BufLayer::kTransport);
+    pb = PacketBuf::FromView(data, PacketBuf::kDefaultHeadroom);
+  }
+  d.EncodeTo(&pb, src, dst);
+  return stack_->SendDatagram(dst, kIpProtoUdp, std::move(pb), opts);
 }
 
-void Udp::HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in) {
+void Udp::HandleInput(const Ipv4Header& ip, ByteView payload, NetInterface* in) {
   auto d = UdpDatagram::Decode(payload, ip.source, ip.destination);
   if (!d) {
     return;

@@ -13,6 +13,7 @@
 #include "src/net/ipv4.h"
 #include "src/net/netstack.h"
 #include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
 
 namespace upr {
 
@@ -21,8 +22,13 @@ struct UdpDatagram {
   std::uint16_t destination_port = 0;
   Bytes payload;
 
+  // Prepends the UDP header (pseudo-header checksum over the whole segment)
+  // in front of `pb`, whose current data is the application payload. The
+  // `payload` member is ignored on this path.
+  void EncodeTo(PacketBuf* pb, IpV4Address src, IpV4Address dst) const;
+
   Bytes Encode(IpV4Address src, IpV4Address dst) const;
-  static std::optional<UdpDatagram> Decode(const Bytes& wire, IpV4Address src,
+  static std::optional<UdpDatagram> Decode(ByteView wire, IpV4Address src,
                                            IpV4Address dst);
 };
 
@@ -47,7 +53,7 @@ class Udp {
   std::uint64_t port_unreachable() const { return port_unreachable_; }
 
  private:
-  void HandleInput(const Ipv4Header& ip, const Bytes& payload, NetInterface* in);
+  void HandleInput(const Ipv4Header& ip, ByteView payload, NetInterface* in);
 
   NetStack* stack_;
   std::map<std::uint16_t, DatagramHandler> sockets_;

@@ -96,44 +96,4 @@ void ByteWriter::WriteBytes(const std::uint8_t* data, std::size_t len) {
 
 void ByteWriter::WriteBytes(const Bytes& b) { WriteBytes(b.data(), b.size()); }
 
-Packet Packet::FromBytes(const Bytes& payload) {
-  Packet p;
-  p.Append(payload);
-  return p;
-}
-
-void Packet::Append(const Bytes& b) { Append(b.data(), b.size()); }
-
-void Packet::Append(const std::uint8_t* d, std::size_t len) {
-  buf_.insert(buf_.end(), d, d + len);
-}
-
-void Packet::Prepend(const Bytes& b) {
-  if (b.size() <= start_) {
-    start_ -= b.size();
-    std::copy(b.begin(), b.end(), buf_.begin() + static_cast<std::ptrdiff_t>(start_));
-    return;
-  }
-  // Headroom exhausted: grow the front by the default headroom plus what we need.
-  std::size_t grow = b.size() - start_ + kDefaultHeadroom;
-  buf_.insert(buf_.begin(), grow, 0);
-  start_ += grow;
-  start_ -= b.size();
-  std::copy(b.begin(), b.end(), buf_.begin() + static_cast<std::ptrdiff_t>(start_));
-}
-
-void Packet::StripFront(std::size_t n) {
-  if (n > size()) {
-    n = size();
-  }
-  start_ += n;
-}
-
-void Packet::StripBack(std::size_t n) {
-  if (n > size()) {
-    n = size();
-  }
-  buf_.resize(buf_.size() - n);
-}
-
 }  // namespace upr

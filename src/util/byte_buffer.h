@@ -1,16 +1,17 @@
 // Byte buffer utilities shared by every protocol layer.
 //
-// `Bytes` is the plain payload type. `ByteReader`/`ByteWriter` provide
-// bounds-checked big-endian primitive access for protocol codecs. `Packet` is
-// an mbuf-like buffer with cheap header prepend/strip, used for packets moving
-// between layers (each layer prepends its header on output and strips it on
-// input without copying the payload).
+// `Bytes` is the plain owned payload type. `ByteView` is the non-owning read
+// view decoders parse over (a Bytes converts implicitly). `ByteReader`/
+// `ByteWriter` provide bounds-checked big-endian primitive access for
+// protocol codecs. The mbuf-style packet buffer lives in
+// src/util/packet_buf.h.
 #ifndef SRC_UTIL_BYTE_BUFFER_H_
 #define SRC_UTIL_BYTE_BUFFER_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,8 @@
 namespace upr {
 
 using Bytes = std::vector<std::uint8_t>;
+// Non-owning view of packet bytes; valid only while the owning buffer lives.
+using ByteView = std::span<const std::uint8_t>;
 
 // Builds a Bytes from a string literal / string view (no trailing NUL).
 Bytes BytesFromString(std::string_view s);
@@ -70,42 +73,6 @@ class ByteWriter {
 
  private:
   Bytes* out_;
-};
-
-// Packet buffer with reserved headroom so lower layers can prepend headers
-// without reallocating. Interior storage: [ headroom | data ].
-class Packet {
- public:
-  Packet() : Packet(kDefaultHeadroom) {}
-  explicit Packet(std::size_t headroom) : start_(headroom), buf_(headroom) {}
-
-  // Builds a packet whose payload is `payload`, with default headroom.
-  static Packet FromBytes(const Bytes& payload);
-
-  std::size_t size() const { return buf_.size() - start_; }
-  bool empty() const { return size() == 0; }
-  const std::uint8_t* data() const { return buf_.data() + start_; }
-  std::uint8_t* data() { return buf_.data() + start_; }
-
-  // Appends payload bytes at the tail.
-  void Append(const Bytes& b);
-  void Append(const std::uint8_t* data, std::size_t len);
-
-  // Prepends `b` in front of the current data (grows headroom if exhausted).
-  void Prepend(const Bytes& b);
-
-  // Removes `n` bytes from the front; n must be <= size().
-  void StripFront(std::size_t n);
-  // Removes `n` bytes from the tail; n must be <= size().
-  void StripBack(std::size_t n);
-
-  Bytes ToBytes() const { return Bytes(data(), data() + size()); }
-
- private:
-  static constexpr std::size_t kDefaultHeadroom = 128;
-
-  std::size_t start_;  // offset of first valid byte in buf_
-  Bytes buf_;
 };
 
 }  // namespace upr

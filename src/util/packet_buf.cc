@@ -1,0 +1,147 @@
+#include "src/util/packet_buf.h"
+
+#include <algorithm>
+
+namespace upr {
+
+namespace detail {
+BufLayerStats g_buf_stats[kBufLayerCount];
+BufLayer g_current_layer = BufLayer::kOther;
+}  // namespace detail
+
+const char* BufLayerName(BufLayer layer) {
+  switch (layer) {
+    case BufLayer::kTransport:
+      return "transport";
+    case BufLayer::kIp:
+      return "ip";
+    case BufLayer::kAx25:
+      return "ax25";
+    case BufLayer::kKiss:
+      return "kiss";
+    case BufLayer::kEther:
+      return "ether";
+    case BufLayer::kDriver:
+      return "driver";
+    case BufLayer::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+BufLayerStats& BufStatsFor(BufLayer layer) {
+  return detail::g_buf_stats[static_cast<int>(layer)];
+}
+
+BufLayerStats BufStatsTotal() {
+  BufLayerStats total;
+  for (const BufLayerStats& s : detail::g_buf_stats) {
+    total.bytes_copied += s.bytes_copied;
+    total.allocs += s.allocs;
+    total.prepend_reallocs += s.prepend_reallocs;
+  }
+  return total;
+}
+
+void ResetBufStats() {
+  for (BufLayerStats& s : detail::g_buf_stats) {
+    s = BufLayerStats{};
+  }
+}
+
+PacketBuf::PacketBuf(std::size_t headroom, std::size_t tailroom)
+    : buf_(headroom + tailroom), start_(headroom), end_(headroom) {
+  if (headroom + tailroom > 0) {
+    BufNoteAlloc();
+  }
+}
+
+PacketBuf PacketBuf::FromView(ByteView payload, std::size_t headroom,
+                              std::size_t tailroom) {
+  PacketBuf p(headroom, payload.size() + tailroom);
+  p.Append(payload);
+  return p;
+}
+
+PacketBuf PacketBuf::Adopt(Bytes&& owned) {
+  PacketBuf p(0, 0);
+  p.buf_ = std::move(owned);
+  p.start_ = 0;
+  p.end_ = p.buf_.size();
+  return p;
+}
+
+void PacketBuf::Grow(std::size_t front, std::size_t back) {
+  // Reallocate with the requested extra room plus a default-headroom cushion
+  // on the side that ran out, and move the data once (counted).
+  std::size_t new_front = start_ + front + (front > 0 ? kDefaultHeadroom : 0);
+  std::size_t data_len = size();
+  std::size_t new_back = (buf_.size() - end_) + back + (back > 0 ? kDefaultHeadroom : 0);
+  Bytes grown(new_front + data_len + new_back);
+  std::memcpy(grown.data() + new_front, data(), data_len);
+  buf_ = std::move(grown);
+  start_ = new_front;
+  end_ = new_front + data_len;
+  BufNoteAlloc();
+  BufNoteCopy(data_len);
+}
+
+std::uint8_t* PacketBuf::Prepend(std::size_t n) {
+  if (n > start_) {
+    ++detail::CurrentBufStats().prepend_reallocs;
+    Grow(n - start_, 0);
+  }
+  start_ -= n;
+  return buf_.data() + start_;
+}
+
+void PacketBuf::Prepend(ByteView b) {
+  std::uint8_t* dst = Prepend(b.size());
+  if (!b.empty()) {
+    std::memcpy(dst, b.data(), b.size());
+    BufNoteCopy(b.size());
+  }
+}
+
+std::uint8_t* PacketBuf::Append(std::size_t n) {
+  if (end_ + n > buf_.size()) {
+    Grow(0, end_ + n - buf_.size());
+  }
+  std::uint8_t* dst = buf_.data() + end_;
+  end_ += n;
+  return dst;
+}
+
+void PacketBuf::Append(ByteView b) {
+  std::uint8_t* dst = Append(b.size());
+  if (!b.empty()) {
+    std::memcpy(dst, b.data(), b.size());
+    BufNoteCopy(b.size());
+  }
+}
+
+void PacketBuf::TrimFront(std::size_t n) { start_ += std::min(n, size()); }
+
+void PacketBuf::TrimBack(std::size_t n) { end_ -= std::min(n, size()); }
+
+Bytes PacketBuf::ToBytes() const {
+  if (!empty()) {
+    BufNoteAlloc();
+    BufNoteCopy(size());
+  }
+  return Bytes(data(), data() + size());
+}
+
+Bytes PacketBuf::Release() {
+  Bytes out;
+  if (start_ == 0 && end_ == buf_.size()) {
+    out = std::move(buf_);
+  } else {
+    out = ToBytes();
+  }
+  buf_.clear();
+  start_ = end_ = 0;
+  return out;
+}
+
+}  // namespace upr

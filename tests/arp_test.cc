@@ -65,8 +65,8 @@ class ArpResolverTest : public ::testing::Test {
           // Broadcast medium: the peer always hears requests and replies.
           sim_.Schedule(Milliseconds(10), [this, pkt] { b_->HandleArpPacket(pkt); });
         },
-        [this](const Bytes& dgram, const HwAddress& hw) {
-          a_sent_.push_back({dgram, hw});
+        [this](PacketBuf&& dgram, const HwAddress& hw) {
+          a_sent_.push_back({dgram.Release(), hw});
         });
     ArpConfig cb = ca;
     b_ = std::make_unique<ArpResolver>(
@@ -74,8 +74,8 @@ class ArpResolverTest : public ::testing::Test {
         [this](const Bytes& pkt, const std::optional<HwAddress>&) {
           sim_.Schedule(Milliseconds(10), [this, pkt] { a_->HandleArpPacket(pkt); });
         },
-        [this](const Bytes& dgram, const HwAddress& hw) {
-          b_sent_.push_back({dgram, hw});
+        [this](PacketBuf&& dgram, const HwAddress& hw) {
+          b_sent_.push_back({dgram.Release(), hw});
         });
   }
 

@@ -32,8 +32,8 @@ class EtherTest : public ::testing::Test {
 
 TEST_F(EtherTest, DatagramDeliveredWithArp) {
   Bytes got;
-  b_.RegisterProtocol(99, [&](const Ipv4Header&, const Bytes& p, NetInterface*) {
-    got = p;
+  b_.RegisterProtocol(99, [&](const Ipv4Header&, ByteView p, NetInterface*) {
+    got.assign(p.begin(), p.end());
   });
   EXPECT_TRUE(a_.SendDatagram(IpV4Address(128, 95, 1, 2), 99, BytesFromString("lan")));
   sim_.RunUntil(Seconds(5));
@@ -48,7 +48,7 @@ TEST_F(EtherTest, MacFilterDropsForeignFrames) {
                                                 EtherAddr::FromIndex(3));
   ic->Configure(IpV4Address(128, 95, 1, 3), 24);
   auto* c_if = static_cast<EthernetInterface*>(c.AddInterface(std::move(ic)));
-  b_.RegisterProtocol(99, [](const Ipv4Header&, const Bytes&, NetInterface*) {});
+  b_.RegisterProtocol(99, [](const Ipv4Header&, ByteView, NetInterface*) {});
   a_.SendDatagram(IpV4Address(128, 95, 1, 2), 99, Bytes{1});
   sim_.RunUntil(Seconds(5));
   // C heard the broadcast ARP request but not the unicast IP frame.
@@ -59,10 +59,10 @@ TEST_F(EtherTest, RoundTripLatencyIsLanScale) {
   Bytes payload(1000, 0);
   bool replied = false;
   SimTime rtt = 0;
-  b_.RegisterProtocol(99, [&](const Ipv4Header& h, const Bytes& p, NetInterface*) {
-    b_.SendDatagram(h.source, 99, p);
+  b_.RegisterProtocol(99, [&](const Ipv4Header& h, ByteView p, NetInterface*) {
+    b_.SendDatagram(h.source, 99, Bytes(p.begin(), p.end()));
   });
-  a_.RegisterProtocol(99, [&](const Ipv4Header&, const Bytes&, NetInterface*) {
+  a_.RegisterProtocol(99, [&](const Ipv4Header&, ByteView, NetInterface*) {
     replied = true;
     rtt = sim_.Now();
   });
@@ -89,7 +89,7 @@ TEST_F(EtherTest, PingOverEthernet) {
 }
 
 TEST_F(EtherTest, InterfaceDownStopsTraffic) {
-  b_.RegisterProtocol(99, [](const Ipv4Header&, const Bytes&, NetInterface*) {
+  b_.RegisterProtocol(99, [](const Ipv4Header&, ByteView, NetInterface*) {
     FAIL() << "interface down must not deliver";
   });
   b_if_->SetUp(false);

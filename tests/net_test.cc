@@ -209,8 +209,8 @@ TEST_F(NetStackTest, GatewayRouteUsesGatewayAsNextHop) {
 
 TEST_F(NetStackTest, DeliversToRegisteredProtocol) {
   Bytes got;
-  stack_.RegisterProtocol(99, [&](const Ipv4Header& h, const Bytes& p, NetInterface*) {
-    got = p;
+  stack_.RegisterProtocol(99, [&](const Ipv4Header& h, ByteView p, NetInterface*) {
+    got.assign(p.begin(), p.end());
   });
   Ipv4Header h;
   h.protocol = 99;
@@ -292,7 +292,7 @@ TEST_F(NetStackTest, ForwardFilterDrops) {
   auto* out = static_cast<FakeInterface*>(stack_.AddInterface(std::move(second)));
   stack_.set_forwarding(true);
   stack_.set_forward_filter(
-      [](const Ipv4Header&, const Bytes&, NetInterface*, NetInterface*) {
+      [](const Ipv4Header&, ByteView, NetInterface*, NetInterface*) {
         return false;
       });
   Ipv4Header h;
@@ -325,8 +325,8 @@ TEST_F(NetStackTest, FragmentsWhenExceedingMtu) {
 
 TEST_F(NetStackTest, ReassemblesFragments) {
   Bytes got;
-  stack_.RegisterProtocol(99, [&](const Ipv4Header&, const Bytes& p, NetInterface*) {
-    got = p;
+  stack_.RegisterProtocol(99, [&](const Ipv4Header&, ByteView p, NetInterface*) {
+    got.assign(p.begin(), p.end());
   });
   Bytes payload(500, 0);
   for (std::size_t i = 0; i < payload.size(); ++i) {
@@ -355,7 +355,7 @@ TEST_F(NetStackTest, ReassemblesFragments) {
 }
 
 TEST_F(NetStackTest, ReassemblyTimesOutIncomplete) {
-  stack_.RegisterProtocol(99, [&](const Ipv4Header&, const Bytes&, NetInterface*) {
+  stack_.RegisterProtocol(99, [&](const Ipv4Header&, ByteView, NetInterface*) {
     FAIL() << "incomplete datagram must not be delivered";
   });
   Ipv4Header h;
@@ -376,8 +376,8 @@ TEST_F(NetStackTest, ReassemblyTimesOutIncomplete) {
 
 TEST_F(NetStackTest, LocalLoopback) {
   Bytes got;
-  stack_.RegisterProtocol(99, [&](const Ipv4Header& h, const Bytes& p, NetInterface*) {
-    got = p;
+  stack_.RegisterProtocol(99, [&](const Ipv4Header& h, ByteView p, NetInterface*) {
+    got.assign(p.begin(), p.end());
   });
   EXPECT_TRUE(stack_.SendDatagram(IpV4Address(10, 0, 0, 1), 99, BytesFromString("me")));
   sim_.RunAll();

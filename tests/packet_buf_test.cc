@@ -1,0 +1,154 @@
+// PacketBuf unit tests: headroom/tailroom bookkeeping, growth, zero-copy
+// Release/Adopt, and the per-layer accounting the netstat counters rely on.
+#include <gtest/gtest.h>
+
+#include "src/util/byte_buffer.h"
+#include "src/util/packet_buf.h"
+
+namespace upr {
+namespace {
+
+Bytes Seq(std::size_t n, std::uint8_t base = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(base + i);
+  }
+  return b;
+}
+
+class PacketBufTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetBufStats(); }
+  void TearDown() override { ResetBufStats(); }
+};
+
+TEST_F(PacketBufTest, DefaultConstructedIsEmptyAndFree) {
+  PacketBuf p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.Headroom(), 0u);
+  EXPECT_EQ(p.Tailroom(), 0u);
+  EXPECT_EQ(BufStatsTotal().allocs, 0u);
+}
+
+TEST_F(PacketBufTest, FromViewReservesHeadroom) {
+  Bytes payload = Seq(10);
+  PacketBuf p = PacketBuf::FromView(payload, 32);
+  EXPECT_EQ(p.size(), 10u);
+  EXPECT_EQ(p.Headroom(), 32u);
+  EXPECT_EQ(Bytes(p.data(), p.data() + p.size()), payload);
+  // One allocation, one copy of the payload.
+  EXPECT_EQ(BufStatsTotal().allocs, 1u);
+  EXPECT_EQ(BufStatsTotal().bytes_copied, 10u);
+}
+
+TEST_F(PacketBufTest, PrependSerializesIntoHeadroom) {
+  PacketBuf p = PacketBuf::FromView(Seq(8, 100), 16);
+  std::uint8_t* h = p.Prepend(4);
+  h[0] = 1;
+  h[1] = 2;
+  h[2] = 3;
+  h[3] = 4;
+  EXPECT_EQ(p.Headroom(), 12u);
+  EXPECT_EQ(p.size(), 12u);
+  Bytes expect{1, 2, 3, 4};
+  Bytes rest = Seq(8, 100);
+  expect.insert(expect.end(), rest.begin(), rest.end());
+  EXPECT_EQ(p.ToBytes(), expect);
+  // The pointer-returning Prepend is raw serialization: no copy counted.
+  EXPECT_EQ(BufStatsTotal().prepend_reallocs, 0u);
+}
+
+TEST_F(PacketBufTest, PrependPastHeadroomGrowsAndCounts) {
+  PacketBuf p = PacketBuf::FromView(Seq(8, 50), /*headroom=*/2);
+  ResetBufStats();
+  p.Prepend(ByteView(Seq(10)));
+  EXPECT_EQ(p.size(), 18u);
+  Bytes expect = Seq(10);
+  Bytes rest = Seq(8, 50);
+  expect.insert(expect.end(), rest.begin(), rest.end());
+  EXPECT_EQ(Bytes(p.data(), p.data() + p.size()), expect);
+  EXPECT_EQ(BufStatsTotal().prepend_reallocs, 1u);
+  EXPECT_GE(BufStatsTotal().allocs, 1u);
+  // The grown buffer leaves cushion: the next prepend is free.
+  ResetBufStats();
+  p.Prepend(ByteView(Seq(4)));
+  EXPECT_EQ(BufStatsTotal().prepend_reallocs, 0u);
+}
+
+TEST_F(PacketBufTest, AppendPastTailroomGrows) {
+  PacketBuf p(4, 2);
+  p.Append(ByteView(Seq(2)));
+  ResetBufStats();
+  p.Append(ByteView(Seq(100)));
+  EXPECT_EQ(p.size(), 102u);
+  EXPECT_GE(BufStatsTotal().allocs, 1u);
+}
+
+TEST_F(PacketBufTest, TrimsClampAndAreFree) {
+  Bytes full = Seq(10);
+  PacketBuf p = PacketBuf::FromView(full, 8);
+  ResetBufStats();
+  p.TrimFront(3);
+  p.TrimBack(2);
+  EXPECT_EQ(p.ToBytes(), Bytes(full.begin() + 3, full.end() - 2));
+  p.TrimFront(1000);  // clamps to empty
+  EXPECT_TRUE(p.empty());
+  p.TrimBack(5);  // no-op on empty
+  EXPECT_TRUE(p.empty());
+  // Trims moved offsets only; the single count is the ToBytes copy above.
+  EXPECT_EQ(BufStatsTotal().bytes_copied, 5u);
+}
+
+TEST_F(PacketBufTest, AdoptAndReleaseAreZeroCopy) {
+  Bytes owned = Seq(64);
+  const std::uint8_t* storage = owned.data();
+  PacketBuf p = PacketBuf::Adopt(std::move(owned));
+  EXPECT_EQ(p.size(), 64u);
+  EXPECT_EQ(p.Headroom(), 0u);
+  Bytes out = p.Release();
+  EXPECT_EQ(out, Seq(64));
+  // Same heap storage moved straight through; nothing copied or allocated.
+  EXPECT_EQ(out.data(), storage);
+  EXPECT_EQ(BufStatsTotal().bytes_copied, 0u);
+  EXPECT_EQ(BufStatsTotal().allocs, 0u);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST_F(PacketBufTest, ReleaseWithHeadroomFallsBackToCopy) {
+  PacketBuf p = PacketBuf::FromView(Seq(16), 8);
+  ResetBufStats();
+  Bytes out = p.Release();
+  EXPECT_EQ(out, Seq(16));
+  EXPECT_EQ(BufStatsTotal().bytes_copied, 16u);
+}
+
+TEST_F(PacketBufTest, LayerScopesAttributeAndNest) {
+  {
+    BufLayerScope ip(BufLayer::kIp);
+    PacketBuf p = PacketBuf::FromView(Seq(10), 8);
+    {
+      BufLayerScope kiss(BufLayer::kKiss);
+      BufNoteCopy(7);
+    }
+    BufNoteCopy(3);
+  }
+  EXPECT_EQ(BufStatsFor(BufLayer::kIp).bytes_copied, 13u);
+  EXPECT_EQ(BufStatsFor(BufLayer::kIp).allocs, 1u);
+  EXPECT_EQ(BufStatsFor(BufLayer::kKiss).bytes_copied, 7u);
+  EXPECT_EQ(BufStatsFor(BufLayer::kOther).bytes_copied, 0u);
+  EXPECT_EQ(BufStatsTotal().bytes_copied, 20u);
+}
+
+TEST_F(PacketBufTest, MoveTransfersOwnership) {
+  PacketBuf a = PacketBuf::FromView(Seq(12), 4);
+  PacketBuf b = std::move(a);
+  EXPECT_EQ(b.size(), 12u);
+  PacketBuf c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 12u);
+  EXPECT_EQ(Bytes(c.data(), c.data() + c.size()), Seq(12));
+}
+
+}  // namespace
+}  // namespace upr

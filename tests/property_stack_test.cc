@@ -53,8 +53,8 @@ TEST_P(FragmentationProperty, FragmentReassembleIdentity) {
 
   Bytes got;
   int deliveries = 0;
-  b.RegisterProtocol(99, [&](const Ipv4Header&, const Bytes& p, NetInterface*) {
-    got = p;
+  b.RegisterProtocol(99, [&](const Ipv4Header&, ByteView p, NetInterface*) {
+    got.assign(p.begin(), p.end());
     ++deliveries;
   });
 

@@ -2,6 +2,7 @@
 
 #include "src/util/byte_buffer.h"
 #include "src/util/crc.h"
+#include "src/util/packet_buf.h"
 #include "src/util/random.h"
 #include "src/util/stats.h"
 
@@ -54,21 +55,21 @@ TEST(ByteWriterTest, RoundTripsWithReader) {
   EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
 }
 
-TEST(PacketTest, PrependAndStrip) {
-  Packet p = Packet::FromBytes(BytesFromString("payload"));
-  p.Prepend(BytesFromString("hdr:"));
+TEST(PacketTest, PrependAndTrim) {
+  PacketBuf p = PacketBuf::FromBytes(BytesFromString("payload"));
+  p.Prepend(ByteView(BytesFromString("hdr:")));
   EXPECT_EQ(p.ToBytes(), BytesFromString("hdr:payload"));
-  p.StripFront(4);
+  p.TrimFront(4);
   EXPECT_EQ(p.ToBytes(), BytesFromString("payload"));
-  p.StripBack(3);
+  p.TrimBack(3);
   EXPECT_EQ(p.ToBytes(), BytesFromString("payl"));
 }
 
 TEST(PacketTest, PrependGrowsPastHeadroom) {
-  Packet p(2);
-  p.Append(BytesFromString("x"));
+  PacketBuf p(2);
+  p.Append(ByteView(BytesFromString("x")));
   Bytes big(300, 0x42);
-  p.Prepend(big);
+  p.Prepend(ByteView(big));
   ASSERT_EQ(p.size(), 301u);
   EXPECT_EQ(p.data()[0], 0x42);
   EXPECT_EQ(p.data()[300], 'x');

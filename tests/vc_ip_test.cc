@@ -103,8 +103,8 @@ TEST_F(VcPair, BackToBackDatagramsResplitCorrectly) {
   // stream framing must recover both boundaries.
   Bytes got1, got2;
   int count = 0;
-  b_->stack->RegisterProtocol(99, [&](const Ipv4Header&, const Bytes& p, NetInterface*) {
-    (count++ == 0 ? got1 : got2) = p;
+  b_->stack->RegisterProtocol(99, [&](const Ipv4Header&, ByteView p, NetInterface*) {
+    (count++ == 0 ? got1 : got2).assign(p.begin(), p.end());
   });
   Bytes p1(180, 0x11), p2(150, 0x22);
   a_->stack->SendDatagram(IpV4Address(44, 24, 11, 2), 99, p1);

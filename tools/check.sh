@@ -16,6 +16,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${jobs}"
 ctest --test-dir build --output-on-failure -j"${jobs}"
 
+echo "=== tier-1: copy-path smoke (zero-copy ratios) ==="
+./build/bench/bench_e8_copy_path --smoke
+
 if [[ "${1:-}" == "--no-asan" ]]; then
   exit 0
 fi
@@ -24,3 +27,6 @@ echo "=== tier-1: ASan+UBSan build + ctest ==="
 cmake -B build-asan -S . -DUPR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j"${jobs}"
 ctest --test-dir build-asan --output-on-failure -j"${jobs}"
+
+echo "=== tier-1: copy-path smoke under ASan ==="
+./build-asan/bench/bench_e8_copy_path --smoke

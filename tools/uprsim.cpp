@@ -249,6 +249,7 @@ int main(int argc, char** argv) {
                                      "pc" + std::to_string(i) + " com0").c_str());
       std::printf("%s", FormatDriverStats(*tb.pc(i).radio_if()).c_str());
     }
+    std::printf("\n%s", FormatBufStats().c_str());
     std::printf("\n%s", FormatSimulator(tb.sim()).c_str());
   }
 
