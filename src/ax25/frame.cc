@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace upr {
 
 namespace {
@@ -142,6 +144,10 @@ void Ax25Frame::EncodeTo(PacketBuf* pb) const {
   if (HasPid()) {
     h[pos++] = pid;
   }
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kAx25, trace::Kind::kAx25Encode,
+              trace::CurrentDir(), {}, pb->view(), ToString());
+  }
 }
 
 Bytes Ax25Frame::Encode() const {
@@ -253,6 +259,10 @@ std::optional<Ax25Frame::DecodedView> Ax25Frame::DecodeView(ByteView wire) {
   DecodedView out;
   out.frame = std::move(f);
   out.info = wire.subspan(pos);
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kAx25, trace::Kind::kAx25Decode,
+              trace::CurrentDir(), {}, wire, out.frame.ToString());
+  }
   return out;
 }
 

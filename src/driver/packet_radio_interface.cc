@@ -1,5 +1,6 @@
 #include "src/driver/packet_radio_interface.h"
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace upr {
@@ -86,9 +87,15 @@ void PacketRadioInterface::SendRawFrame(const Ax25Frame& frame) {
 }
 
 void PacketRadioInterface::WriteKiss(ByteView ax25_wire) {
+  trace::IfScope tscope(serial_->name(), trace::Dir::kTx);
   if (serial_->backlog() > config_.max_serial_backlog) {
     ++dstats_.output_drops;
     ++stats_.odrops;
+    if (auto* t = trace::Active()) {
+      t->Record(trace::Layer::kDriver, trace::Kind::kDriverDrop,
+                trace::Dir::kTx, serial_->name(), ax25_wire,
+                "serial-backlog=" + std::to_string(serial_->backlog()));
+    }
     return;
   }
   Bytes wire;
@@ -102,6 +109,7 @@ void PacketRadioInterface::OnSerialChunk(const std::uint8_t* data, std::size_t l
   ++dstats_.interrupts;
   dstats_.chars_in += len;
   dstats_.interrupt_cpu_time += config_.per_interrupt_cost;
+  trace::IfScope tscope(serial_->name(), trace::Dir::kRx);
   decoder_.Feed(data, len);
 }
 

@@ -1,11 +1,23 @@
 #include "src/gateway/gateway.h"
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace upr {
 
 namespace {
 constexpr const char* kTag = "gateway";
+
+void TraceGateway(trace::Kind kind, const Ipv4Header& header, ByteView payload,
+                  NetInterface* in, const char* note) {
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kGateway, kind, trace::Dir::kNone,
+              in != nullptr ? in->name() : std::string(), payload,
+              std::string(note) + " " + header.source.ToString() + ">" +
+                  header.destination.ToString());
+  }
+}
+
 }  // namespace
 
 PacketRadioGateway::PacketRadioGateway(NetStack* stack, NetInterface* radio,
@@ -35,17 +47,21 @@ bool PacketRadioGateway::FilterForward(const Ipv4Header& header, ByteView payloa
     if (config_.enforce_access_control) {
       table_.NoteAmateurOutbound(header.source, header.destination);
     }
+    TraceGateway(trace::Kind::kGatewayPass, header, payload, in, "radio->wire");
     return true;
   }
   if (to_radio && !from_radio) {
     ++wire_to_radio_;
     if (!config_.enforce_access_control) {
+      TraceGateway(trace::Kind::kGatewayPass, header, payload, in, "wire->radio");
       return true;
     }
     if (table_.Allowed(header.source, header.destination)) {
+      TraceGateway(trace::Kind::kGatewayPass, header, payload, in, "wire->radio");
       return true;
     }
     ++denied_;
+    TraceGateway(trace::Kind::kGatewayDeny, header, payload, in, "wire->radio");
     UPR_DEBUG(kTag, "denied %s -> %s (no authorization)",
               header.source.ToString().c_str(), header.destination.ToString().c_str());
     if (config_.send_prohibited_icmp) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
+
 namespace upr {
 
 namespace {
@@ -52,6 +54,18 @@ void KissEncodeInto(ByteView payload, Bytes* out, std::uint8_t port,
   }
   out->push_back(kKissFend);
   BufNoteCopy(encoded);
+  if (auto* t = trace::Active()) {
+    if (command == KissCommand::kData) {
+      // The payload of a data frame is a complete AX.25 frame (no FCS) —
+      // exactly one LINKTYPE_AX25_KISS packet.
+      t->RecordFrame(trace::Layer::kKiss, trace::Kind::kKissFrameOut,
+                     trace::Dir::kNone, {}, payload, {}, port);
+    } else {
+      t->Record(trace::Layer::kKiss, trace::Kind::kKissFrameOut,
+                trace::CurrentDir(), {}, payload,
+                "cmd=" + std::to_string(static_cast<int>(command)));
+    }
+  }
 }
 
 Bytes KissEncode(const KissFrame& frame) {
@@ -123,6 +137,17 @@ void KissDecoder::EmitFrame() {
     command = static_cast<KissCommand>(type & 0x0F);
   }
   ++frames_decoded_;
+  if (auto* t = trace::Active()) {
+    ByteView payload(current_.data() + 1, current_.size() - 1);
+    if (command == KissCommand::kData) {
+      t->RecordFrame(trace::Layer::kKiss, trace::Kind::kKissFrameIn,
+                     trace::Dir::kNone, {}, payload, {}, port);
+    } else {
+      t->Record(trace::Layer::kKiss, trace::Kind::kKissFrameIn,
+                trace::CurrentDir(), {}, payload,
+                "cmd=" + std::to_string(static_cast<int>(command)));
+    }
+  }
   if (view_handler_) {
     // Zero-copy delivery: the view aliases current_ and is consumed within
     // the callback; clear only afterwards.

@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <tuple>
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace upr {
 
 namespace {
 constexpr const char* kTag = "ip";
+
+void TraceIpDrop(const Ipv4Header& header, ByteView datagram, NetInterface* in,
+                 const char* why) {
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kIp, trace::Kind::kIpDrop, trace::Dir::kRx,
+              in != nullptr ? in->name() : std::string(), datagram,
+              std::string(why) + " " + header.source.ToString() + ">" +
+                  header.destination.ToString());
+  }
+}
+
 }  // namespace
 
 void NetInterface::Configure(IpV4Address address, int prefix_len) {
@@ -238,18 +250,21 @@ void NetStack::Forward(const Ipv4Header& header, ByteView payload, PacketBuf&& d
                        NetInterface* in) {
   if (header.ttl <= 1) {
     ++ip_stats_.ttl_expired;
+    TraceIpDrop(header, datagram.view(), in, "ttl-expired");
     icmp_->SendTimeExceeded(header, payload);
     return;
   }
   const Route* route = routes_.Lookup(header.destination);
   if (route == nullptr || route->interface == nullptr) {
     ++ip_stats_.no_route;
+    TraceIpDrop(header, datagram.view(), in, "no-route");
     icmp_->SendUnreachable(header, payload, kUnreachNet);
     return;
   }
   NetInterface* out = route->interface;
   if (forward_filter_ && !forward_filter_(header, payload, in, out)) {
     ++ip_stats_.filtered;
+    TraceIpDrop(header, datagram.view(), in, "forward-filter");
     return;
   }
   Ipv4Header fwd = header;
@@ -263,6 +278,13 @@ void NetStack::Forward(const Ipv4Header& header, ByteView payload, PacketBuf&& d
     icmp_->SendRedirect(header, payload, *route->gateway);
   }
   ++ip_stats_.forwarded;
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kIp, trace::Kind::kIpForward, trace::Dir::kNone,
+              out->name(), datagram.view(),
+              header.source.ToString() + ">" + header.destination.ToString() +
+                  " ttl=" + std::to_string(fwd.ttl) +
+                  (in != nullptr ? " in=" + in->name() : std::string()));
+  }
   // The fast path of the refactor: no re-encode — patch TTL and checksum in
   // the buffer that arrived and move it straight to the output interface.
   Ipv4Header::DecrementTtlInPlace(datagram.data());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace upr {
@@ -70,6 +71,10 @@ bool RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
     }
     ++ch->collisions_;
     UPR_DEBUG(kTag, "%s: collision (%d active)", name_.c_str(), ch->active_);
+    if (auto* t = trace::Active()) {
+      t->Record(trace::Layer::kMac, trace::Kind::kMacCollision, trace::Dir::kTx,
+                name_, frame, std::to_string(ch->active_) + " active");
+    }
   }
   if (ch->active_ == 0) {
     ch->busy_since_ = start;
@@ -80,6 +85,12 @@ bool RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
   transmitting_ = true;
   last_tx_start_ = start;
   last_tx_end_ = end;
+  if (auto* t = trace::Active()) {
+    // Frame here still carries the HDLC FCS the TNC appended.
+    t->Record(trace::Layer::kMac, trace::Kind::kMacTxStart, trace::Dir::kTx,
+              name_, frame,
+              "air=" + std::to_string(ToMillis(end - start)) + "ms");
+  }
 
   sim->ScheduleAt(end, [this, ch, sim, tx, frame = std::move(frame),
                         on_done = std::move(on_done)] {

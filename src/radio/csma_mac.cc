@@ -1,6 +1,19 @@
 #include "src/radio/csma_mac.h"
 
+#include "src/trace/trace.h"
+
 namespace upr {
+
+namespace {
+
+void TraceDefer(RadioPort* port, const Bytes& frame, const char* why) {
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kMac, trace::Kind::kMacDefer, trace::Dir::kTx,
+              port->name(), frame, why);
+  }
+}
+
+}  // namespace
 
 CsmaMac::CsmaMac(Simulator* sim, RadioPort* port, MacParams params,
                  std::uint64_t seed)
@@ -29,12 +42,14 @@ void CsmaMac::TrySend() {
   if (!params_.full_duplex) {
     if (port_->CarrierBusy()) {
       ++deferrals_;
+      TraceDefer(port_, queue_.front(), "carrier-busy");
       ScheduleRetry();
       return;
     }
     // p-persistence: transmit now with probability p, else wait a slot.
     if (!rng_.Chance(params_.persistence)) {
       ++deferrals_;
+      TraceDefer(port_, queue_.front(), "p-persist");
       ScheduleRetry();
       return;
     }

@@ -170,6 +170,34 @@ std::string FormatBufStats() {
   return out;
 }
 
+std::string FormatTrace(const trace::Tracer& tracer) {
+  const trace::TraceStats& s = tracer.stats();
+  std::string out = Sprintf("trace: %llu events recorded (%llu evicted from "
+                            "ring, %llu truncated to snaplen %zu)\n",
+                            static_cast<unsigned long long>(s.recorded),
+                            static_cast<unsigned long long>(s.ring_evicted),
+                            static_cast<unsigned long long>(s.truncated),
+                            tracer.config().snaplen);
+  out += "  per layer:";
+  for (int i = 0; i < trace::kLayerCount; ++i) {
+    if (s.per_layer[i] == 0) {
+      continue;
+    }
+    out += Sprintf(" %s=%llu", trace::LayerName(static_cast<trace::Layer>(i)),
+                   static_cast<unsigned long long>(s.per_layer[i]));
+  }
+  out += "\n";
+  if (!tracer.config().pcap_path.empty()) {
+    out += Sprintf("  pcapng: %llu packets on %llu interfaces, %llu bytes -> %s%s\n",
+                   static_cast<unsigned long long>(s.pcap_packets),
+                   static_cast<unsigned long long>(s.pcap_interfaces),
+                   static_cast<unsigned long long>(s.pcap_bytes),
+                   tracer.config().pcap_path.c_str(),
+                   tracer.pcap_ok() ? "" : "  (WRITE FAILED)");
+  }
+  return out;
+}
+
 std::string FormatNetstat(const NetStack& stack) {
   std::string out = "--- " + stack.hostname() + " ---\n";
   out += FormatInterfaces(stack);

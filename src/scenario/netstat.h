@@ -10,6 +10,7 @@
 #include "src/net/netstack.h"
 #include "src/serial/serial_line.h"
 #include "src/sim/simulator.h"
+#include "src/trace/trace.h"
 
 namespace upr {
 
@@ -42,6 +43,10 @@ std::string FormatSimulator(const Simulator& sim);
 // headroom-exhausted prepends attributed to each datapath layer. These are
 // process-wide (the buffers don't belong to one stack).
 std::string FormatBufStats();
+
+// Flight-recorder counters: events recorded per layer, ring evictions,
+// snaplen truncations and pcapng output totals.
+std::string FormatTrace(const trace::Tracer& tracer);
 
 // All of the above.
 std::string FormatNetstat(const NetStack& stack);

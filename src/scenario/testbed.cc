@@ -9,6 +9,10 @@ RadioStation::RadioStation(Simulator* sim, RadioChannel* channel,
   SerialLineConfig serial_config = config_.serial;
   serial_config.baud_rate = config_.serial_baud;
   serial_ = std::make_unique<SerialLine>(sim, serial_config);
+  // Trace attribution: the host side of the line is its DZ port, the far
+  // side the TNC. Each becomes its own pcapng interface.
+  serial_->a().set_name(config_.hostname + " dz0");
+  serial_->b().set_name(config_.hostname + " tnc");
   TncConfig tnc_config = config_.tnc;
   if (tnc_config.local_addresses.empty()) {
     tnc_config.local_addresses.push_back(config_.callsign);
@@ -45,6 +49,8 @@ GatewayHost::GatewayHost(Simulator* sim, RadioChannel* channel, EtherSegment* se
   SerialLineConfig serial_config = config_.serial;
   serial_config.baud_rate = config_.serial_baud;
   serial_ = std::make_unique<SerialLine>(sim, serial_config);
+  serial_->a().set_name(config_.hostname + " dz0");
+  serial_->b().set_name(config_.hostname + " tnc");
   TncConfig tnc_config = config_.tnc;
   if (tnc_config.local_addresses.empty()) {
     tnc_config.local_addresses.push_back(config_.callsign);

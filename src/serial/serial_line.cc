@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/trace/trace.h"
+
 namespace upr {
 
 SerialLine::SerialLine(Simulator* sim, SerialLineConfig config)
@@ -29,6 +31,10 @@ void SerialEndpoint::Write(std::uint8_t byte) { Write(Bytes{byte}); }
 void SerialEndpoint::DeliverChunk(const std::uint8_t* data, std::size_t len) {
   bytes_received_ += len;
   ++deliveries_;
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kSerial, trace::Kind::kSerialDeliver,
+              trace::Dir::kRx, name_, ByteView(data, len));
+  }
   if (on_bytes_) {
     on_bytes_(data, len);
     return;
@@ -80,6 +86,11 @@ void SerialEndpoint::ArmSiloAlarm() {
 void SerialEndpoint::Write(const Bytes& bytes) {
   Simulator* sim = line_->sim_;
   const SerialLineConfig& cfg = line_->config_;
+  if (auto* t = trace::Active()) {
+    t->Record(trace::Layer::kSerial, trace::Kind::kSerialEnqueue,
+              trace::Dir::kTx, name_, bytes,
+              "backlog=" + std::to_string(backlog_));
+  }
   if (busy_until_ <= sim->Now()) {
     // Line idle: start a fresh timing epoch at now.
     busy_until_ = sim->Now();

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "src/sim/simulator.h"
 #include "src/util/byte_buffer.h"
@@ -91,6 +92,10 @@ class SerialEndpoint {
   std::uint64_t overruns() const { return overruns_; }
   std::uint64_t bytes_dropped() const { return bytes_dropped_; }
 
+  // Name used to attribute this endpoint's trace events (e.g. "pc0 dz0").
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
  private:
   friend class SerialLine;
 
@@ -103,6 +108,7 @@ class SerialEndpoint {
 
   SerialLine* line_ = nullptr;
   SerialEndpoint* peer_ = nullptr;
+  std::string name_;
   ByteHandler on_byte_;
   ChunkHandler on_bytes_;
   SimTime busy_until_ = 0;  // when this direction's last queued byte lands

@@ -1,6 +1,7 @@
 #include "src/tnc/kiss_tnc.h"
 
 #include "src/ax25/frame.h"
+#include "src/trace/trace.h"
 #include "src/util/crc.h"
 #include "src/util/logging.h"
 
@@ -35,6 +36,7 @@ void KissTnc::OnSerialChunk(const std::uint8_t* data, std::size_t len) {
   if (!kiss_mode_) {
     return;  // would be the TNC-2 command interpreter; out of scope
   }
+  trace::IfScope tscope(serial_->name(), trace::Dir::kRx);
   decoder_.Feed(data, len);
 }
 
@@ -133,6 +135,7 @@ void KissTnc::OnRadioReceive(const Bytes& wire, bool corrupted) {
     return;
   }
   ++frames_to_host_;
+  trace::IfScope tscope(serial_->name(), trace::Dir::kTx);
   Bytes stream = KissEncodeData(body);
   serial_bytes_to_host_ += stream.size();
   serial_->Write(stream);

@@ -1,0 +1,143 @@
+#include "src/trace/pcapng_writer.h"
+
+namespace upr::trace {
+
+namespace {
+
+// pcapng is written in the producer's native byte order and announces it via
+// the byte-order magic; we always write little-endian and the reader checks.
+void PutU16(Bytes* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(Bytes* out, std::uint32_t v) {
+  PutU16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+  PutU16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void PutU64(Bytes* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutPadded(Bytes* out, const std::uint8_t* data, std::size_t len) {
+  out->insert(out->end(), data, data + len);
+  while (out->size() % 4 != 0) {
+    out->push_back(0);
+  }
+}
+
+// Appends one option: code, length, value padded to 32 bits.
+void PutOption(Bytes* out, std::uint16_t code, const std::uint8_t* data,
+               std::size_t len) {
+  PutU16(out, code);
+  PutU16(out, static_cast<std::uint16_t>(len));
+  PutPadded(out, data, len);
+}
+
+void PutEndOfOptions(Bytes* out) {
+  PutU16(out, 0);  // opt_endofopt
+  PutU16(out, 0);
+}
+
+// Wraps a block body with type + total length (leading and trailing).
+Bytes MakeBlock(std::uint32_t type, const Bytes& body) {
+  Bytes block;
+  std::uint32_t total = static_cast<std::uint32_t>(12 + body.size());
+  PutU32(&block, type);
+  PutU32(&block, total);
+  block.insert(block.end(), body.begin(), body.end());
+  PutU32(&block, total);
+  return block;
+}
+
+}  // namespace
+
+PcapngWriter::PcapngWriter(std::string path, std::uint32_t snaplen)
+    : snaplen_(snaplen) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return;
+  }
+  // Section Header Block: byte-order magic, version 1.0, unknown section
+  // length (-1).
+  Bytes body;
+  PutU32(&body, kPcapngByteOrderMagic);
+  PutU16(&body, 1);
+  PutU16(&body, 0);
+  PutU64(&body, 0xFFFFFFFFFFFFFFFFull);
+  WriteBlock(MakeBlock(kPcapngShbType, body));
+}
+
+PcapngWriter::~PcapngWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void PcapngWriter::WriteBlock(const Bytes& block) {
+  if (file_ == nullptr) {
+    return;
+  }
+  std::fwrite(block.data(), 1, block.size(), file_);
+  bytes_written_ += block.size();
+}
+
+std::uint32_t PcapngWriter::InterfaceId(std::string_view name) {
+  auto it = interfaces_.find(name);
+  if (it != interfaces_.end()) {
+    return it->second;
+  }
+  std::uint32_t id = static_cast<std::uint32_t>(interfaces_.size());
+  interfaces_.emplace(std::string(name), id);
+
+  Bytes body;
+  PutU16(&body, kLinkTypeAx25Kiss);
+  PutU16(&body, 0);  // reserved
+  PutU32(&body, snaplen_);
+  // if_name(2): the simulated port; if_tsresol(9): 10^-9 s, raw sim time.
+  PutOption(&body, 2, reinterpret_cast<const std::uint8_t*>(name.data()),
+            name.size());
+  std::uint8_t tsresol = 9;
+  PutOption(&body, 9, &tsresol, 1);
+  PutEndOfOptions(&body);
+  WriteBlock(MakeBlock(kPcapngIdbType, body));
+  return id;
+}
+
+void PcapngWriter::WritePacket(std::uint32_t interface_id, SimTime ts,
+                               ByteView data, std::uint32_t orig_len,
+                               std::uint32_t flags, std::string_view comment) {
+  Bytes body;
+  PutU32(&body, interface_id);
+  std::uint64_t t = static_cast<std::uint64_t>(ts);
+  PutU32(&body, static_cast<std::uint32_t>(t >> 32));
+  PutU32(&body, static_cast<std::uint32_t>(t & 0xFFFFFFFF));
+  PutU32(&body, static_cast<std::uint32_t>(data.size()));
+  PutU32(&body, orig_len);
+  PutPadded(&body, data.data(), data.size());
+  if (!comment.empty()) {
+    PutOption(&body, 1,  // opt_comment
+              reinterpret_cast<const std::uint8_t*>(comment.data()),
+              comment.size());
+  }
+  if (flags != 0) {
+    Bytes v;
+    PutU32(&v, flags);
+    PutOption(&body, 2, v.data(), v.size());  // epb_flags
+  }
+  if (!comment.empty() || flags != 0) {
+    PutEndOfOptions(&body);
+  }
+  WriteBlock(MakeBlock(kPcapngEpbType, body));
+  ++packets_;
+}
+
+void PcapngWriter::Flush() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+  }
+}
+
+}  // namespace upr::trace

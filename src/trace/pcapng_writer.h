@@ -1,0 +1,72 @@
+// Streaming pcapng writer for the flight recorder's wall-format export.
+//
+// Emits exactly the blocks Wireshark needs (pcapng, draft-ietf-opsawg-pcapng):
+// one Section Header Block, one Interface Description Block per simulated
+// port (written lazily the first time the port appears), and one Enhanced
+// Packet Block per traced frame. The link type is LINKTYPE_AX25_KISS (202):
+// packet data is the KISS type byte followed by the AX.25 frame without FCS —
+// which is precisely what crosses the host<->TNC boundary here. Interface
+// timestamps are declared nanosecond-resolution (if_tsresol = 9), so EPB
+// timestamps are raw simulator time and sort identically to the event log.
+#ifndef SRC_TRACE_PCAPNG_WRITER_H_
+#define SRC_TRACE_PCAPNG_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr::trace {
+
+// pcapng constants shared with the in-repo reader (and its tests).
+inline constexpr std::uint32_t kPcapngShbType = 0x0A0D0D0A;
+inline constexpr std::uint32_t kPcapngIdbType = 0x00000001;
+inline constexpr std::uint32_t kPcapngEpbType = 0x00000006;
+inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1A2B3C4D;
+inline constexpr std::uint16_t kLinkTypeAx25Kiss = 202;
+
+class PcapngWriter {
+ public:
+  // Opens `path` and writes the section header. Check ok() afterwards.
+  PcapngWriter(std::string path, std::uint32_t snaplen);
+  ~PcapngWriter();
+  PcapngWriter(const PcapngWriter&) = delete;
+  PcapngWriter& operator=(const PcapngWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Interface id for `name`, writing its Interface Description Block on
+  // first use.
+  std::uint32_t InterfaceId(std::string_view name);
+
+  // Writes one Enhanced Packet Block. `data` is the on-the-wire bytes
+  // (already truncated to snaplen by the caller), `orig_len` the original
+  // length, `flags` the epb_flags word (bit0 inbound / bit1 outbound, 0 for
+  // unknown) and `comment` an optional opt_comment shown by Wireshark.
+  void WritePacket(std::uint32_t interface_id, SimTime ts, ByteView data,
+                   std::uint32_t orig_len, std::uint32_t flags,
+                   std::string_view comment);
+
+  void Flush();
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t interfaces() const { return interfaces_.size(); }
+
+ private:
+  void WriteBlock(const Bytes& block);
+
+  std::FILE* file_ = nullptr;
+  std::uint32_t snaplen_;
+  std::map<std::string, std::uint32_t, std::less<>> interfaces_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace upr::trace
+
+#endif  // SRC_TRACE_PCAPNG_WRITER_H_

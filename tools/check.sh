@@ -1,32 +1,94 @@
-#!/usr/bin/env bash
+#!/bin/sh
 # Tier-1 verification script.
 #
-# Job 1: regular build + full test suite (the ROADMAP.md tier-1 command).
-# Job 2: ASan+UBSan build + full test suite, so lifetime bugs in the
+# Job 1: regular build + full test suite (the ROADMAP.md tier-1 command)
+#        plus the copy-path smoke bench (zero-copy ratio regression gate).
+# Job 2: ASan+UBSan build + full test suite + smoke, so lifetime bugs in the
 #        simulator event pool / serial callback plumbing cannot land silently.
 #
-# Usage: tools/check.sh [--no-asan]
-set -euo pipefail
+# Usage: tools/check.sh [--no-asan] [--asan-only] [--quick]
+#   --no-asan    run only the regular job
+#   --asan-only  run only the sanitizer job (CI matrix uses this)
+#   --quick      regular build + ctest only, no sanitizers and no benches —
+#                fast enough for a pre-push hook (see README)
+#
+# Extra configure flags can be passed via UPR_CMAKE_FLAGS, e.g.
+#   UPR_CMAKE_FLAGS="-DUPR_WERROR=ON" tools/check.sh
+#
+# POSIX sh, deliberately: CI and pre-push hooks may invoke this as
+# `sh tools/check.sh`, where bashisms ([[, pipefail) either break or —
+# worse — silently weaken the error handling. Every command that may fail
+# is guarded explicitly, so a red smoke bench exits nonzero even when a
+# non-bash /bin/sh ignores `set -o pipefail`.
+set -eu
+if (set -o pipefail) 2>/dev/null; then
+  set -o pipefail
+fi
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+run_regular=1
+run_asan=1
+run_bench=1
 
-echo "=== tier-1: regular build + ctest ==="
-cmake -B build -S . >/dev/null
-cmake --build build -j"${jobs}"
-ctest --test-dir build --output-on-failure -j"${jobs}"
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan)
+      run_asan=0
+      ;;
+    --asan-only)
+      run_regular=0
+      ;;
+    --quick)
+      run_asan=0
+      run_bench=0
+      ;;
+    *)
+      echo "unknown option: $arg" >&2
+      echo "usage: tools/check.sh [--no-asan] [--asan-only] [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "=== tier-1: copy-path smoke (zero-copy ratios) ==="
-./build/bench/bench_e8_copy_path --smoke
+# Word-splitting of UPR_CMAKE_FLAGS is intentional: it carries whole flags.
+extra_flags=${UPR_CMAKE_FLAGS:-}
 
-if [[ "${1:-}" == "--no-asan" ]]; then
-  exit 0
+run_smoke() {
+  # `if ! cmd` keeps `set -e` from aborting before we can report, and makes
+  # the failure propagate even from shells where a bare `cmd || ...` chain
+  # inside `$(...)` or a pipeline would swallow the status.
+  if ! "$1" --smoke; then
+    echo "FAIL: $1 --smoke exited nonzero (copy-path ratios regressed)" >&2
+    exit 1
+  fi
+}
+
+if [ "$run_regular" = 1 ]; then
+  echo "=== tier-1: regular build + ctest ==="
+  # shellcheck disable=SC2086
+  cmake -B build -S . $extra_flags >/dev/null
+  cmake --build build -j"${jobs}"
+  ctest --test-dir build --output-on-failure -j"${jobs}"
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: copy-path smoke (zero-copy ratios) ==="
+    run_smoke ./build/bench/bench_e8_copy_path
+  fi
 fi
 
-echo "=== tier-1: ASan+UBSan build + ctest ==="
-cmake -B build-asan -S . -DUPR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-asan -j"${jobs}"
-ctest --test-dir build-asan --output-on-failure -j"${jobs}"
+if [ "$run_asan" = 1 ]; then
+  echo "=== tier-1: ASan+UBSan build + ctest ==="
+  # shellcheck disable=SC2086
+  cmake -B build-asan -S . -DUPR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    $extra_flags >/dev/null
+  cmake --build build-asan -j"${jobs}"
+  ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 
-echo "=== tier-1: copy-path smoke under ASan ==="
-./build-asan/bench/bench_e8_copy_path --smoke
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: copy-path smoke under ASan ==="
+    run_smoke ./build-asan/bench/bench_e8_copy_path
+  fi
+fi
+
+echo "tier-1: all requested jobs passed"

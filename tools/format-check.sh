@@ -1,0 +1,52 @@
+#!/bin/sh
+# clang-format check for CI and pre-push hooks.
+#
+# By default checks only the C++ files changed since $BASE_REF (or
+# origin/main when unset), so the pinned style can be adopted without a
+# whole-tree reformat. `--all` checks every tracked C++ file.
+#
+# Environment:
+#   CLANG_FORMAT  binary to use (default: clang-format)
+#   BASE_REF      git ref to diff against for the changed-files set
+set -eu
+cd "$(dirname "$0")/.."
+
+clang_format=${CLANG_FORMAT:-clang-format}
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "error: $clang_format not found; set CLANG_FORMAT or install it" >&2
+  exit 2
+fi
+
+mode=${1:-changed}
+if [ "$mode" = "--all" ]; then
+  files=$(git ls-files '*.cc' '*.h' '*.cpp')
+else
+  base=${BASE_REF:-origin/main}
+  if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+    base=$(git rev-list --max-parents=0 HEAD | tail -n 1)
+  fi
+  merge_base=$(git merge-base "$base" HEAD 2>/dev/null || echo "$base")
+  files=$(git diff --name-only --diff-filter=ACMR "$merge_base" HEAD -- \
+    '*.cc' '*.h' '*.cpp')
+fi
+
+if [ -z "$files" ]; then
+  echo "format-check: no C++ files to check"
+  exit 0
+fi
+
+status=0
+for f in $files; do
+  [ -f "$f" ] || continue
+  if ! "$clang_format" --dry-run -Werror "$f" 2>/dev/null; then
+    echo "needs formatting: $f" >&2
+    "$clang_format" --dry-run -Werror "$f" 2>&1 | head -20 >&2 || true
+    status=1
+  fi
+done
+
+if [ "$status" != 0 ]; then
+  echo "" >&2
+  echo "run: $clang_format -i <file> (style is pinned in .clang-format)" >&2
+fi
+exit $status

@@ -18,6 +18,7 @@
 #include "src/scenario/monitor.h"
 #include "src/scenario/netstat.h"
 #include "src/scenario/testbed.h"
+#include "src/trace/trace.h"
 
 using namespace upr;
 
@@ -38,6 +39,10 @@ struct Options {
   double duration = 600.0;
   std::uint64_t seed = 42;
   std::string workload = "ping";
+  std::string trace_file;
+  std::size_t trace_ring = 512;
+  std::size_t trace_snap = 512;
+  bool trace_enabled = false;
 };
 
 void Usage(const char* argv0) {
@@ -57,7 +62,12 @@ void Usage(const char* argv0) {
       "  --silo N           batch serial delivery, N chars per interrupt\n"
       "                     (default 0 = per-character, the paper's DZ)\n"
       "  --monitor          print decoded channel traffic as it happens\n"
-      "  --netstat          print per-host netstat at the end\n",
+      "  --netstat          print per-host netstat at the end\n"
+      "  --trace FILE       record KISS/AX.25 crossings to FILE (pcapng,\n"
+      "                     LINKTYPE_AX25_KISS; open it with Wireshark)\n"
+      "  --trace-ring N     flight-recorder ring size in events (default 512);\n"
+      "                     the ring is dumped when the workload fails\n"
+      "  --trace-snap N     bytes of each frame kept (default 512)\n",
       argv0);
 }
 
@@ -95,6 +105,15 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--silo") {
       opt->silo = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--trace") {
+      opt->trace_file = next();
+      opt->trace_enabled = true;
+    } else if (arg == "--trace-ring") {
+      opt->trace_ring = std::strtoul(next(), nullptr, 10);
+      opt->trace_enabled = true;
+    } else if (arg == "--trace-snap") {
+      opt->trace_snap = std::strtoul(next(), nullptr, 10);
+      opt->trace_enabled = true;
     } else if (arg == "--monitor") {
       opt->monitor = true;
     } else if (arg == "--netstat") {
@@ -139,6 +158,21 @@ int main(int argc, char** argv) {
   }
   Testbed tb(cfg);
   tb.PopulateRadioArp();
+
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::ScopedInstall> trace_install;
+  if (opt.trace_enabled) {
+    trace::TracerConfig tcfg;
+    tcfg.ring_capacity = opt.trace_ring;
+    tcfg.snaplen = opt.trace_snap;
+    tcfg.pcap_path = opt.trace_file;
+    tracer = std::make_unique<trace::Tracer>(&tb.sim(), tcfg);
+    if (!tracer->pcap_ok()) {
+      std::fprintf(stderr, "cannot open trace file %s\n", opt.trace_file.c_str());
+      return 2;
+    }
+    trace_install = std::make_unique<trace::ScopedInstall>(tracer.get());
+  }
 
   std::unique_ptr<ChannelMonitor> monitor;
   if (opt.monitor) {
@@ -232,6 +266,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (tracer != nullptr) {
+    tracer->Flush();
+    if (!workload_ok) {
+      trace::DumpActiveRing(stderr);
+    }
+  }
+
   std::printf("\n=== channel ===\n");
   std::printf("transmissions %llu, collisions %llu, utilization %.1f%%\n",
               static_cast<unsigned long long>(tb.channel().transmissions()),
@@ -250,6 +291,9 @@ int main(int argc, char** argv) {
       std::printf("%s", FormatDriverStats(*tb.pc(i).radio_if()).c_str());
     }
     std::printf("\n%s", FormatBufStats().c_str());
+    if (tracer != nullptr) {
+      std::printf("\n%s", FormatTrace(*tracer).c_str());
+    }
     std::printf("\n%s", FormatSimulator(tb.sim()).c_str());
   }
 
