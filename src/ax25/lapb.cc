@@ -58,7 +58,16 @@ bool Ax25Link::HandleFrame(const Ax25Frame& frame) {
   }
   auto it = connections_.find(frame.source);
   if (it != connections_.end()) {
-    it->second->HandleFrame(frame);
+    Ax25Connection* conn = it->second.get();
+    bool was_down = conn->state() == Ax25Connection::State::kDisconnected;
+    conn->HandleFrame(frame);
+    // A SABM reviving a dead (not yet reaped) connection is a fresh inbound
+    // connection from the application's point of view: without this the app
+    // never learns the peer re-established and the link sits idle forever.
+    if (was_down && frame.type == Ax25FrameType::kSabm &&
+        conn->state() == Ax25Connection::State::kConnected && on_connection_) {
+      on_connection_(conn);
+    }
     return true;
   }
   // Unknown peer. A SABM may open a new connection; anything else gets DM.
@@ -143,6 +152,16 @@ void Ax25Connection::Disconnect() {
 
 void Ax25Connection::EnterConnected() {
   state_ = State::kConnected;
+  // On a link reset, sent-but-unacked I frames go back to the head of the
+  // send queue (oldest first) instead of being discarded — the peer reset its
+  // receive state, so they were never delivered there. Matches the Linux
+  // AX.25 stack's ax25_requeue_frames behaviour.
+  for (std::uint8_t i = Outstanding(vs_, va_); i > 0; --i) {
+    auto it = outstanding_.find(Mod8(va_ + i - 1));
+    if (it != outstanding_.end()) {
+      send_queue_.push_front(std::move(it->second));
+    }
+  }
   vs_ = va_ = vr_ = 0;
   rej_outstanding_ = false;
   peer_busy_ = false;
@@ -354,9 +373,13 @@ void Ax25Connection::HandleFrame(const Ax25Frame& f) {
     case Ax25FrameType::kI:
       if (state_ == State::kConnected) {
         HandleI(f);
-      } else {
+      } else if (state_ == State::kDisconnected) {
         SendU(Ax25FrameType::kDm, /*command=*/false, f.poll_final);
       }
+      // kConnecting / kDisconnecting: drop silently. Answering DM here tears
+      // down the peer's half-open link in the UA-loss race: the peer's UA was
+      // lost on the air but data it queued right behind the UA already
+      // arrived. T1 on both sides recovers the establishment instead.
       break;
     case Ax25FrameType::kRr:
       if (state_ == State::kConnected) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/radio/fault_plan.h"
 #include "src/trace/trace.h"
 #include "src/util/logging.h"
 
@@ -11,6 +12,20 @@ namespace upr {
 namespace {
 constexpr const char* kTag = "radio";
 }  // namespace
+
+bool BerCorrupts(Rng& rng, double bit_error_rate, std::size_t frame_len) {
+  // `!(ber > 0)` rather than `ber <= 0` so a NaN rate reads as "no errors"
+  // instead of poisoning pow() and silently disabling corruption.
+  if (!(bit_error_rate > 0.0) || frame_len == 0) {
+    return false;
+  }
+  if (bit_error_rate >= 1.0) {
+    return true;
+  }
+  double survive =
+      std::pow(1.0 - bit_error_rate, static_cast<double>(frame_len) * 8.0);
+  return !rng.Chance(survive);
+}
 
 RadioChannel::RadioChannel(Simulator* sim, RadioChannelConfig config,
                            std::uint64_t seed)
@@ -103,14 +118,30 @@ bool RadioPort::StartTransmit(Bytes frame, SimTime head, SimTime tail,
       ch->busy_time_ += sim->Now() - ch->busy_since_;
     }
     ++frames_sent_;
+    // Fault-schedule decision points, in a fixed order per frame: collision
+    // outcome, then (only for frames still clean) the loss roll, then the
+    // BER roll. When a fault::Session is recording, each roll happens
+    // exactly as in an uninstrumented run and its outcome is logged; when
+    // replaying, the scheduled outcome is used and the RNG stays untouched.
+    fault::Session* fs = fault::Active();
     bool corrupted = tx->corrupted;
-    if (!corrupted && ch->rng_.Chance(ch->config_.loss_rate)) {
-      corrupted = true;
+    if (fs != nullptr) {
+      corrupted = fs->Decide(fault::Kind::kCollision, name_, frame,
+                             [&] { return tx->corrupted; });
     }
-    if (!corrupted && ch->config_.bit_error_rate > 0.0) {
-      double survive = std::pow(1.0 - ch->config_.bit_error_rate,
-                                static_cast<double>(frame.size()) * 8.0);
-      if (!ch->rng_.Chance(survive)) {
+    if (!corrupted && ch->config_.loss_rate > 0.0) {
+      auto roll = [&] { return ch->rng_.Chance(ch->config_.loss_rate); };
+      if (fs != nullptr ? fs->Decide(fault::Kind::kLoss, name_, frame, roll)
+                        : roll()) {
+        corrupted = true;
+      }
+    }
+    if (!corrupted && ch->config_.bit_error_rate > 0.0 && !frame.empty()) {
+      auto roll = [&] {
+        return BerCorrupts(ch->rng_, ch->config_.bit_error_rate, frame.size());
+      };
+      if (fs != nullptr ? fs->Decide(fault::Kind::kBitError, name_, frame, roll)
+                        : roll()) {
         corrupted = true;
       }
     }
@@ -132,22 +163,44 @@ void RadioChannel::Deliver(RadioPort* sender, const Bytes& frame, bool corrupted
       delivered[i] ^= 0x55;
     }
   }
+  SimTime delay = config_.propagation_delay;
+  // The frame occupies the receiver's antenna during [tx_start + delay,
+  // tx_end + delay]; a station that transmitted during any part of that
+  // window heard nothing (half duplex).
+  SimTime arrive_start = tx_start + delay;
+  SimTime arrive_end = tx_end + delay;
   for (auto& p : ports_) {
     RadioPort* dst = p.get();
     if (dst == sender) {
       continue;
     }
-    // Half duplex: a station that transmitted during any part of this frame
-    // heard nothing.
+    // Pre-filter at tx-end time with what is already decidable: a port whose
+    // (current or finished) transmission interval overlaps the arrival
+    // window is deaf no matter what it does later. `last_tx_end_` holds the
+    // scheduled end of an in-progress transmission, so this also covers a
+    // port that is keyed right now but releases before the frame arrives —
+    // that port still hears it.
     bool overlapped_own_tx =
-        dst->transmitting_ ||
-        (dst->last_tx_end_ > tx_start && dst->last_tx_start_ < tx_end);
+        (delay == 0 && dst->transmitting_) ||
+        (dst->last_tx_end_ > arrive_start && dst->last_tx_start_ < arrive_end);
     if (overlapped_own_tx) {
+      ++dst->half_duplex_misses_;
       continue;
     }
-    SimTime delay = config_.propagation_delay;
     Bytes copy = delivered;
-    sim_->Schedule(delay, [dst, copy = std::move(copy), corrupted] {
+    sim_->Schedule(delay, [dst, copy = std::move(copy), corrupted, delay,
+                           arrive_start, arrive_end] {
+      if (delay > 0) {
+        // Deciding receive state at tx-end time alone would let a port that
+        // *starts* transmitting inside the propagation window still hear the
+        // frame; re-check at actual delivery time.
+        bool deaf = dst->transmitting_ || (dst->last_tx_end_ > arrive_start &&
+                                           dst->last_tx_start_ < arrive_end);
+        if (deaf) {
+          ++dst->half_duplex_misses_;
+          return;
+        }
+      }
       ++dst->frames_received_;
       if (corrupted) {
         ++dst->frames_corrupted_rx_;

@@ -32,6 +32,13 @@ struct RadioChannelConfig {
   SimTime propagation_delay = 0;   // negligible at VHF distances
 };
 
+// True when a frame of `frame_len` bytes is corrupted by independent bit
+// errors at `bit_error_rate`: survival probability (1-ber)^(8*len). Edge
+// values are guarded rather than fed to pow(): a zero-length frame or a
+// non-positive (or NaN) rate can never corrupt, and ber >= 1 always does —
+// none of those consume the RNG, so edge configs don't perturb the stream.
+bool BerCorrupts(Rng& rng, double bit_error_rate, std::size_t frame_len);
+
 class RadioChannel;
 
 class RadioPort {
@@ -64,6 +71,10 @@ class RadioPort {
   std::uint64_t frames_corrupted_rx() const { return frames_corrupted_rx_; }
   // StartTransmit calls rejected because a transmission was in progress.
   std::uint64_t rejected_transmits() const { return rejected_transmits_; }
+  // Frames this port never heard because it was transmitting while they
+  // arrived (half duplex) — including transmissions begun inside the
+  // propagation window, which are re-checked at actual delivery time.
+  std::uint64_t half_duplex_misses() const { return half_duplex_misses_; }
 
  private:
   friend class RadioChannel;
@@ -82,6 +93,7 @@ class RadioPort {
   std::uint64_t frames_received_ = 0;
   std::uint64_t frames_corrupted_rx_ = 0;
   std::uint64_t rejected_transmits_ = 0;
+  std::uint64_t half_duplex_misses_ = 0;
 };
 
 class RadioChannel {

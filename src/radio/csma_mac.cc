@@ -1,5 +1,6 @@
 #include "src/radio/csma_mac.h"
 
+#include "src/radio/fault_plan.h"
 #include "src/trace/trace.h"
 
 namespace upr {
@@ -15,9 +16,12 @@ void TraceDefer(RadioPort* port, const Bytes& frame, const char* why) {
 
 }  // namespace
 
+// The seed is mixed with the port name: co-channel MACs sharing a default
+// seed would otherwise roll identical p-persistence sequences and back off
+// in lockstep, synchronizing their collisions forever.
 CsmaMac::CsmaMac(Simulator* sim, RadioPort* port, MacParams params,
                  std::uint64_t seed)
-    : sim_(sim), port_(port), params_(params), rng_(seed) {}
+    : sim_(sim), port_(port), params_(params), rng_(MixSeed(seed, port->name())) {}
 
 void CsmaMac::Enqueue(Bytes frame) {
   queue_.push_back(std::move(frame));
@@ -46,8 +50,15 @@ void CsmaMac::TrySend() {
       ScheduleRetry();
       return;
     }
-    // p-persistence: transmit now with probability p, else wait a slot.
-    if (!rng_.Chance(params_.persistence)) {
+    // p-persistence: transmit now with probability p, else wait a slot. The
+    // roll goes through the fault schedule when a session is installed
+    // (outcome polarity: true = deferred, matching the other fault kinds).
+    auto roll = [&] { return !rng_.Chance(params_.persistence); };
+    fault::Session* fs = fault::Active();
+    bool deferred = fs != nullptr ? fs->Decide(fault::Kind::kPPersist,
+                                               port_->name(), queue_.front(), roll)
+                                  : roll();
+    if (deferred) {
       ++deferrals_;
       TraceDefer(port_, queue_.front(), "p-persist");
       ScheduleRetry();

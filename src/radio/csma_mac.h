@@ -38,6 +38,8 @@ struct MacParams {
 
 class CsmaMac {
  public:
+  // `seed` is mixed with the port's name (MixSeed) so co-channel MACs that
+  // share the default seed still roll distinct p-persistence streams.
   CsmaMac(Simulator* sim, RadioPort* port, MacParams params = {},
           std::uint64_t seed = 7);
 

@@ -19,6 +19,9 @@ namespace upr {
 
 class Digipeater {
  public:
+  // `seed` feeds the digipeater's CsmaMac, which mixes it with the port name
+  // ("digi:<callsign>") — two digipeaters sharing the default seed still get
+  // distinct p-persistence streams.
   Digipeater(Simulator* sim, RadioChannel* channel, Ax25Address callsign,
              MacParams mac = {}, std::uint64_t seed = 11);
 

@@ -1,0 +1,167 @@
+// upr::fault — deterministic record/replay of channel fault decisions.
+//
+// The paper's whole argument for KISS (§3) is that the host must cope with a
+// lossy shared channel, yet a fault seen once in CI used to be gone forever:
+// loss/BER/collision outcomes were fresh RNG draws whose consumption order
+// depends on event scheduling. This module captures every stochastic channel
+// decision — the per-frame loss roll, the BER survival roll, the collision
+// outcome and the MAC's p-persistence roll — into a *fault schedule* keyed by
+// frame identity (sim time, wire length, HDLC CRC, port name). The schedule
+// is serialized to a sidecar `.faults` file next to the pcapng trace, with a
+// strict in-repo reader mirroring `src/trace/pcapng_reader`.
+//
+// Two modes share one ambient Session (installed like trace::Install; the
+// simulator is single-threaded, so a process-wide pointer is safe):
+//
+//   * record — every decision point invokes its RNG roll exactly as an
+//     uninstrumented run would (recording never perturbs the run) and the
+//     outcome is appended to the schedule;
+//   * replay — the roll is NOT invoked (no RNG is consumed) and the next
+//     scheduled outcome for that (port, kind) stream is returned instead.
+//     Identity mismatches and schedule exhaustion are counted, never fatal,
+//     so a diverging replay still terminates and can be diagnosed.
+//
+// A replayed run therefore reproduces the recorded run exactly — identical
+// per-layer trace event sequence, identical netstat counters — even when the
+// replaying binary's RNG seeds differ, which is what turns "CI caught a
+// flake" into "CI hands you a deterministic reproducer".
+#ifndef SRC_RADIO_FAULT_PLAN_H_
+#define SRC_RADIO_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+
+namespace upr::fault {
+
+// Which stochastic decision a schedule entry pins down.
+enum class Kind : std::uint8_t {
+  kLoss = 0,       // per-frame random loss roll (outcome: frame lost)
+  kBitError = 1,   // BER survival roll (outcome: frame corrupted)
+  kCollision = 2,  // overlap outcome at tx end (outcome: frame collided)
+  kPPersist = 3,   // MAC p-persistence roll (outcome: transmission deferred)
+};
+inline constexpr int kKindCount = 4;
+const char* KindName(Kind kind);
+
+// One recorded decision. `outcome` is true when the fault happened (frame
+// lost / corrupted / collided / transmission deferred). The frame identity —
+// timestamp, wire length and HDLC CRC — lets replay verify it is applying
+// the outcome to the same frame the recorder saw.
+struct Event {
+  SimTime ts = 0;
+  Kind kind = Kind::kLoss;
+  bool outcome = false;
+  std::uint32_t frame_len = 0;
+  std::uint16_t frame_crc = 0;
+  std::string port;
+
+  std::string ToString() const;
+  bool operator==(const Event&) const = default;
+};
+
+// A serializable fault schedule: the events in decision order plus a
+// free-form `meta` string (uprsim stores the scenario flags there so the
+// artifact alone says how to re-execute the run).
+struct Schedule {
+  std::string meta;
+  std::vector<Event> events;
+
+  Bytes Serialize() const;
+  // Strict parse — any structural violation (bad magic/version, undersized
+  // record, unknown kind, nonzero padding, trailing bytes) returns nullopt
+  // and sets `*error` when given.
+  static std::optional<Schedule> Parse(ByteView file,
+                                       std::string* error = nullptr);
+
+  bool SaveToFile(const std::string& path) const;
+  static std::optional<Schedule> LoadFromFile(const std::string& path,
+                                              std::string* error = nullptr);
+};
+
+struct SessionStats {
+  std::uint64_t recorded = 0;    // decisions appended (record mode)
+  std::uint64_t replayed = 0;    // decisions served from the schedule
+  std::uint64_t mismatches = 0;  // identity disagreed with the schedule
+  std::uint64_t exhausted = 0;   // decisions past the schedule's end
+  std::uint64_t per_kind[kKindCount] = {};
+};
+
+class Session {
+ public:
+  enum class Mode { kRecord, kReplay };
+
+  // Recording session: starts with an empty schedule.
+  explicit Session(Simulator* sim);
+  // Replaying session: serves outcomes from `schedule`.
+  Session(Simulator* sim, Schedule schedule);
+
+  Mode mode() const { return mode_; }
+  bool replaying() const { return mode_ == Mode::kReplay; }
+
+  // The one decision hook. Record mode invokes `roll()` (consuming the
+  // caller's RNG exactly as an uninstrumented run would) and records its
+  // outcome. Replay mode returns the next scheduled outcome for this
+  // (port, kind) stream without touching `roll`; an identity mismatch is
+  // counted, and an exhausted stream falls back to `roll()` so a diverging
+  // run still makes progress.
+  bool Decide(Kind kind, std::string_view port, ByteView frame,
+              const std::function<bool()>& roll);
+
+  const Schedule& schedule() const { return schedule_; }
+  Schedule& schedule() { return schedule_; }
+  const SessionStats& stats() const { return stats_; }
+
+  // Replay events not yet consumed.
+  std::size_t remaining() const;
+  // True when a replay consumed the whole schedule with no mismatches and
+  // no post-schedule decisions — the "this run is the recorded run" check.
+  bool ReplayClean() const;
+  // First few mismatch diagnostics ("expected <event>, got <event>").
+  const std::vector<std::string>& problems() const { return problems_; }
+
+ private:
+  Event MakeEvent(Kind kind, std::string_view port, ByteView frame,
+                  bool outcome) const;
+
+  Simulator* sim_;
+  Mode mode_;
+  Schedule schedule_;
+  SessionStats stats_;
+  // Replay cursors: per (port, kind) FIFO of indices into schedule_.events,
+  // so local verification stays robust even if unrelated streams drift.
+  std::map<std::string, std::deque<std::uint32_t>> cursors_;
+  std::vector<std::string> problems_;
+};
+
+// The installed session, or nullptr. Decision points check this — the one
+// branch an uninstrumented run costs (the trace::Active discipline).
+Session* Active();
+// Installs `s` as the process-wide session (replacing any previous one).
+void Install(Session* s);
+// Clears the installation if `s` is current; no-op otherwise.
+void Uninstall(Session* s);
+
+// RAII install/uninstall, for tests and tools.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Session* s) : s_(s) { Install(s); }
+  ~ScopedInstall() { Uninstall(s_); }
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+ private:
+  Session* s_;
+};
+
+}  // namespace upr::fault
+
+#endif  // SRC_RADIO_FAULT_PLAN_H_

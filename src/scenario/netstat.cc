@@ -198,6 +198,31 @@ std::string FormatTrace(const trace::Tracer& tracer) {
   return out;
 }
 
+std::string FormatFaults(const fault::Session& session) {
+  const fault::SessionStats& s = session.stats();
+  bool replay = session.replaying();
+  std::string out =
+      Sprintf("faults: %llu decisions %s",
+              static_cast<unsigned long long>(replay ? s.replayed : s.recorded),
+              replay ? "replayed" : "recorded");
+  for (int i = 0; i < fault::kKindCount; ++i) {
+    if (s.per_kind[i] == 0) {
+      continue;
+    }
+    out += Sprintf(" %s=%llu", fault::KindName(static_cast<fault::Kind>(i)),
+                   static_cast<unsigned long long>(s.per_kind[i]));
+  }
+  out += "\n";
+  if (replay) {
+    out += Sprintf("  replay: %llu mismatches, %llu past end of schedule, "
+                   "%zu scheduled decisions unused\n",
+                   static_cast<unsigned long long>(s.mismatches),
+                   static_cast<unsigned long long>(s.exhausted),
+                   session.remaining());
+  }
+  return out;
+}
+
 std::string FormatNetstat(const NetStack& stack) {
   std::string out = "--- " + stack.hostname() + " ---\n";
   out += FormatInterfaces(stack);

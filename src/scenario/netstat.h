@@ -8,6 +8,7 @@
 
 #include "src/driver/packet_radio_interface.h"
 #include "src/net/netstack.h"
+#include "src/radio/fault_plan.h"
 #include "src/serial/serial_line.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
@@ -47,6 +48,11 @@ std::string FormatBufStats();
 // Flight-recorder counters: events recorded per layer, ring evictions,
 // snaplen truncations and pcapng output totals.
 std::string FormatTrace(const trace::Tracer& tracer);
+
+// Fault-schedule session counters: decisions recorded or replayed per fault
+// kind, plus replay mismatches / schedule exhaustion (both zero on a clean
+// replay).
+std::string FormatFaults(const fault::Session& session);
 
 // All of the above.
 std::string FormatNetstat(const NetStack& stack);

@@ -17,6 +17,16 @@ std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t MixSeed(std::uint64_t base, std::string_view tag) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t state = base ^ h;
+  return SplitMix64(&state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) {

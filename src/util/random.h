@@ -6,8 +6,16 @@
 #define SRC_UTIL_RANDOM_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace upr {
+
+// Mixes a base seed with a textual tag (an FNV-1a hash finished through
+// SplitMix64). Components that would otherwise share a default seed — every
+// CsmaMac used to roll the same p-persistence sequence, synchronizing
+// collisions across co-channel stations — derive per-instance streams from
+// (seed, name) while staying fully reproducible.
+std::uint64_t MixSeed(std::uint64_t base, std::string_view tag);
 
 class Rng {
  public:

@@ -1,0 +1,303 @@
+// Fault-schedule record/replay: the sidecar codec round-trips and rejects
+// malformed input, and a recorded seeded testbed run replays bit-identically
+// — same pcapng bytes, same trace ring, same netstat counters — even when
+// the replay runs with a different testbed seed (the schedule, not the RNGs,
+// decides every fault).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/radio/fault_plan.h"
+#include "src/scenario/netstat.h"
+#include "src/scenario/testbed.h"
+#include "src/trace/trace.h"
+
+namespace upr {
+namespace {
+
+fault::Event MakeEvent(SimTime ts, fault::Kind kind, bool outcome,
+                       std::uint32_t len, std::uint16_t crc, std::string port) {
+  fault::Event e;
+  e.ts = ts;
+  e.kind = kind;
+  e.outcome = outcome;
+  e.frame_len = len;
+  e.frame_crc = crc;
+  e.port = std::move(port);
+  return e;
+}
+
+TEST(FaultSchedule, SerializeParseRoundTrip) {
+  fault::Schedule s;
+  s.meta = "--pcs 2 --loss 0.1";
+  s.events.push_back(MakeEvent(Seconds(1), fault::Kind::kLoss, true, 42, 0xBEEF,
+                               "tnc:pc0"));
+  s.events.push_back(MakeEvent(Seconds(2), fault::Kind::kBitError, false, 120,
+                               0x1234, "digi:WB7DIGI-0"));
+  s.events.push_back(MakeEvent(Seconds(3), fault::Kind::kCollision, true, 0, 0,
+                               ""));
+  s.events.push_back(MakeEvent(Seconds(4), fault::Kind::kPPersist, false, 17,
+                               0xFFFF, "tnc:gw"));
+
+  Bytes wire = s.Serialize();
+  std::string error;
+  auto parsed = fault::Schedule::Parse(wire, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->meta, s.meta);
+  ASSERT_EQ(parsed->events.size(), s.events.size());
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(parsed->events[i], s.events[i]) << "event " << i;
+  }
+}
+
+TEST(FaultSchedule, EmptyScheduleRoundTrips) {
+  fault::Schedule s;
+  auto parsed = fault::Schedule::Parse(s.Serialize(), nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->events.empty());
+  EXPECT_TRUE(parsed->meta.empty());
+}
+
+// One-event schedule used by all the strict-reader rejection cases. Layout
+// (little-endian): magic@0, version@4, count@8, meta_len@16, meta "m" + 3 pad
+// @20, then the event: ts@24, frame_len@32, kind@36, outcome@37, crc@38,
+// port_len@40, port "p" + 3 pad @42.
+Bytes ValidWire() {
+  fault::Schedule s;
+  s.meta = "m";
+  s.events.push_back(MakeEvent(Seconds(1), fault::Kind::kLoss, true, 5, 7, "p"));
+  return s.Serialize();
+}
+
+TEST(FaultSchedule, RejectsBadMagic) {
+  Bytes wire = ValidWire();
+  wire[0] ^= 0xFF;
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::Parse(wire, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsUnknownVersion) {
+  Bytes wire = ValidWire();
+  wire[4] = 99;
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::Parse(wire, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsTruncation) {
+  Bytes wire = ValidWire();
+  // Every proper prefix must fail: the reader never invents bytes.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(fault::Schedule::Parse(prefix, nullptr).has_value())
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(FaultSchedule, RejectsTrailingBytes) {
+  Bytes wire = ValidWire();
+  wire.push_back(0);
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::Parse(wire, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsUnknownKind) {
+  Bytes wire = ValidWire();
+  wire[36] = 9;
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::Parse(wire, &error).has_value());
+  EXPECT_NE(error.find("kind"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsNonBooleanOutcome) {
+  Bytes wire = ValidWire();
+  wire[37] = 2;
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::Parse(wire, &error).has_value());
+  EXPECT_NE(error.find("boolean"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsNonzeroPadding) {
+  Bytes wire = ValidWire();
+  wire[wire.size() - 1] = 1;  // last byte of the port's zero pad
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::Parse(wire, &error).has_value());
+  EXPECT_NE(error.find("padding"), std::string::npos);
+}
+
+// --- End-to-end record/replay determinism -------------------------------
+
+std::string SlurpFile(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return out;
+  }
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+struct RunResult {
+  int replies = 0;
+  std::string pcap;     // pcapng file bytes
+  std::string ring;     // formatted trace ring
+  std::string netstat;  // per-pc counters
+  bool replay_clean = false;
+  std::vector<std::string> problems;
+  fault::Schedule schedule;  // what a record pass captured
+};
+
+enum class FaultMode { kNone, kRecord, kReplay };
+
+// A lossy 2-digipeater ping scenario; every channel fault decision flows
+// through the installed fault session (if any).
+RunResult RunScenario(std::uint64_t seed, const std::string& pcap_path,
+                      FaultMode mode, fault::Schedule replay_from = {}) {
+  TestbedConfig cfg;
+  cfg.radio_pcs = 2;
+  cfg.ether_hosts = 0;
+  cfg.digipeaters = 2;
+  cfg.radio_bit_rate = 9600;
+  cfg.radio_loss_rate = 0.08;
+  cfg.radio_bit_error_rate = 5e-5;
+  cfg.seed = seed;
+  Testbed tb(cfg);
+  tb.PopulateRadioArp();
+  tb.SetDigiPath(0, Testbed::RadioPcIp(1),
+                 {Testbed::DigiCallsign(0), Testbed::DigiCallsign(1)});
+  tb.SetDigiPath(1, Testbed::RadioPcIp(0),
+                 {Testbed::DigiCallsign(1), Testbed::DigiCallsign(0)});
+
+  std::unique_ptr<fault::Session> session;
+  if (mode == FaultMode::kRecord) {
+    session = std::make_unique<fault::Session>(&tb.sim());
+  } else if (mode == FaultMode::kReplay) {
+    session = std::make_unique<fault::Session>(&tb.sim(), std::move(replay_from));
+  }
+  std::unique_ptr<fault::ScopedInstall> fault_install;
+  if (session != nullptr) {
+    fault_install = std::make_unique<fault::ScopedInstall>(session.get());
+  }
+
+  trace::TracerConfig tcfg;
+  tcfg.ring_capacity = 8192;
+  tcfg.pcap_path = pcap_path;
+  trace::Tracer tracer(&tb.sim(), tcfg);
+  trace::ScopedInstall trace_install(&tracer);
+
+  RunResult result;
+  std::function<void(int)> ping = [&](int remaining) {
+    if (remaining == 0) {
+      return;
+    }
+    tb.pc(0).stack().icmp().Ping(Testbed::RadioPcIp(1), 64,
+                                 [&, remaining](bool ok, SimTime) {
+                                   if (ok) {
+                                     ++result.replies;
+                                   }
+                                   ping(remaining - 1);
+                                 });
+  };
+  ping(5);
+  tb.sim().RunUntil(Seconds(900));
+  tracer.Flush();
+  result.ring = tracer.FormatRing();
+  result.netstat = FormatNetstat(tb.pc(0).stack()) +
+                   FormatNetstat(tb.pc(1).stack()) +
+                   FormatDriverStats(*tb.pc(0).radio_if()) +
+                   FormatDriverStats(*tb.pc(1).radio_if());
+  result.pcap = SlurpFile(pcap_path);
+  if (session != nullptr) {
+    result.replay_clean = session->ReplayClean();
+    result.problems = session->problems();
+    result.schedule = session->schedule();
+  }
+  return result;
+}
+
+TEST(FaultReplay, RecordThenReplayIsBitIdentical) {
+  std::string dir = ::testing::TempDir();
+  std::string pcap_a = dir + "/fault_replay_a.pcapng";
+  std::string pcap_b = dir + "/fault_replay_b.pcapng";
+
+  RunResult recorded = RunScenario(42, pcap_a, FaultMode::kRecord);
+
+  // The lossy scenario must actually have exercised the fault paths.
+  ASSERT_FALSE(recorded.schedule.events.empty());
+  bool saw_loss = false, saw_ppersist = false;
+  for (const fault::Event& e : recorded.schedule.events) {
+    saw_loss |= e.kind == fault::Kind::kLoss;
+    saw_ppersist |= e.kind == fault::Kind::kPPersist;
+  }
+  EXPECT_TRUE(saw_loss);
+  EXPECT_TRUE(saw_ppersist);
+
+  // Round-trip the schedule through the sidecar file, as uprsim does.
+  std::string sidecar = dir + "/fault_replay.faults";
+  ASSERT_TRUE(recorded.schedule.SaveToFile(sidecar));
+  std::string error;
+  auto loaded = fault::Schedule::LoadFromFile(sidecar, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  // Replay pass with a DIFFERENT testbed seed: the channel and MAC RNGs are
+  // bypassed by the schedule, so the run must still reproduce exactly.
+  RunResult replayed =
+      RunScenario(999, pcap_b, FaultMode::kReplay, std::move(*loaded));
+  for (const std::string& p : replayed.problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(replayed.replay_clean);
+  EXPECT_EQ(recorded.replies, replayed.replies);
+  EXPECT_EQ(recorded.ring, replayed.ring);
+  EXPECT_EQ(recorded.netstat, replayed.netstat);
+  ASSERT_FALSE(recorded.pcap.empty());
+  EXPECT_EQ(recorded.pcap, replayed.pcap) << "pcapng files differ";
+}
+
+TEST(FaultReplay, RecordingDoesNotPerturbTheRun) {
+  std::string dir = ::testing::TempDir();
+  std::string pcap_plain = dir + "/fault_plain.pcapng";
+  std::string pcap_rec = dir + "/fault_recorded.pcapng";
+  RunResult plain = RunScenario(42, pcap_plain, FaultMode::kNone);
+  // Same seed, recording installed: the recorder calls each RNG roll exactly
+  // as the uninstrumented run does, so the runs must be identical.
+  RunResult recorded = RunScenario(42, pcap_rec, FaultMode::kRecord);
+  EXPECT_EQ(plain.replies, recorded.replies);
+  EXPECT_EQ(plain.ring, recorded.ring);
+  EXPECT_EQ(plain.netstat, recorded.netstat);
+  ASSERT_FALSE(plain.pcap.empty());
+  EXPECT_EQ(plain.pcap, recorded.pcap);
+}
+
+TEST(FaultReplay, ExhaustedScheduleFallsBackToRng) {
+  // Replaying an empty schedule: every decision falls past the end of the
+  // schedule, is rolled live, counted as exhausted, and flagged not-clean.
+  TestbedConfig cfg;
+  cfg.radio_pcs = 2;
+  cfg.ether_hosts = 0;
+  cfg.radio_loss_rate = 0.5;
+  cfg.seed = 7;
+  Testbed tb(cfg);
+  fault::Session session(&tb.sim(), fault::Schedule{});
+  tb.PopulateRadioArp();
+  fault::ScopedInstall fault_install(&session);
+  bool done = false;
+  tb.pc(0).stack().icmp().Ping(Testbed::RadioPcIp(1), 32,
+                               [&](bool, SimTime) { done = true; });
+  tb.sim().RunUntil(Seconds(120));
+  EXPECT_TRUE(done);
+  EXPECT_GT(session.stats().exhausted, 0u);
+  EXPECT_FALSE(session.ReplayClean());
+}
+
+}  // namespace
+}  // namespace upr

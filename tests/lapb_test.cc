@@ -242,6 +242,67 @@ TEST_F(LapbPair, T3DisabledMeansNoIdleTraffic) {
   EXPECT_EQ(sim_.executed_events(), events_before);
 }
 
+TEST_F(LapbPair, UaLossRaceDoesNotKillHalfOpenLink) {
+  // The accept side answers SABM with UA and immediately queues data. When
+  // the UA is lost on the air, the data I frame reaches a peer still in
+  // kConnecting. It must be dropped there — answering DM would tear down the
+  // accept side's freshly established link and discard the queued data. The
+  // T1 SABM retry then re-establishes the link with the data requeued.
+  Build();
+  std::string a_got;
+  b_->set_connection_handler([this](Ax25Connection* c) {
+    accepted_ = c;
+    c->Send(BytesFromString("hi"));
+  });
+  b_to_a_drop_ = 1;  // B's UA dies on the air; its data frame survives
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  std::string* got = &a_got;
+  c->set_data_handler([got](const Bytes& d) { got->append(d.begin(), d.end()); });
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(c->state(), Ax25Connection::State::kConnected);
+  ASSERT_NE(accepted_, nullptr);
+  EXPECT_EQ(accepted_->state(), Ax25Connection::State::kConnected);
+  EXPECT_EQ(a_got, "hi");
+}
+
+TEST_F(LapbPair, SabmRevivingDeadConnectionNotifiesApp) {
+  // A connection object that died (DM, retry exhaustion) lingers in the link
+  // until reaped. A new SABM from that peer re-establishes it — and the
+  // application must hear about the new session, or the link sits connected
+  // but mute forever.
+  Build();
+  int connections = 0;
+  b_->set_connection_handler([&](Ax25Connection* c) {
+    ++connections;
+    accepted_ = c;
+  });
+  a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(5));
+  ASSERT_EQ(connections, 1);
+  ASSERT_NE(accepted_, nullptr);
+
+  // Kill B's side with a hand-delivered DM; the object stays in the map.
+  Ax25Frame dm;
+  dm.destination = Ax25Address("BBB", 0);
+  dm.source = Ax25Address("AAA", 0);
+  dm.command = false;
+  dm.type = Ax25FrameType::kDm;
+  dm.poll_final = true;
+  b_->HandleFrame(dm);
+  EXPECT_EQ(accepted_->state(), Ax25Connection::State::kDisconnected);
+
+  // A fresh SABM from the same peer revives it and surfaces a new session.
+  Ax25Frame sabm;
+  sabm.destination = Ax25Address("BBB", 0);
+  sabm.source = Ax25Address("AAA", 0);
+  sabm.command = true;
+  sabm.type = Ax25FrameType::kSabm;
+  sabm.poll_final = true;
+  b_->HandleFrame(sabm);
+  EXPECT_EQ(connections, 2);
+  EXPECT_EQ(accepted_->state(), Ax25Connection::State::kConnected);
+}
+
 TEST_F(LapbPair, UnknownPeerNonSabmGetsDm) {
   Build();
   // Hand-deliver an I frame from a peer B has never heard of.

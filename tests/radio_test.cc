@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/ax25/frame.h"
 #include "src/radio/channel.h"
 #include "src/radio/csma_mac.h"
@@ -205,6 +207,86 @@ TEST(RadioChannelTest, BitErrorRateScalesWithFrameLength) {
   EXPECT_GT(short_bad, 20);
   EXPECT_LT(short_bad, 120);
   EXPECT_GT(long_bad, 350);
+}
+
+TEST(RadioChannelTest, BerCorruptsGuardsEdgeValues) {
+  Rng rng(1);
+  // None of the edge cases may corrupt — or consume the RNG stream.
+  EXPECT_FALSE(BerCorrupts(rng, 0.0, 100));
+  EXPECT_FALSE(BerCorrupts(rng, -0.5, 100));
+  EXPECT_FALSE(BerCorrupts(rng, std::nan(""), 100));
+  EXPECT_FALSE(BerCorrupts(rng, 1e-3, 0));  // empty frame has no bits to flip
+  EXPECT_FALSE(BerCorrupts(rng, 1.0, 0));
+  EXPECT_TRUE(BerCorrupts(rng, 1.0, 1));  // certain corruption, no draw
+  EXPECT_TRUE(BerCorrupts(rng, 1.5, 1));
+  Rng fresh(1);
+  EXPECT_EQ(rng.NextU64(), fresh.NextU64()) << "edge case consumed the stream";
+}
+
+TEST(RadioChannelTest, CertainBitErrorRateSparesEmptyFrames) {
+  Simulator sim;
+  RadioChannelConfig cfg;
+  cfg.bit_error_rate = 1.0;
+  RadioChannel ch(&sim, cfg);
+  RadioPort* a = ch.CreatePort("a");
+  RadioPort* b = ch.CreatePort("b");
+  int clean = 0, bad = 0;
+  b->set_receive_handler([&](const Bytes&, bool corrupted) {
+    corrupted ? ++bad : ++clean;
+  });
+  a->StartTransmit(Bytes{}, Milliseconds(10), 0,
+                   [&] { a->StartTransmit(Bytes(10, 0), 0, 0); });
+  sim.RunAll();
+  EXPECT_EQ(clean, 1);  // zero bits on the air: nothing to flip
+  EXPECT_EQ(bad, 1);
+}
+
+TEST(RadioChannelTest, HalfDuplexCheckedAtDeliveryTime) {
+  Simulator sim;
+  RadioChannelConfig cfg;
+  cfg.bit_rate = 1200;
+  cfg.propagation_delay = Milliseconds(50);
+  RadioChannel ch(&sim, cfg);
+  RadioPort* a = ch.CreatePort("a");
+  RadioPort* b = ch.CreatePort("b");
+  int b_got = 0;
+  b->set_receive_handler([&](const Bytes&, bool) { ++b_got; });
+  a->StartTransmit(Bytes(150, 0), 0, 0);  // on the air [0, 1 s], lands 1.05 s
+  // b keys up after a's transmission left the air but before the frame
+  // arrives: b's receiver is deaf when it lands. Deciding receipt at
+  // tx-end time (before propagation) would wrongly deliver it.
+  sim.Schedule(Seconds(1) + Milliseconds(10),
+               [&] { b->StartTransmit(Bytes(30, 1), 0, 0); });
+  sim.RunAll();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(b->half_duplex_misses(), 1u);
+}
+
+TEST(CsmaMacTest, CoChannelMacsSharingSeedDoNotLockstep) {
+  // Two MACs constructed with the same (default) seed on differently named
+  // ports must not roll identical p-persistence sequences: in lockstep they
+  // defer and key up in the same slots and every transmission collides.
+  Simulator sim;
+  RadioChannel ch(&sim);
+  RadioPort* a = ch.CreatePort("a");
+  RadioPort* b = ch.CreatePort("b");
+  RadioPort* c = ch.CreatePort("c");
+  int clean = 0;
+  c->set_receive_handler([&](const Bytes&, bool corrupted) {
+    if (!corrupted) {
+      ++clean;
+    }
+  });
+  MacParams mp;
+  mp.persistence = 0.25;
+  CsmaMac ma(&sim, a, mp, 7);
+  CsmaMac mb(&sim, b, mp, 7);
+  for (int i = 0; i < 20; ++i) {
+    ma.Enqueue(WithFcs(Bytes(40, 0xAA)));
+    mb.Enqueue(WithFcs(Bytes(40, 0xBB)));
+  }
+  sim.RunAll();
+  EXPECT_GT(clean, 0) << "identical streams: every transmission collided";
 }
 
 TEST(RadioChannelTest, CarrierSenseAndUtilization) {

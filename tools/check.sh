@@ -64,6 +64,50 @@ run_smoke() {
   fi
 }
 
+# Record a lossy seeded scenario, replay it from the fault schedule, and
+# require the replay to be clean (uprsim exit 3 on divergence) with a
+# byte-identical pcapng. Workload failure (exit 1) is tolerated — the lossy
+# channel may legitimately drop all pings — but both runs must agree.
+run_replay_smoke() {
+  builddir=$1
+  smokedir="$builddir/replay-smoke"
+  rm -rf "$smokedir"
+  mkdir -p "$smokedir"
+  scenario="--pcs 2 --hosts 0 --digis 2 --workload ping --loss 0.05 \
+    --ber 0.0001 --duration 900"
+  rec_status=0
+  # shellcheck disable=SC2086
+  "$builddir/tools/uprsim" $scenario --seed 42 \
+    --record-faults "$smokedir/run.faults" \
+    --trace "$smokedir/record.pcapng" >"$smokedir/record.out" 2>&1 \
+    || rec_status=$?
+  if [ "$rec_status" -gt 1 ]; then
+    cat "$smokedir/record.out" >&2
+    echo "FAIL: replay smoke record run exited $rec_status" >&2
+    exit 1
+  fi
+  rep_status=0
+  # shellcheck disable=SC2086
+  "$builddir/tools/uprsim" $scenario --seed 999 \
+    --replay-faults "$smokedir/run.faults" \
+    --trace "$smokedir/replay.pcapng" >"$smokedir/replay.out" 2>&1 \
+    || rep_status=$?
+  if [ "$rep_status" -gt 1 ]; then
+    cat "$smokedir/replay.out" >&2
+    echo "FAIL: replay smoke replay run exited $rep_status (3 = diverged)" >&2
+    exit 1
+  fi
+  if [ "$rec_status" -ne "$rep_status" ]; then
+    echo "FAIL: replay smoke: record exit $rec_status != replay exit $rep_status" >&2
+    exit 1
+  fi
+  if ! cmp -s "$smokedir/record.pcapng" "$smokedir/replay.pcapng"; then
+    echo "FAIL: replay smoke: pcapng traces differ between record and replay" >&2
+    exit 1
+  fi
+  echo "replay smoke: clean replay, pcapng byte-identical"
+}
+
 if [ "$run_regular" = 1 ]; then
   echo "=== tier-1: regular build + ctest ==="
   # shellcheck disable=SC2086
@@ -74,6 +118,11 @@ if [ "$run_regular" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: copy-path smoke (zero-copy ratios) ==="
     run_smoke ./build/bench/bench_e8_copy_path
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: fault record/replay smoke ==="
+    run_replay_smoke ./build
   fi
 fi
 
@@ -88,6 +137,11 @@ if [ "$run_asan" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: copy-path smoke under ASan ==="
     run_smoke ./build-asan/bench/bench_e8_copy_path
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: fault record/replay smoke under ASan ==="
+    run_replay_smoke ./build-asan
   fi
 fi
 

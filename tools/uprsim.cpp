@@ -8,13 +8,20 @@
 //   uprsim --pcs 1 --hosts 1 --workload telnet --duration 1800 --netstat
 //   uprsim --pcs 2 --digis 1 --workload tcp --loss 0.1 --access-control
 //
-// Exit status is 0 when the workload completed, 1 otherwise.
+// Fault record/replay: --record-faults writes every channel fault decision
+// (loss roll, BER draw, collision outcome, p-persistence defer) to a sidecar
+// schedule; --replay-faults re-runs the scenario consuming that schedule
+// instead of the RNGs, reproducing the original run decision for decision.
+//
+// Exit status is 0 when the workload completed, 1 when it failed, 2 on a
+// usage or file error, 3 when a replay diverged from its schedule.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/apps/telnet.h"
+#include "src/radio/fault_plan.h"
 #include "src/scenario/monitor.h"
 #include "src/scenario/netstat.h"
 #include "src/scenario/testbed.h"
@@ -43,6 +50,8 @@ struct Options {
   std::size_t trace_ring = 512;
   std::size_t trace_snap = 512;
   bool trace_enabled = false;
+  std::string record_faults;
+  std::string replay_faults;
 };
 
 void Usage(const char* argv0) {
@@ -67,7 +76,11 @@ void Usage(const char* argv0) {
       "                     LINKTYPE_AX25_KISS; open it with Wireshark)\n"
       "  --trace-ring N     flight-recorder ring size in events (default 512);\n"
       "                     the ring is dumped when the workload fails\n"
-      "  --trace-snap N     bytes of each frame kept (default 512)\n",
+      "  --trace-snap N     bytes of each frame kept (default 512)\n"
+      "  --record-faults F  record every channel fault decision to F\n"
+      "  --replay-faults F  replay the fault schedule in F instead of\n"
+      "                     rolling the channel/MAC RNGs (exit 3 if the\n"
+      "                     run diverges from the schedule)\n",
       argv0);
 }
 
@@ -114,6 +127,10 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
     } else if (arg == "--trace-snap") {
       opt->trace_snap = std::strtoul(next(), nullptr, 10);
       opt->trace_enabled = true;
+    } else if (arg == "--record-faults") {
+      opt->record_faults = next();
+    } else if (arg == "--replay-faults") {
+      opt->replay_faults = next();
     } else if (arg == "--monitor") {
       opt->monitor = true;
     } else if (arg == "--netstat") {
@@ -141,6 +158,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need at least one radio PC\n");
     return 2;
   }
+  if (!opt.record_faults.empty() && !opt.replay_faults.empty()) {
+    std::fprintf(stderr, "--record-faults and --replay-faults are exclusive\n");
+    return 2;
+  }
 
   TestbedConfig cfg;
   cfg.radio_pcs = opt.pcs;
@@ -158,6 +179,30 @@ int main(int argc, char** argv) {
   }
   Testbed tb(cfg);
   tb.PopulateRadioArp();
+
+  // The fault session must be installed before any channel activity so the
+  // schedule covers the whole run, frame zero onward.
+  std::unique_ptr<fault::Session> faults;
+  if (!opt.replay_faults.empty()) {
+    std::string error;
+    auto schedule = fault::Schedule::LoadFromFile(opt.replay_faults, &error);
+    if (!schedule) {
+      std::fprintf(stderr, "cannot load fault schedule %s: %s\n",
+                   opt.replay_faults.c_str(), error.c_str());
+      return 2;
+    }
+    if (!schedule->meta.empty()) {
+      std::printf("replaying fault schedule: %zu decisions (%s)\n",
+                  schedule->events.size(), schedule->meta.c_str());
+    }
+    faults = std::make_unique<fault::Session>(&tb.sim(), std::move(*schedule));
+  } else if (!opt.record_faults.empty()) {
+    faults = std::make_unique<fault::Session>(&tb.sim());
+  }
+  std::unique_ptr<fault::ScopedInstall> fault_install;
+  if (faults != nullptr) {
+    fault_install = std::make_unique<fault::ScopedInstall>(faults.get());
+  }
 
   std::unique_ptr<trace::Tracer> tracer;
   std::unique_ptr<trace::ScopedInstall> trace_install;
@@ -273,6 +318,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool replay_clean = true;
+  if (faults != nullptr) {
+    if (!opt.record_faults.empty()) {
+      // Stamp the scenario into the schedule so a replay artifact is
+      // self-describing.
+      char meta[256];
+      std::snprintf(meta, sizeof meta,
+                    "--pcs %zu --hosts %zu --digis %zu --rate %llu --loss %g "
+                    "--ber %g --workload %s --duration %g --seed %llu",
+                    opt.pcs, opt.hosts, opt.digis,
+                    static_cast<unsigned long long>(opt.rate), opt.loss,
+                    opt.ber, opt.workload.c_str(), opt.duration,
+                    static_cast<unsigned long long>(opt.seed));
+      faults->schedule().meta = meta;
+      if (!faults->schedule().SaveToFile(opt.record_faults)) {
+        std::fprintf(stderr, "cannot write fault schedule %s\n",
+                     opt.record_faults.c_str());
+        return 2;
+      }
+      std::printf("recorded fault schedule: %zu decisions -> %s\n",
+                  faults->schedule().events.size(), opt.record_faults.c_str());
+    } else {
+      replay_clean = faults->ReplayClean();
+      std::printf("replay %s: %llu decisions replayed, %llu mismatches, "
+                  "%llu past end, %zu unused\n",
+                  replay_clean ? "clean" : "DIVERGED",
+                  static_cast<unsigned long long>(faults->stats().replayed),
+                  static_cast<unsigned long long>(faults->stats().mismatches),
+                  static_cast<unsigned long long>(faults->stats().exhausted),
+                  faults->remaining());
+      for (const std::string& p : faults->problems()) {
+        std::fprintf(stderr, "replay divergence: %s\n", p.c_str());
+      }
+    }
+  }
+
   std::printf("\n=== channel ===\n");
   std::printf("transmissions %llu, collisions %llu, utilization %.1f%%\n",
               static_cast<unsigned long long>(tb.channel().transmissions()),
@@ -294,10 +375,16 @@ int main(int argc, char** argv) {
     if (tracer != nullptr) {
       std::printf("\n%s", FormatTrace(*tracer).c_str());
     }
+    if (faults != nullptr) {
+      std::printf("\n%s", FormatFaults(*faults).c_str());
+    }
     std::printf("\n%s", FormatSimulator(tb.sim()).c_str());
   }
 
   std::printf("\nworkload %s: %s\n", opt.workload.c_str(),
               workload_ok ? "completed" : "FAILED");
+  if (!replay_clean) {
+    return 3;
+  }
   return workload_ok ? 0 : 1;
 }
