@@ -1,0 +1,121 @@
+// Trace-diff throughput smoke (ISSUE 5): the A/B equivalence gates in
+// tools/check.sh diff full-run captures on every push, so the aligner must
+// stay linear-ish in frame count even when the captures diverge. This bench
+// synthesizes capture pairs (clean, mutated, frame-deleted) and measures
+// frames diffed per second; it doubles as a correctness smoke — the diff
+// verdicts themselves are asserted, and the binary exits nonzero when a
+// verdict is wrong or the divergent-pair throughput collapses relative to
+// the clean pair (resync gone quadratic).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/trace/pcapng_writer.h"
+#include "src/trace/trace_diff.h"
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace {
+
+trace::PcapngFile MakeCapture(std::size_t frames, std::size_t ifaces) {
+  trace::PcapngFile f;
+  for (std::size_t i = 0; i < ifaces; ++i) {
+    trace::PcapngInterface idb;
+    idb.link_type = trace::kLinkTypeAx25Kiss;
+    idb.snaplen = 65535;
+    idb.name = "port" + std::to_string(i);
+    idb.tsresol = 9;
+    f.interfaces.push_back(idb);
+  }
+  for (std::size_t i = 0; i < frames; ++i) {
+    trace::PcapngPacket p;
+    p.interface_id = static_cast<std::uint32_t>(i % ifaces);
+    p.timestamp = 10'000 * (i + 1);
+    // ~60-byte frames with per-frame variation, like real KISS traffic.
+    p.data.push_back(0x00);
+    for (std::size_t b = 0; b < 59; ++b) {
+      p.data.push_back(static_cast<std::uint8_t>((i * 131 + b * 7) & 0xFF));
+    }
+    p.captured_len = static_cast<std::uint32_t>(p.data.size());
+    p.orig_len = p.captured_len;
+    p.comment = (i % 3 == 0) ? "kiss:frame-out" : "serial:tx-frame";
+    f.packets.push_back(std::move(p));
+  }
+  return f;
+}
+
+double DiffRate(const trace::PcapngFile& a, const trace::PcapngFile& b,
+                std::size_t frames, int iters, bool want_equivalent,
+                bool* ok) {
+  tracediff::Config cfg;
+  cfg.max_report = 8;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    tracediff::Result r = tracediff::DiffCaptures(a, b, cfg);
+    if (r.equivalent != want_equivalent) {
+      std::fprintf(stderr, "wrong verdict: equivalent=%d want %d\n",
+                   r.equivalent, want_equivalent);
+      *ok = false;
+    }
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return elapsed > 0 ? static_cast<double>(frames) * iters / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::size_t frames = smoke ? 2'000 : 50'000;
+  const int iters = smoke ? 1 : 10;
+
+  std::printf("tracediff: structural diff throughput, %zu frames x%d\n",
+              frames, iters);
+  PrintHeader("capture pair", {"case", "frames/s"}, 16);
+
+  bool ok = true;
+  trace::PcapngFile a = MakeCapture(frames, 3);
+
+  // Clean pair: the common case in a green check.sh run.
+  trace::PcapngFile b_clean = MakeCapture(frames, 3);
+  double clean_rate = DiffRate(a, b_clean, frames, iters, true, &ok);
+  PrintRow({"identical", Fmt(clean_rate, 0)}, 16);
+
+  // Sparse mutations: 1 in 500 frames has a flipped byte.
+  trace::PcapngFile b_mut = MakeCapture(frames, 3);
+  for (std::size_t i = 250; i < b_mut.packets.size(); i += 500) {
+    b_mut.packets[i].data[10] ^= 0xFF;
+  }
+  double mut_rate = DiffRate(a, b_mut, frames, iters, false, &ok);
+  PrintRow({"sparse mutations", Fmt(mut_rate, 0)}, 16);
+
+  // Sparse deletions: 1 in 500 frames missing from B; every one forces a
+  // resync-window search, the aligner's worst realistic case.
+  trace::PcapngFile b_del = MakeCapture(frames, 3);
+  for (std::size_t i = 0; i < b_del.packets.size(); i += 500) {
+    b_del.packets.erase(b_del.packets.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+  }
+  double del_rate = DiffRate(a, b_del, frames, iters, false, &ok);
+  PrintRow({"sparse deletions", Fmt(del_rate, 0)}, 16);
+
+  // Divergent pairs must stay within 20x of the clean pair — the resync
+  // search is windowed, so a collapse here means it went quadratic.
+  if (clean_rate > 0 && (mut_rate < clean_rate / 20.0 ||
+                         del_rate < clean_rate / 20.0)) {
+    std::fprintf(stderr,
+                 "divergent diff collapsed: clean %.0f vs mut %.0f / del %.0f "
+                 "frames/s\n",
+                 clean_rate, mut_rate, del_rate);
+    ok = false;
+  }
+
+  std::printf("\n%s: verdicts correct, divergent pairs within 20x of clean\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

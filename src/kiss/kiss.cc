@@ -205,9 +205,21 @@ void KissDecoder::Feed(std::uint8_t byte) {
         Accept(kKissFend);
       } else if (byte == kKissTfesc) {
         Accept(kKissFesc);
-      } else {
-        // Invalid escape: abort the frame, resync at next FEND.
+      } else if (byte == kKissFend) {
+        // Frame ended mid-escape (dangling FESC). Drop the frame per the
+        // Chepponis/Karn spec, but the FEND is still a frame delimiter: go
+        // straight back to idle. Entering kDiscard here would swallow this
+        // FEND and throw away the entire next (valid) frame with it.
         ++protocol_errors_;
+        ++bad_escapes_;
+        current_.clear();
+        state_ = State::kIdle;
+        return;
+      } else {
+        // Invalid escape (FESC followed by neither TFEND nor TFESC): abort
+        // the frame rather than emitting garbage, resync at next FEND.
+        ++protocol_errors_;
+        ++bad_escapes_;
         current_.clear();
         state_ = State::kDiscard;
         return;

@@ -65,8 +65,10 @@ Bytes KissEncodeData(const Bytes& ax25_frame, std::uint8_t port = 0);
 // Streaming decoder. Feed bytes as they arrive; complete frames are delivered
 // through the callback. Tolerates idle FENDs between frames. A FESC followed
 // by anything other than TFEND/TFESC aborts the current frame (counted in
-// protocol_errors). Frames longer than `max_frame` are dropped (counted in
-// oversize_drops).
+// protocol_errors and bad_escapes) per the Chepponis/Karn spec: a FESC-FEND
+// drops the frame and the FEND still delimits (the next frame decodes
+// normally); any other invalid escape discards up to the next FEND. Frames
+// longer than `max_frame` are dropped (counted in oversize_drops).
 class KissDecoder {
  public:
   using FrameHandler = std::function<void(const KissFrame&)>;
@@ -92,6 +94,9 @@ class KissDecoder {
 
   std::uint64_t frames_decoded() const { return frames_decoded_; }
   std::uint64_t protocol_errors() const { return protocol_errors_; }
+  // Invalid escapes specifically (FESC + neither TFEND nor TFESC, including
+  // frames that end mid-escape). Subset of protocol_errors.
+  std::uint64_t bad_escapes() const { return bad_escapes_; }
   std::uint64_t oversize_drops() const { return oversize_drops_; }
 
  private:
@@ -107,6 +112,7 @@ class KissDecoder {
   Bytes current_;
   std::uint64_t frames_decoded_ = 0;
   std::uint64_t protocol_errors_ = 0;
+  std::uint64_t bad_escapes_ = 0;
   std::uint64_t oversize_drops_ = 0;
 };
 

@@ -130,14 +130,22 @@ std::string FormatSerial(const SerialLine& line, const std::string& name) {
 
 std::string FormatDriverStats(const PacketRadioInterface& driver) {
   const DriverStats& d = driver.driver_stats();
-  return Sprintf("driver %s: %llu interrupts, %llu chars, %.2f chars/interrupt, "
-                 "%.1f ms interrupt cpu, %llu frames in, %llu output drops\n",
-                 driver.name().c_str(),
-                 static_cast<unsigned long long>(d.interrupts),
-                 static_cast<unsigned long long>(d.chars_in),
-                 driver.chars_per_interrupt(), ToMillis(d.interrupt_cpu_time),
-                 static_cast<unsigned long long>(d.frames_in),
-                 static_cast<unsigned long long>(d.output_drops));
+  const KissDecoder& k = driver.kiss_decoder();
+  std::string out =
+      Sprintf("driver %s: %llu interrupts, %llu chars, %.2f chars/interrupt, "
+              "%.1f ms interrupt cpu, %llu frames in, %llu output drops\n",
+              driver.name().c_str(),
+              static_cast<unsigned long long>(d.interrupts),
+              static_cast<unsigned long long>(d.chars_in),
+              driver.chars_per_interrupt(), ToMillis(d.interrupt_cpu_time),
+              static_cast<unsigned long long>(d.frames_in),
+              static_cast<unsigned long long>(d.output_drops));
+  out += Sprintf("  kiss: %llu frames decoded, %llu bad_escape, "
+                 "%llu oversize drops\n",
+                 static_cast<unsigned long long>(k.frames_decoded()),
+                 static_cast<unsigned long long>(k.bad_escapes()),
+                 static_cast<unsigned long long>(k.oversize_drops()));
+  return out;
 }
 
 std::string FormatSimulator(const Simulator& sim) {

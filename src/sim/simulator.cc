@@ -1,5 +1,7 @@
 #include "src/sim/simulator.h"
 
+#include "src/util/panic.h"
+
 namespace upr {
 
 std::uint64_t Simulator::Schedule(SimTime delay, std::function<void()> fn) {
@@ -60,7 +62,11 @@ Simulator::Event* Simulator::PopNext() {
       Recycle(ev);
       continue;
     }
-    live_.erase(ev->seq);
+    UPR_INVARIANT(live_.erase(ev->seq) == 1,
+                  "event seq %llu surfaced live but is not tracked",
+                  static_cast<unsigned long long>(ev->seq));
+    UPR_INVARIANT(pending_ > 0, "pending event count underflow at seq %llu",
+                  static_cast<unsigned long long>(ev->seq));
     --pending_;
     return ev;
   }
@@ -72,6 +78,10 @@ bool Simulator::Step() {
   if (!ev) {
     return false;
   }
+  UPR_INVARIANT(ev->when >= now_,
+                "event seq %llu would move time backwards (%lld < %lld)",
+                static_cast<unsigned long long>(ev->seq),
+                static_cast<long long>(ev->when), static_cast<long long>(now_));
   now_ = ev->when;
   ++executed_;
   // Move the closure out and recycle before running: the callback may

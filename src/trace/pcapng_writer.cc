@@ -21,11 +21,14 @@ void PutU64(Bytes* out, std::uint64_t v) {
   PutU32(out, static_cast<std::uint32_t>(v >> 32));
 }
 
+// Appends `len` bytes followed by the pad that brings *the value itself* to a
+// 32-bit boundary. pcapng pads packet data and option values relative to
+// their own start; padding to `out->size() % 4 == 0` (what this used to do)
+// gives the same bytes only while everything preceding happens to be
+// 4-aligned — an accident the reader must not depend on.
 void PutPadded(Bytes* out, const std::uint8_t* data, std::size_t len) {
   out->insert(out->end(), data, data + len);
-  while (out->size() % 4 != 0) {
-    out->push_back(0);
-  }
+  out->insert(out->end(), (4 - len % 4) % 4, 0);
 }
 
 // Appends one option: code, length, value padded to 32 bits.

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/trace/pcapng_writer.h"
+#include "src/util/panic.h"
 
 namespace upr::trace {
 
@@ -12,7 +13,15 @@ std::string_view g_if_name;
 Dir g_if_dir = Dir::kNone;
 }  // namespace detail
 
-void Install(Tracer* t) { detail::g_tracer = t; }
+void Install(Tracer* t) {
+  detail::g_tracer = t;
+  // The ROADMAP's ring-buffer assertion hook: any failed invariant anywhere
+  // in the library dumps the flight recorder before the process dies, not
+  // just uprsim workload failures. Registered once; a no-op while no tracer
+  // is installed.
+  static int panic_hook = AddPanicHook([] { DumpActiveRing(stderr); });
+  (void)panic_hook;
+}
 
 void Uninstall(Tracer* t) {
   if (detail::g_tracer == t) {

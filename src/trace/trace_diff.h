@@ -1,0 +1,90 @@
+// upr::tracediff — structural comparison of two seeded-run captures (ISSUE 5).
+//
+// The aggregate `--netstat` counters can stay green while a frame's bytes,
+// ordering, or timing silently regress (PR 4's three latent channel/LAPB
+// bugs all hid behind passing counters). This module compares what actually
+// crossed the wire: two pcapng captures of the same seeded scenario, frame
+// by frame, and reports structural differences at three levels —
+//
+//   1. per-layer/per-port event counts (the "layer:kind" comment the tracer
+//      stamps on every packet, bucketed per interface),
+//   2. frame-by-frame payload bytes, with the first differing offset and a
+//      hexdump of both sides around it,
+//   3. timestamp deltas, against a configurable tolerance (silo-mode serial
+//      delivery legitimately shifts delivery timing by up to the silo alarm
+//      while leaving the wire bytes identical).
+//
+// Alignment is per interface (matched by pcapng if_name), by sequence. After
+// a mismatch the aligner resynchronizes on a (length, CRC-16) frame key
+// within a bounded window, so one inserted or deleted frame is reported as
+// exactly that instead of cascading into hundreds of "payload diffs".
+//
+// The report is bounded: the first `max_report` divergences are itemized,
+// the rest only counted — a diverging 100k-frame run stays readable.
+#ifndef SRC_TRACE_TRACE_DIFF_H_
+#define SRC_TRACE_TRACE_DIFF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/trace/pcapng_reader.h"
+
+namespace upr::tracediff {
+
+struct Config {
+  // Max tolerated |timestamp_a - timestamp_b| per aligned pair, in
+  // nanoseconds (timestamps are normalized to ns via each interface's
+  // if_tsresol before comparing).
+  SimTime time_tol = 0;
+  // Divergences itemized in the report before further ones are only counted.
+  std::size_t max_report = 32;
+  // Bytes of hexdump context shown before/after a payload first-diff.
+  std::size_t hex_context = 16;
+  // Frames the aligner looks ahead on either side for a resync anchor after
+  // a mismatch before falling back to pairing the frames as mutated.
+  std::size_t resync_window = 64;
+};
+
+struct Stats {
+  std::uint64_t interfaces_compared = 0;
+  std::uint64_t frames_compared = 0;  // aligned pairs byte-compared
+  std::uint64_t payload_diffs = 0;    // aligned pairs whose bytes differ
+  std::uint64_t meta_diffs = 0;       // aligned pairs whose comment/flags differ
+  std::uint64_t timing_diffs = 0;     // aligned pairs beyond time_tol
+  std::uint64_t only_in_a = 0;        // frames skipped in A to realign
+  std::uint64_t only_in_b = 0;        // frames skipped in B to realign
+  std::uint64_t count_diffs = 0;      // differing per-layer/per-port count rows
+  std::uint64_t iface_diffs = 0;      // interface set / link-type mismatches
+  SimTime max_time_delta = 0;         // largest aligned-pair delta seen (ns)
+
+  std::uint64_t differences() const {
+    return payload_diffs + meta_diffs + timing_diffs + only_in_a + only_in_b +
+           count_diffs + iface_diffs;
+  }
+};
+
+struct Result {
+  bool equivalent = false;  // no difference beyond the timing tolerance
+  Stats stats;
+  // Human-readable report: itemized divergences (bounded by max_report),
+  // then a summary block. Non-empty even when equivalent.
+  std::string report;
+};
+
+// Compares two parsed captures.
+Result DiffCaptures(const trace::PcapngFile& a, const trace::PcapngFile& b,
+                    const Config& cfg = {});
+
+// Loads and strict-parses both files, then diffs. Returns nullopt (with
+// `*error` set when given) if either file cannot be read or fails the
+// reader's structural validation.
+std::optional<Result> DiffFiles(const std::string& path_a,
+                                const std::string& path_b,
+                                const Config& cfg = {},
+                                std::string* error = nullptr);
+
+}  // namespace upr::tracediff
+
+#endif  // SRC_TRACE_TRACE_DIFF_H_

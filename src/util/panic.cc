@@ -1,0 +1,57 @@
+#include "src/util/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace upr {
+
+namespace {
+
+std::vector<std::pair<int, std::function<void()>>>& Hooks() {
+  static std::vector<std::pair<int, std::function<void()>>> hooks;
+  return hooks;
+}
+
+int g_next_token = 1;
+bool g_panicking = false;
+
+}  // namespace
+
+int AddPanicHook(std::function<void()> hook) {
+  int token = g_next_token++;
+  Hooks().emplace_back(token, std::move(hook));
+  return token;
+}
+
+void RemovePanicHook(int token) {
+  auto& hooks = Hooks();
+  for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+    if (it->first == token) {
+      hooks.erase(it);
+      return;
+    }
+  }
+}
+
+void Panic(const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "panic at %s:%d: ", file, line);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  if (!g_panicking) {
+    g_panicking = true;  // a hook that panics must not re-enter the hooks
+    auto& hooks = Hooks();
+    for (auto it = hooks.rbegin(); it != hooks.rend(); ++it) {
+      it->second();
+    }
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace upr

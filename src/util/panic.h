@@ -1,0 +1,44 @@
+// Last-resort invariant-failure handling shared by every layer.
+//
+// A failed invariant deep in a library path used to take the process down
+// with a bare abort, losing the flight recorder's ring — the one artifact
+// that says what the datapath was doing when the state went bad. Panic()
+// prints the failure location, runs every registered hook (the tracer
+// registers one that dumps the active trace ring to stderr), then aborts.
+// Hooks run newest-first, so the most recently installed context dumps
+// first.
+//
+// UPR_INVARIANT deliberately survives NDEBUG: these guard datapath state
+// whose corruption would make every later trace entry a lie.
+#ifndef SRC_UTIL_PANIC_H_
+#define SRC_UTIL_PANIC_H_
+
+#include <functional>
+
+namespace upr {
+
+// Registers `hook` to run when Panic() fires; returns a token for
+// RemovePanicHook. Hooks must tolerate being called mid-failure: stderr
+// output only, no assumptions about the state that just failed.
+int AddPanicHook(std::function<void()> hook);
+void RemovePanicHook(int token);
+
+// Prints "panic at file:line: message", runs the hooks, aborts. A panic
+// raised from inside a hook skips the remaining hooks and aborts directly.
+[[noreturn]] void Panic(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace upr
+
+// Unconditional failure with a formatted reason.
+#define UPR_PANIC(...) ::upr::Panic(__FILE__, __LINE__, __VA_ARGS__)
+
+// Invariant check; the condition is always evaluated (never compiled out).
+#define UPR_INVARIANT(cond, ...)                    \
+  do {                                              \
+    if (!(cond)) {                                  \
+      ::upr::Panic(__FILE__, __LINE__, __VA_ARGS__); \
+    }                                               \
+  } while (0)
+
+#endif  // SRC_UTIL_PANIC_H_

@@ -1,0 +1,42 @@
+#include "src/util/parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace upr {
+
+std::optional<std::uint64_t> ParseU64(const char* s, std::uint64_t min,
+                                      std::uint64_t max) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  if (v < min || v > max) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> ParseDouble(const char* s, double min, double max) {
+  if (s == nullptr || *s == '\0') {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    return std::nullopt;
+  }
+  if (v < min || v > max) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace upr

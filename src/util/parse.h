@@ -1,0 +1,30 @@
+// Validated numeric parsing for command-line tools.
+//
+// strtoul-style parsing accepts "12abc" and maps "abc" to 0, so a typo'd
+// flag silently runs a different scenario (uprsim --rate abc used to run at
+// 0 bps). These helpers accept a value only when the whole string parses and
+// the result lies in [min, max]; callers turn nullopt into a usage error.
+#ifndef SRC_UTIL_PARSE_H_
+#define SRC_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace upr {
+
+// Whole-string unsigned decimal integer in [min, max]. Rejects empty input,
+// trailing garbage, signs, and out-of-range values.
+std::optional<std::uint64_t> ParseU64(
+    const char* s, std::uint64_t min = 0,
+    std::uint64_t max = std::numeric_limits<std::uint64_t>::max());
+
+// Whole-string floating-point value in [min, max]. Rejects empty input,
+// trailing garbage, NaN, and infinities.
+std::optional<double> ParseDouble(
+    const char* s, double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max());
+
+}  // namespace upr
+
+#endif  // SRC_UTIL_PARSE_H_

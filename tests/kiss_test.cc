@@ -112,6 +112,44 @@ TEST_F(KissRoundTrip, InvalidEscapeDropsFrameAndResyncs) {
   EXPECT_EQ(frames_[0].payload, Bytes{5});
 }
 
+TEST_F(KissRoundTrip, FrameEndingMidEscapeDroppedButFendStillDelimits) {
+  // FESC immediately followed by FEND: the frame ends mid-escape. Per the
+  // Chepponis/Karn spec the partial frame is dropped — but that FEND is
+  // still a frame delimiter. The decoder used to enter the discard state
+  // here, swallow the FEND, and throw away the entire next valid frame.
+  Bytes wire{kKissFend, 0x00, 0x01, 0x02, kKissFesc, kKissFend};
+  Bytes good = KissEncodeData(Bytes{0x42, 0x43});
+  wire.insert(wire.end(), good.begin(), good.end());
+  decoder_.Feed(wire);
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, (Bytes{0x42, 0x43}));
+  EXPECT_EQ(decoder_.protocol_errors(), 1u);
+  EXPECT_EQ(decoder_.bad_escapes(), 1u);
+}
+
+TEST_F(KissRoundTrip, BackToBackFramesAfterDanglingEscape) {
+  // Even with no idle FEND between the aborted frame and the next one, the
+  // delimiting FEND opens the next frame directly.
+  Bytes wire{kKissFend, 0x00, kKissFesc, kKissFend,  // aborted mid-escape
+             0x00, 0x07, kKissFend};                 // next frame, shared FEND
+  decoder_.Feed(wire);
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, Bytes{0x07});
+  EXPECT_EQ(decoder_.bad_escapes(), 1u);
+}
+
+TEST_F(KissRoundTrip, InvalidEscapeCountsBadEscape) {
+  // FESC + ordinary byte: drop the frame, discard to the next FEND.
+  Bytes wire{kKissFend, 0x00, kKissFesc, 0x41, 0x42, kKissFend};
+  decoder_.Feed(wire);
+  EXPECT_TRUE(frames_.empty());
+  EXPECT_EQ(decoder_.protocol_errors(), 1u);
+  EXPECT_EQ(decoder_.bad_escapes(), 1u);
+  decoder_.Feed(KissEncodeData(Bytes{9}));
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, Bytes{9});
+}
+
 TEST_F(KissRoundTrip, OversizeFrameDropped) {
   KissDecoder small([this](const KissFrame& f) { frames_.push_back(f); }, 16);
   Bytes big(100, 0xAA);
@@ -162,6 +200,7 @@ void ExpectChunkedEquivalent(const Bytes& wire, std::size_t chunk) {
   }
   EXPECT_EQ(d1.frames_decoded(), d2.frames_decoded());
   EXPECT_EQ(d1.protocol_errors(), d2.protocol_errors());
+  EXPECT_EQ(d1.bad_escapes(), d2.bad_escapes());
   EXPECT_EQ(d1.oversize_drops(), d2.oversize_drops());
 }
 

@@ -1,0 +1,302 @@
+// Trace-diff harness tests (ISSUE 5 tentpole): identical runs compare clean,
+// a single-byte mutation is pinpointed at the right frame and byte offset, an
+// inserted/deleted frame resynchronizes instead of cascading, and the timing
+// tolerance is an exact boundary. Captures are built both in memory (for
+// precise control of every field) and through the real writer → reader path.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/trace/pcapng_reader.h"
+#include "src/trace/pcapng_writer.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_diff.h"
+
+namespace upr {
+namespace {
+
+using tracediff::Config;
+using tracediff::DiffCaptures;
+using tracediff::DiffFiles;
+using tracediff::Result;
+using trace::PcapngFile;
+using trace::PcapngInterface;
+using trace::PcapngPacket;
+
+PcapngInterface Iface(const std::string& name) {
+  PcapngInterface idb;
+  idb.link_type = trace::kLinkTypeAx25Kiss;
+  idb.snaplen = 65535;
+  idb.name = name;
+  idb.tsresol = 9;
+  return idb;
+}
+
+PcapngPacket Pkt(std::uint32_t if_id, std::uint64_t ts, Bytes data,
+                 const std::string& comment = "kiss:frame-out") {
+  PcapngPacket p;
+  p.interface_id = if_id;
+  p.timestamp = ts;
+  p.captured_len = static_cast<std::uint32_t>(data.size());
+  p.orig_len = p.captured_len;
+  p.data = std::move(data);
+  p.comment = comment;
+  return p;
+}
+
+// One interface, `n` distinct frames spaced 1 ms apart.
+PcapngFile MakeCapture(std::size_t n) {
+  PcapngFile f;
+  f.interfaces.push_back(Iface("microvax dz0"));
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes data{0x00, static_cast<std::uint8_t>(i), 0x42,
+               static_cast<std::uint8_t>(0xA0 + i)};
+    f.packets.push_back(Pkt(0, 1'000'000 * (i + 1), std::move(data)));
+  }
+  return f;
+}
+
+TEST(TraceDiff, IdenticalCapturesAreEquivalent) {
+  PcapngFile a = MakeCapture(8);
+  PcapngFile b = MakeCapture(8);
+  Result r = DiffCaptures(a, b);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.stats.differences(), 0u);
+  EXPECT_EQ(r.stats.frames_compared, 8u);
+  EXPECT_EQ(r.stats.interfaces_compared, 1u);
+  EXPECT_NE(r.report.find("summary:"), std::string::npos);
+}
+
+TEST(TraceDiff, SingleByteMutationPinpointsFrameAndOffset) {
+  PcapngFile a = MakeCapture(8);
+  PcapngFile b = MakeCapture(8);
+  b.packets[5].data[2] ^= 0xFF;
+  Result r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.payload_diffs, 1u);
+  EXPECT_EQ(r.stats.only_in_a, 0u);
+  EXPECT_EQ(r.stats.only_in_b, 0u);
+  // The report names the interface, both frame indices, and the byte offset.
+  EXPECT_NE(r.report.find("microvax dz0"), std::string::npos);
+  EXPECT_NE(r.report.find("a#5/b#5"), std::string::npos);
+  EXPECT_NE(r.report.find("byte offset 2"), std::string::npos);
+  // A mutation must not desync the tail: every frame still got compared.
+  EXPECT_EQ(r.stats.frames_compared, 8u);
+}
+
+TEST(TraceDiff, MutationInLastFrameStillPaired) {
+  PcapngFile a = MakeCapture(3);
+  PcapngFile b = MakeCapture(3);
+  b.packets[2].data[0] ^= 0x01;
+  Result r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.payload_diffs, 1u);
+  EXPECT_NE(r.report.find("byte offset 0"), std::string::npos);
+}
+
+TEST(TraceDiff, DeletedFrameResyncsWithoutCascade) {
+  PcapngFile a = MakeCapture(10);
+  PcapngFile b = MakeCapture(10);
+  b.packets.erase(b.packets.begin() + 4);
+  Result r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.only_in_a, 1u);
+  EXPECT_EQ(r.stats.only_in_b, 0u);
+  // The other nine frames realign and compare byte-clean.
+  EXPECT_EQ(r.stats.payload_diffs, 0u);
+  EXPECT_EQ(r.stats.frames_compared, 9u);
+  EXPECT_NE(r.report.find("only in A"), std::string::npos);
+}
+
+TEST(TraceDiff, InsertedFrameResyncsWithoutCascade) {
+  PcapngFile a = MakeCapture(10);
+  PcapngFile b = MakeCapture(10);
+  b.packets.insert(b.packets.begin() + 3,
+                   Pkt(0, 3'500'000, Bytes{0x00, 0x77, 0x77, 0x77, 0x77}));
+  Result r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.only_in_b, 1u);
+  EXPECT_EQ(r.stats.only_in_a, 0u);
+  EXPECT_EQ(r.stats.payload_diffs, 0u);
+  EXPECT_EQ(r.stats.frames_compared, 10u);
+  EXPECT_NE(r.report.find("only in B"), std::string::npos);
+}
+
+TEST(TraceDiff, TimingToleranceIsAnExactBoundary) {
+  PcapngFile a = MakeCapture(4);
+  PcapngFile b = MakeCapture(4);
+  b.packets[1].timestamp += 500;  // +500 ns
+
+  Config at_tol;
+  at_tol.time_tol = 500;
+  Result r = DiffCaptures(a, b, at_tol);
+  EXPECT_TRUE(r.equivalent) << r.report;
+  EXPECT_EQ(r.stats.timing_diffs, 0u);
+  EXPECT_EQ(r.stats.max_time_delta, 500);
+
+  Config below_tol;
+  below_tol.time_tol = 499;
+  r = DiffCaptures(a, b, below_tol);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.timing_diffs, 1u);
+  EXPECT_NE(r.report.find("timing"), std::string::npos);
+
+  // Zero tolerance (the default) flags any shift at all.
+  r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.timing_diffs, 1u);
+}
+
+TEST(TraceDiff, TimestampDeltaIsSymmetric) {
+  PcapngFile a = MakeCapture(2);
+  PcapngFile b = MakeCapture(2);
+  a.packets[0].timestamp += 700;  // A later than B this time
+  Config cfg;
+  cfg.time_tol = 699;
+  Result r = DiffCaptures(a, b, cfg);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.max_time_delta, 700);
+}
+
+TEST(TraceDiff, TsresolNormalizedBeforeComparing) {
+  // Same instants, one capture in microseconds, one in nanoseconds.
+  PcapngFile a = MakeCapture(3);
+  PcapngFile b = MakeCapture(3);
+  b.interfaces[0].tsresol = 6;
+  for (auto& p : b.packets) {
+    p.timestamp /= 1000;
+  }
+  Result r = DiffCaptures(a, b);
+  EXPECT_TRUE(r.equivalent) << r.report;
+}
+
+TEST(TraceDiff, InterfaceSetMismatchReported) {
+  PcapngFile a = MakeCapture(2);
+  PcapngFile b = MakeCapture(2);
+  b.interfaces.push_back(Iface("pc0 tnc"));
+  b.packets.push_back(Pkt(1, 5'000'000, Bytes{0x00, 0x01}));
+  Result r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_GE(r.stats.iface_diffs, 1u);
+  EXPECT_NE(r.report.find("pc0 tnc"), std::string::npos);
+}
+
+TEST(TraceDiff, EventCountDiffReportedPerCommentKey) {
+  PcapngFile a = MakeCapture(4);
+  PcapngFile b = MakeCapture(4);
+  // Same frame count, different layer attribution on one frame.
+  b.packets[2].comment = "serial:rx-byte";
+  Result r = DiffCaptures(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_GE(r.stats.count_diffs, 1u);
+  EXPECT_NE(r.report.find("kiss:frame-out"), std::string::npos);
+  EXPECT_NE(r.report.find("serial:rx-byte"), std::string::npos);
+}
+
+TEST(TraceDiff, ReportIsBoundedByMaxReport) {
+  PcapngFile a = MakeCapture(40);
+  PcapngFile b = MakeCapture(40);
+  for (auto& p : b.packets) {
+    p.data[1] ^= 0x80;  // every frame mutated
+  }
+  Config cfg;
+  cfg.max_report = 5;
+  Result r = DiffCaptures(a, b, cfg);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.stats.payload_diffs, 40u);
+  EXPECT_NE(r.report.find("suppressed"), std::string::npos);
+}
+
+TEST(TraceDiff, EmptyCapturesAreEquivalent) {
+  PcapngFile a;
+  PcapngFile b;
+  Result r = DiffCaptures(a, b);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.stats.frames_compared, 0u);
+}
+
+// End-to-end through the real writer and strict reader: two identical traced
+// runs diff clean; re-running after flipping one byte on disk pinpoints it.
+TEST(TraceDiff, DiffFilesRoundTrip) {
+  const std::string path_a = "trace_diff_a.pcapng";
+  const std::string path_b = "trace_diff_b.pcapng";
+  auto write_run = [](const std::string& path) {
+    Simulator sim;
+    trace::TracerConfig cfg;
+    cfg.pcap_path = path;
+    trace::Tracer tracer(&sim, cfg);
+    ASSERT_TRUE(tracer.pcap_ok());
+    for (int i = 0; i < 5; ++i) {
+      // The tracer prepends the KISS type byte, so the on-wire frame is
+      // {00 i 10 20 30}.
+      Bytes frame{static_cast<std::uint8_t>(i), 0x10, 0x20, 0x30};
+      tracer.RecordFrame(trace::Layer::kKiss, trace::Kind::kKissFrameOut,
+                         trace::Dir::kTx, "dz0", frame);
+    }
+    tracer.Flush();
+  };
+  write_run(path_a);
+  write_run(path_b);
+
+  std::string error;
+  auto r = DiffFiles(path_a, path_b, {}, &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_TRUE(r->equivalent) << r->report;
+
+  // Flip one payload byte of file B in place: the frames all have distinct
+  // bytes at offset 1, so the mutated frame still pairs with its original.
+  {
+    std::fstream f(path_b,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    Bytes raw((std::istreambuf_iterator<char>(f)),
+              std::istreambuf_iterator<char>());
+    // Find the frame payload {00 03 10 20 30} and corrupt its 0x10.
+    Bytes needle{0x00, 0x03, 0x10, 0x20, 0x30};
+    std::size_t pos = 0;
+    bool found = false;
+    for (std::size_t i = 0; i + needle.size() <= raw.size(); ++i) {
+      if (std::equal(needle.begin(), needle.end(), raw.begin() + i)) {
+        pos = i;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+    f.clear();
+    f.seekp(static_cast<std::streamoff>(pos + 2));
+    char evil = '\x11';
+    f.write(&evil, 1);
+  }
+
+  r = DiffFiles(path_a, path_b, {}, &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_FALSE(r->equivalent);
+  EXPECT_EQ(r->stats.payload_diffs, 1u);
+  EXPECT_NE(r->report.find("byte offset 2"), std::string::npos);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(TraceDiff, DiffFilesReportsMissingAndCorruptInputs) {
+  std::string error;
+  EXPECT_FALSE(
+      DiffFiles("no-such-a.pcapng", "no-such-b.pcapng", {}, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const std::string path = "trace_diff_garbage.pcapng";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a pcapng file";
+  }
+  error.clear();
+  EXPECT_FALSE(DiffFiles(path, path, {}, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace upr

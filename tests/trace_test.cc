@@ -14,6 +14,7 @@
 #include "src/trace/pcapng_reader.h"
 #include "src/trace/pcapng_writer.h"
 #include "src/trace/trace.h"
+#include "src/util/panic.h"
 
 namespace upr {
 namespace {
@@ -191,6 +192,74 @@ TEST(Pcapng, GoldenDigipeatedRoundTrip) {
   if (!testing::Test::HasFailure()) {
     std::remove(path.c_str());
   }
+}
+
+// Satellite regression: EPB packet data is padded to a 32-bit boundary
+// relative to the *start of the data field*, not the block or buffer start.
+// Frames whose captured length is ≡ 1, 2, 3 (mod 4) each exercise a distinct
+// pad width; all must survive writer → strict reader byte-exactly, and the
+// file must stay structurally valid (the reader checks every block's
+// alignment and trailing length).
+TEST(Pcapng, OddLengthPayloadPaddingRoundTrips) {
+  Simulator sim;
+  const std::string path = "trace_padding.pcapng";
+  std::vector<Bytes> frames;
+  for (std::size_t len : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    Bytes f;
+    for (std::size_t i = 0; i < len; ++i) {
+      f.push_back(static_cast<std::uint8_t>(0xE0 + i));
+    }
+    frames.push_back(std::move(f));
+  }
+  {
+    trace::TracerConfig cfg;
+    cfg.pcap_path = path;
+    trace::Tracer tracer(&sim, cfg);
+    ASSERT_TRUE(tracer.pcap_ok());
+    for (const Bytes& f : frames) {
+      tracer.RecordFrame(trace::Layer::kKiss, trace::Kind::kKissFrameOut,
+                         trace::Dir::kTx, "pad-port", f);
+    }
+    tracer.Flush();
+  }
+  Bytes file = ReadFileBytes(path);
+  ASSERT_FALSE(file.empty());
+  std::string error;
+  auto parsed = trace::PcapngFile::Parse(file, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->packets.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    // On the wire the tracer prepends the KISS type byte (port 0, data).
+    Bytes expected{0x00};
+    expected.insert(expected.end(), frames[i].begin(), frames[i].end());
+    EXPECT_EQ(parsed->packets[i].data, expected) << "frame " << i;
+    EXPECT_EQ(parsed->packets[i].captured_len, expected.size());
+    // Options after the padded data must have survived too — if padding were
+    // off by even one byte the comment would be garbled or Parse would fail.
+    EXPECT_EQ(parsed->packets[i].comment.rfind("kiss:frame-out", 0), 0u)
+        << parsed->packets[i].comment;
+  }
+  std::remove(path.c_str());
+}
+
+// Satellite: the ring-buffer assertion hook. ANY failed invariant — not just
+// workload failures — must dump the flight recorder before dying.
+TEST(TraceRingDeathTest, PanicDumpsActiveRing) {
+  Simulator sim;
+  trace::Tracer tracer(&sim);
+  trace::ScopedInstall install(&tracer);
+  tracer.RecordFrame(trace::Layer::kKiss, trace::Kind::kKissFrameOut,
+                     trace::Dir::kTx, "death-port", Bytes{0xDE, 0xAD});
+  // Note: gtest compiles this as POSIX ERE without REG_NEWLINE, so `.`
+  // spans newlines.
+  EXPECT_DEATH(UPR_PANIC("invariant %d violated", 42),
+               "panic at .*: invariant 42 violated.*"
+               "=== trace ring \\(oldest first\\) ===.*death-port");
+}
+
+// Without an installed tracer the hook is a no-op: panic still dies cleanly.
+TEST(TraceRingDeathTest, PanicWithoutTracerStillAborts) {
+  EXPECT_DEATH(UPR_PANIC("bare panic"), "panic at .*: bare panic");
 }
 
 TEST(Pcapng, ReaderRejectsCorruptTrailingLength) {

@@ -59,7 +59,7 @@ run_smoke() {
   # the failure propagate even from shells where a bare `cmd || ...` chain
   # inside `$(...)` or a pipeline would swallow the status.
   if ! "$1" --smoke; then
-    echo "FAIL: $1 --smoke exited nonzero (copy-path ratios regressed)" >&2
+    echo "FAIL: $1 --smoke exited nonzero (bench regression gate)" >&2
     exit 1
   fi
 }
@@ -101,11 +101,67 @@ run_replay_smoke() {
     echo "FAIL: replay smoke: record exit $rec_status != replay exit $rep_status" >&2
     exit 1
   fi
-  if ! cmp -s "$smokedir/record.pcapng" "$smokedir/replay.pcapng"; then
-    echo "FAIL: replay smoke: pcapng traces differ between record and replay" >&2
+  # Structural diff instead of cmp: on divergence the report names the
+  # interface, frame index, and first differing byte. The report file sits
+  # next to the captures so CI uploads all three as failure artifacts.
+  if ! "$builddir/tools/tracediff" \
+      "$smokedir/record.pcapng" "$smokedir/replay.pcapng" \
+      >"$smokedir/replay.tracediff.txt" 2>&1; then
+    cat "$smokedir/replay.tracediff.txt" >&2
+    echo "FAIL: replay smoke: record and replay traces diverge (see above)" >&2
     exit 1
   fi
-  echo "replay smoke: clean replay, pcapng byte-identical"
+  echo "replay smoke: clean replay, traces equivalent"
+}
+
+# A/B equivalence gate for silo-mode serial delivery (PR 1): the same seeded
+# scenario run per-byte (--silo 0) and batched (--silo 16) must put identical
+# bytes on the wire. The ping pair must match exactly, timestamps included.
+# The TCP pair is payload-identical but silo batching legitimately shifts
+# delivery timing by up to the silo alarm (~24 ms measured), so it gets
+# --time-tol 100 — a payload or ordering change still fails.
+run_ab_smoke() {
+  builddir=$1
+  abdir="$builddir/ab-smoke"
+  rm -rf "$abdir"
+  mkdir -p "$abdir"
+  for case_name in ping tcp; do
+    case "$case_name" in
+      ping)
+        scenario="--pcs 2 --hosts 1 --digis 1 --workload ping --seed 7 \
+          --duration 900"
+        tol="0"
+        ;;
+      tcp)
+        scenario="--pcs 1 --hosts 1 --workload tcp --rate 2400 --seed 7 \
+          --duration 1200"
+        tol="100"
+        ;;
+    esac
+    for mode in perbyte silo; do
+      case "$mode" in
+        perbyte) silo_flag="--silo 0" ;;
+        silo)    silo_flag="--silo 16" ;;
+      esac
+      # shellcheck disable=SC2086
+      if ! "$builddir/tools/uprsim" $scenario $silo_flag \
+          --trace "$abdir/$case_name-$mode.pcapng" \
+          >"$abdir/$case_name-$mode.out" 2>&1; then
+        cat "$abdir/$case_name-$mode.out" >&2
+        echo "FAIL: A/B smoke: $case_name $mode run failed" >&2
+        exit 1
+      fi
+    done
+    if ! "$builddir/tools/tracediff" --time-tol "$tol" \
+        "$abdir/$case_name-perbyte.pcapng" "$abdir/$case_name-silo.pcapng" \
+        >"$abdir/$case_name.tracediff.txt" 2>&1; then
+      cat "$abdir/$case_name.tracediff.txt" >&2
+      echo "FAIL: A/B smoke: silo vs per-byte traces diverge ($case_name," \
+        "tol ${tol}ms; see above)" >&2
+      exit 1
+    fi
+    echo "A/B smoke: $case_name silo == per-byte (time-tol ${tol}ms)"
+  done
 }
 
 if [ "$run_regular" = 1 ]; then
@@ -123,6 +179,16 @@ if [ "$run_regular" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: fault record/replay smoke ==="
     run_replay_smoke ./build
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: tracediff throughput smoke ==="
+    run_smoke ./build/bench/bench_tracediff
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: silo vs per-byte A/B trace equivalence ==="
+    run_ab_smoke ./build
   fi
 fi
 
@@ -142,6 +208,16 @@ if [ "$run_asan" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: fault record/replay smoke under ASan ==="
     run_replay_smoke ./build-asan
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: tracediff throughput smoke under ASan ==="
+    run_smoke ./build-asan/bench/bench_tracediff
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: silo vs per-byte A/B trace equivalence under ASan ==="
+    run_ab_smoke ./build-asan
   fi
 fi
 

@@ -26,6 +26,7 @@
 #include "src/scenario/netstat.h"
 #include "src/scenario/testbed.h"
 #include "src/trace/trace.h"
+#include "src/util/parse.h"
 
 using namespace upr;
 
@@ -84,6 +85,16 @@ void Usage(const char* argv0) {
       argv0);
 }
 
+// Validated numeric parsing: `--rate abc` used to strtoull to 0 and silently
+// run a nonsense scenario; now every malformed or out-of-range value exits 2
+// with the usage text.
+[[noreturn]] void BadValue(const std::string& flag, const char* value,
+                           const char* constraint) {
+  std::fprintf(stderr, "invalid value '%s' for %s (expected %s)\n", value,
+               flag.c_str(), constraint);
+  std::exit(2);
+}
+
 bool ParseOptions(int argc, char** argv, Options* opt) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -94,18 +105,35 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       }
       return argv[++i];
     };
+    auto count = [&](std::uint64_t min, std::uint64_t max,
+                     const char* constraint) -> std::size_t {
+      const char* v = next();
+      auto n = ParseU64(v, min, max);
+      if (!n) {
+        BadValue(arg, v, constraint);
+      }
+      return static_cast<std::size_t>(*n);
+    };
+    auto real = [&](double min, double max, const char* constraint) -> double {
+      const char* v = next();
+      auto d = ParseDouble(v, min, max);
+      if (!d) {
+        BadValue(arg, v, constraint);
+      }
+      return *d;
+    };
     if (arg == "--pcs") {
-      opt->pcs = std::strtoul(next(), nullptr, 10);
+      opt->pcs = count(1, 64, "an integer in [1, 64]");
     } else if (arg == "--hosts") {
-      opt->hosts = std::strtoul(next(), nullptr, 10);
+      opt->hosts = count(0, 64, "an integer in [0, 64]");
     } else if (arg == "--digis") {
-      opt->digis = std::strtoul(next(), nullptr, 10);
+      opt->digis = count(0, 16, "an integer in [0, 16]");
     } else if (arg == "--rate") {
-      opt->rate = std::strtoull(next(), nullptr, 10);
+      opt->rate = count(1, 10'000'000, "a bit rate in [1, 10000000]");
     } else if (arg == "--loss") {
-      opt->loss = std::strtod(next(), nullptr);
+      opt->loss = real(0.0, 1.0, "a probability in [0, 1]");
     } else if (arg == "--ber") {
-      opt->ber = std::strtod(next(), nullptr);
+      opt->ber = real(0.0, 1.0, "a probability in [0, 1]");
     } else if (arg == "--filter") {
       opt->tnc_filter = true;
     } else if (arg == "--access-control") {
@@ -113,19 +141,24 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
     } else if (arg == "--workload") {
       opt->workload = next();
     } else if (arg == "--duration") {
-      opt->duration = std::strtod(next(), nullptr);
+      opt->duration = real(0.001, 1e7, "seconds in [0.001, 1e7]");
     } else if (arg == "--seed") {
-      opt->seed = std::strtoull(next(), nullptr, 10);
+      const char* v = next();
+      auto n = ParseU64(v);
+      if (!n) {
+        BadValue(arg, v, "an unsigned 64-bit integer");
+      }
+      opt->seed = *n;
     } else if (arg == "--silo") {
-      opt->silo = std::strtoul(next(), nullptr, 10);
+      opt->silo = count(0, 65536, "an integer in [0, 65536]");
     } else if (arg == "--trace") {
       opt->trace_file = next();
       opt->trace_enabled = true;
     } else if (arg == "--trace-ring") {
-      opt->trace_ring = std::strtoul(next(), nullptr, 10);
+      opt->trace_ring = count(1, 100'000'000, "an integer in [1, 1e8]");
       opt->trace_enabled = true;
     } else if (arg == "--trace-snap") {
-      opt->trace_snap = std::strtoul(next(), nullptr, 10);
+      opt->trace_snap = count(1, 1'000'000, "an integer in [1, 1e6]");
       opt->trace_enabled = true;
     } else if (arg == "--record-faults") {
       opt->record_faults = next();
