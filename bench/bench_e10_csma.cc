@@ -1,4 +1,4 @@
-// E8 — the MAC underneath everything: p-persistent CSMA as configured by
+// E10 — the MAC underneath everything: p-persistent CSMA as configured by
 // the KISS parameters (TXDELAY / P / SLOTTIME). The paper's §3 performance
 // problem ("the gateway slows considerably as traffic ... climbs") is
 // ultimately this channel saturating.
@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/radio/csma_mac.h"
 #include "src/util/crc.h"
@@ -31,6 +32,7 @@ struct Offered {
 
 struct CsmaResult {
   double utilization = 0;
+  std::uint64_t events = 0;
   double collision_rate = 0;   // collisions per transmission
   double delivery_rate = 0;    // clean frames / offered frames
   double mean_queue_depth = 0;
@@ -114,26 +116,33 @@ CsmaResult RunCsma(int stations, double offered_frames_per_min, double persisten
                                       static_cast<double>(offered)
                                 : 0;
   r.mean_queue_depth = depths.mean();
+  r.events = sim.events_scheduled();
   return r;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E8: p-persistent CSMA on the shared 1200 bps channel\n");
+int main(int argc, char** argv) {
+  BenchReport rep("e10_csma", &argc, argv);
+  rep.Param("seed", 1234);
+  rep.Param("stations", 5);
+  rep.Param("frame_bytes", 100);
+  rep.Param("window_s", 3600);
+  std::printf("E10: p-persistent CSMA on the shared 1200 bps channel\n");
   std::printf("5 stations, 100 B UI frames, 1 simulated hour per cell\n");
   // A 100 B frame + keyup occupies ~1.0 s of air; 100%% load ~ 54 frames/min.
 
   for (double p : {0.063, 0.25, 0.63}) {
-    PrintHeader("persistence p = " + Fmt(p, 3),
+    rep.Header("persistence p = " + Fmt(p, 3),
                 {"offered/min", "utilization", "collisions/tx", "delivered",
                  "mean_queue"},
                 13);
     for (double load : {6.0, 15.0, 30.0, 45.0, 60.0, 90.0}) {
       CsmaResult r = RunCsma(5, load, p, 1234);
-      PrintRow({Fmt(load, 0), Fmt(r.utilization, 2), Fmt(r.collision_rate, 2),
-                Fmt(r.delivery_rate, 2), Fmt(r.mean_queue_depth, 1)},
-               13);
+      rep.Row({Fmt(load, 0), Fmt(r.utilization, 2), Fmt(r.collision_rate, 2),
+               Fmt(r.delivery_rate, 2), Fmt(r.mean_queue_depth, 1)},
+              13);
+      rep.Events(r.events);
     }
   }
 
@@ -142,5 +151,5 @@ int main() {
               "Low persistence keeps collision rates down at high load at the\n"
               "price of idle slots (lower utilization at light load) — the same\n"
               "trade KISS exposes via its P and SLOTTIME parameters.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -8,16 +8,22 @@
 // serial line and keyup overheads start to matter (>= 9600 bps).
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 using namespace upr;
 using namespace upr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e1_link_speed", &argc, argv);
+  rep.Param("seed", 7);
+  rep.Param("ping_payload", 56);
+  rep.Param("transfer_bytes", 8 * 1024);
+  rep.Param("rates", "300..19200");
   std::printf("E1: link-speed sweep (radio PC <-> gateway <-> Ethernet host)\n");
-  PrintHeader("ping 56 B + 8 KB TCP transfer vs channel bit rate",
-              {"bit_rate", "rtt_ms", "air_ms", "air_frac", "goodput_bps",
-               "link_eff", "rexmit"});
+  rep.Header("ping 56 B + 8 KB TCP transfer vs channel bit rate",
+             {"bit_rate", "rtt_ms", "air_ms", "air_frac", "goodput_bps",
+              "link_eff", "rexmit"});
 
   for (std::uint64_t rate : {300, 600, 1200, 2400, 4800, 9600, 19200}) {
     TestbedConfig cfg;
@@ -47,14 +53,15 @@ int main() {
                         tb.sim().Now() + Seconds(3600 * 8));
     double efficiency = tr.goodput_bps / static_cast<double>(rate);
 
-    PrintRow({FmtInt(rate), rtt ? Fmt(ToMillis(*rtt), 0) : "timeout", Fmt(air_ms, 0),
-              Fmt(air_frac, 2), tr.completed ? Fmt(tr.goodput_bps, 0) : "incomplete",
-              Fmt(efficiency, 2), FmtInt(tr.retransmissions)});
+    rep.Row({FmtInt(rate), rtt ? Fmt(ToMillis(*rtt), 0) : "timeout", Fmt(air_ms, 0),
+             Fmt(air_frac, 2), tr.completed ? Fmt(tr.goodput_bps, 0) : "incomplete",
+             Fmt(efficiency, 2), FmtInt(tr.retransmissions)});
+    rep.Events(tb.sim().events_scheduled());
   }
 
   std::printf("\nShape check (paper §3): at 1200 bps the air fraction of the RTT is\n"
               "dominant and goodput tracks the bit rate; the fixed overheads (serial\n"
               "line, TXDELAY keyup, half-duplex ACK turnarounds) erode efficiency as\n"
               "the link gets faster — exactly why faster links needed better MACs.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/radio/csma_mac.h"
 #include "src/util/crc.h"
@@ -72,6 +73,7 @@ struct LoadResult {
   std::uint64_t tnc_filtered = 0;
   std::uint64_t serial_to_host = 0;
   double utilization = 0;
+  std::uint64_t events = 0;
 };
 
 LoadResult RunLoad(double bg_frames_per_minute, int talkers, bool filter) {
@@ -131,27 +133,34 @@ LoadResult RunLoad(double bg_frames_per_minute, int talkers, bool filter) {
   r.tnc_filtered = tb.gateway().tnc().frames_filtered() - filtered_before;
   r.serial_to_host = tb.gateway().tnc().serial_bytes_to_host();
   r.utilization = tb.channel().Utilization();
+  r.events = tb.sim().events_scheduled();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e2_gateway_load", &argc, argv);
+  rep.Param("seed", 21);
+  rep.Param("bit_rate", 1200);
+  rep.Param("talkers", 4);
+  rep.Param("loads_frames_per_min", "0,15,30,60,120,240");
   std::printf("E2: gateway load vs packet-radio subnet traffic (1200 bps)\n");
   std::printf("background: 4 third-party stations exchanging 100 B UI frames\n");
 
   for (bool filter : {false, true}) {
-    PrintHeader(filter ? "TNC with the proposed address filter (§3 fix)"
-                       : "stock promiscuous KISS TNC",
-                {"bg_frames/min", "chan_util", "intr/s", "cpu_us/s", "drvr_rejects",
-                 "tnc_filtered", "ping_rtt_ms"},
-                14);
+    rep.Header(filter ? "TNC with the proposed address filter (§3 fix)"
+                      : "stock promiscuous KISS TNC",
+               {"bg_frames/min", "chan_util", "intr/s", "cpu_us/s", "drvr_rejects",
+                "tnc_filtered", "ping_rtt_ms"},
+               14);
     for (double load : {0.0, 15.0, 30.0, 60.0, 120.0, 240.0}) {
       LoadResult r = RunLoad(load, 4, filter);
-      PrintRow({Fmt(load, 0), Fmt(r.utilization, 2), FmtInt(r.interrupts),
-                Fmt(r.cpu_ms, 0), FmtInt(r.not_for_us),
-                FmtInt(r.tnc_filtered), r.rtt_ok ? Fmt(r.rtt_ms, 0) : "timeout"},
-               14);
+      rep.Row({Fmt(load, 0), Fmt(r.utilization, 2), FmtInt(r.interrupts),
+               Fmt(r.cpu_ms, 0), FmtInt(r.not_for_us),
+               FmtInt(r.tnc_filtered), r.rtt_ok ? Fmt(r.rtt_ms, 0) : "timeout"},
+              14);
+      rep.Events(r.events);
     }
   }
 
@@ -161,5 +170,5 @@ int main() {
               "the TNC: serial traffic and interrupts stay flat. Ping RTT rises\n"
               "with load in both cases — that part is channel contention, which no\n"
               "host-side filter can fix.\n");
-  return 0;
+  return rep.Finish();
 }

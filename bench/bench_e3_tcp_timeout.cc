@@ -14,6 +14,7 @@
 // retransmission is needless; a lossy run separates needless from necessary.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 using namespace upr;
@@ -28,6 +29,7 @@ struct Policy {
 
 struct E3Result {
   bool completed = false;
+  std::uint64_t events = 0;
   double elapsed_s = 0;
   std::uint64_t rexmit_early = 0;  // within the first two minutes
   std::uint64_t rexmit_late = 0;
@@ -88,6 +90,7 @@ E3Result RunOne(const TcpConfig& tcp, double loss, std::uint64_t seed) {
   r.rexmit_late = conn->stats().retransmissions - r.rexmit_early;
   r.segments = conn->stats().segments_sent;
   r.final_srtt_s = ToSeconds(conn->rto().srtt());
+  r.events = tb.sim().events_scheduled();
   return r;
 }
 
@@ -132,32 +135,40 @@ std::vector<Policy> Policies() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e3_tcp_timeout", &argc, argv);
+  rep.Param("transfer_bytes", 8 * 1024);
+  rep.Param("bit_rate", 1200);
+  rep.Param("seed_lossfree", 11);
+  rep.Param("seed_lossy", 12);
+  rep.Param("loss_lossy", 0.10);
   std::printf("E3: TCP timeout adaptation across the Ethernet->radio gateway\n");
   std::printf("transfer: 8 KB from Ethernet host to radio PC, radio at 1200 bps\n");
 
-  PrintHeader("loss-free channel: every retransmission is needless (§4.1)",
+  rep.Header("loss-free channel: every retransmission is needless (§4.1)",
               {"policy", "done", "time_s", "rexmit<2min", "rexmit_rest",
                "segs", "srtt_s"},
               13);
   for (const auto& policy : Policies()) {
     E3Result r = RunOne(policy.config, 0.0, 11);
-    PrintRow({policy.name, r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
-              FmtInt(r.rexmit_early), FmtInt(r.rexmit_late), FmtInt(r.segments),
-              Fmt(r.final_srtt_s, 1)},
-             13);
+    rep.Row({policy.name, r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
+             FmtInt(r.rexmit_early), FmtInt(r.rexmit_late), FmtInt(r.segments),
+             Fmt(r.final_srtt_s, 1)},
+            13);
+    rep.Events(r.events);
   }
 
-  PrintHeader("10% frame loss: retransmissions now mix needless and necessary",
+  rep.Header("10% frame loss: retransmissions now mix needless and necessary",
               {"policy", "done", "time_s", "rexmit<2min", "rexmit_rest",
                "segs", "srtt_s"},
               13);
   for (const auto& policy : Policies()) {
     E3Result r = RunOne(policy.config, 0.10, 12);
-    PrintRow({policy.name, r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
-              FmtInt(r.rexmit_early), FmtInt(r.rexmit_late), FmtInt(r.segments),
-              Fmt(r.final_srtt_s, 1)},
-             13);
+    rep.Row({policy.name, r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
+             FmtInt(r.rexmit_early), FmtInt(r.rexmit_late), FmtInt(r.segments),
+             Fmt(r.final_srtt_s, 1)},
+            13);
+    rep.Events(r.events);
   }
 
   std::printf("\nShape check (paper §4.1): the fixed 3 s sender keeps retransmitting\n"
@@ -167,5 +178,5 @@ int main() {
               "estimators retransmit only 'initially', while they still believe\n"
               "the path is LAN-fast, then learn (srtt column) and go quiet. Under\n"
               "loss, Karn's rule (jacobson-karn) keeps the estimate honest.\n");
-  return 0;
+  return rep.Finish();
 }

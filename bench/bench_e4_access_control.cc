@@ -11,17 +11,21 @@
 // messages.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/gateway/access_control.h"
 
 using namespace upr;
 using namespace upr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e4_access_control", &argc, argv);
+  rep.Param("idle_timeout_s", 600);
+  rep.Param("bit_rate", 2400);
   std::printf("E4: access-control table (soft state, idle expiry, ICMP control)\n");
 
   // ---- Part 1: table mechanics under churn --------------------------------
-  PrintHeader("table churn: N amateur hosts each talk to M wire hosts, then idle",
+  rep.Header("table churn: N amateur hosts each talk to M wire hosts, then idle",
               {"N_am", "M_wire", "entries", "peak", "lookups", "denied",
                "expired"},
               11);
@@ -58,15 +62,16 @@ int main() {
         table.Allowed(IpV4Address(10, 0, 0, static_cast<std::uint8_t>(j)),
                       IpV4Address(44, 24, 1, 0));
       }
-      PrintRow({FmtInt(n), FmtInt(m), FmtInt(remaining), FmtInt(peak),
-                FmtInt(table.lookups()), FmtInt(table.denials()),
-                FmtInt(table.entries_expired())},
-               11);
+      rep.Row({FmtInt(n), FmtInt(m), FmtInt(remaining), FmtInt(peak),
+               FmtInt(table.lookups()), FmtInt(table.denials()),
+               FmtInt(table.entries_expired())},
+              11);
+      rep.Events(sim.events_scheduled());
     }
   }
 
   // ---- Part 2: end-to-end through the gateway -----------------------------
-  PrintHeader("end-to-end: wire-side ping before/after amateur traffic & control",
+  rep.Header("end-to-end: wire-side ping before/after amateur traffic & control",
               {"phase", "result", "denied", "table"}, 22);
   TestbedConfig cfg;
   cfg.radio_pcs = 1;
@@ -82,7 +87,7 @@ int main() {
   };
 
   bool before = wire_ping();
-  PrintRow({"cold (no entry)", before ? "ALLOWED?!" : "denied",
+  rep.Row({"cold (no entry)", before ? "ALLOWED?!" : "denied",
             FmtInt(tb.gateway().gateway().denied()),
             FmtInt(tb.gateway().gateway().table().size())},
            22);
@@ -90,7 +95,7 @@ int main() {
   // Amateur-initiated traffic opens the pair.
   RunPing(&tb.sim(), &tb.pc(0).stack(), Testbed::EtherHostIp(0), 16, Seconds(300));
   bool after_open = wire_ping();
-  PrintRow({"after amateur ping", after_open ? "allowed" : "DENIED?!",
+  rep.Row({"after amateur ping", after_open ? "allowed" : "DENIED?!",
             FmtInt(tb.gateway().gateway().denied()),
             FmtInt(tb.gateway().gateway().table().size())},
            22);
@@ -103,7 +108,7 @@ int main() {
                                              body);
   tb.sim().RunUntil(tb.sim().Now() + Seconds(120));
   bool after_revoke = wire_ping();
-  PrintRow({"after ICMP revoke", after_revoke ? "ALLOWED?!" : "denied",
+  rep.Row({"after ICMP revoke", after_revoke ? "ALLOWED?!" : "denied",
             FmtInt(tb.gateway().gateway().denied()),
             FmtInt(tb.gateway().gateway().table().size())},
            22);
@@ -114,7 +119,7 @@ int main() {
                                              kGwCtlAuthorize, body);
   tb.sim().RunUntil(tb.sim().Now() + Seconds(120));
   bool after_auth = wire_ping();
-  PrintRow({"after ICMP authorize", after_auth ? "allowed" : "DENIED?!",
+  rep.Row({"after ICMP authorize", after_auth ? "allowed" : "DENIED?!",
             FmtInt(tb.gateway().gateway().denied()),
             FmtInt(tb.gateway().gateway().table().size())},
            22);
@@ -122,5 +127,6 @@ int main() {
   std::printf("\nShape check (§4.3): table starts empty and denies; amateur-side\n"
               "traffic opens exactly one pairing; idle entries expire; the control\n"
               "operator can revoke and re-authorize over ICMP.\n");
-  return 0;
+  rep.Events(tb.sim().events_scheduled());
+  return rep.Finish();
 }

@@ -13,6 +13,8 @@
 
 #include <algorithm>
 
+#include "bench/bench_json.h"
+
 #include "src/ax25/frame.h"
 #include "src/driver/packet_radio_interface.h"
 #include "src/kiss/kiss.h"
@@ -172,7 +174,42 @@ BENCHMARK(BM_DriverReceivePath)
     ->Arg(1)  // silo/DMA batching
     ->ArgName("silo");
 
+// Console output as usual, but each run is also recorded into the perf
+// ledger as a banded wall-clock metric (adjusted real time per iteration).
+class LedgerReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit LedgerReporter(bench::BenchReport* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      rep_->Wall(run.benchmark_name() + "_ns", run.GetAdjustedRealTime(),
+                 "lower");
+      auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) {
+        rep_->Wall(run.benchmark_name() + "_Bps", bps->second.value, "higher");
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* rep_;
+};
+
 }  // namespace
 }  // namespace upr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  upr::bench::BenchReport rep("e5_interrupt_path", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  upr::LedgerReporter reporter(&rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return rep.Finish();
+}

@@ -9,15 +9,20 @@
 // grows linearly with hop count and throughput decays as 1/(hops+1).
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/radio/digipeater.h"
 
 using namespace upr;
 using namespace upr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e6_digipeater", &argc, argv);
+  rep.Param("seed", 17);
+  rep.Param("bit_rate", 1200);
+  rep.Param("udp_bytes", 1024);
   std::printf("E6: source-routed digipeater chains, 0..8 hops at 1200 bps\n");
-  PrintHeader("ping 32 B + 1 KB UDP one-way vs digipeater count",
+  rep.Header("ping 32 B + 1 KB UDP one-way vs digipeater count",
               {"digis", "rtt_s", "rtt_ratio", "udp_s", "frames_repeated"});
 
   double base_rtt = 0.0;
@@ -67,9 +72,10 @@ int main() {
     for (std::size_t i = 0; i < digis; ++i) {
       repeated += tb.digi(i).frames_repeated();
     }
-    PrintRow({FmtInt(digis), rtt ? Fmt(rtt_s, 1) : "timeout",
-              (rtt && base_rtt > 0) ? Fmt(rtt_s / base_rtt, 2) : "-",
-              udp_s >= 0 ? Fmt(udp_s, 1) : "lost", FmtInt(repeated)});
+    rep.Row({FmtInt(digis), rtt ? Fmt(rtt_s, 1) : "timeout",
+             (rtt && base_rtt > 0) ? Fmt(rtt_s / base_rtt, 2) : "-",
+             udp_s >= 0 ? Fmt(udp_s, 1) : "lost", FmtInt(repeated)});
+    rep.Events(tb.sim().events_scheduled());
   }
 
   std::printf("\nShape check: RTT ratio ~= digis+1 (each hop re-occupies the shared\n"
@@ -79,5 +85,5 @@ int main() {
               "reassembly lifetime (BSD's IPFRAGTTL), and the datagram dies with\n"
               "every fragment delivered — long digipeater chains break fragmented\n"
               "IP even on a loss-free channel.\n");
-  return 0;
+  return rep.Finish();
 }

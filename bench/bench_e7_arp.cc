@@ -10,6 +10,7 @@
 // static entry (the paper's "entries may contain additional callsigns").
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/ether/ethernet.h"
 #include "src/radio/digipeater.h"
@@ -17,9 +18,12 @@
 using namespace upr;
 using namespace upr::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e7_arp", &argc, argv);
+  rep.Param("bit_rate", 1200);
+  rep.Param("ping_payload", 32);
   std::printf("E7: ARP on Ethernet (htype 1) vs AX.25 (htype 3)\n");
-  PrintHeader("first ping (cold: carries the ARP exchange) vs second (warm)",
+  rep.Header("first ping (cold: carries the ARP exchange) vs second (warm)",
               {"medium", "cold_ms", "warm_ms", "arp_requests", "penalty_ms"});
 
   {  // Ethernet
@@ -32,9 +36,10 @@ int main() {
     auto warm = RunPing(&tb.sim(), &tb.host(0).stack(), Testbed::EtherHostIp(1), 32,
                         Seconds(60));
     double penalty = (cold && warm) ? ToMillis(*cold - *warm) : 0;
-    PrintRow({"ethernet", cold ? Fmt(ToMillis(*cold), 3) : "timeout",
+    rep.Row({"ethernet", cold ? Fmt(ToMillis(*cold), 3) : "timeout",
               warm ? Fmt(ToMillis(*warm), 3) : "timeout",
-              FmtInt(tb.host(0).ether_if()->arp().requests_sent()), Fmt(penalty, 3)});
+             FmtInt(tb.host(0).ether_if()->arp().requests_sent()), Fmt(penalty, 3)});
+    rep.Events(tb.sim().events_scheduled());
   }
 
   {  // Radio
@@ -48,9 +53,10 @@ int main() {
     auto warm = RunPing(&tb.sim(), &tb.pc(0).stack(), Testbed::RadioPcIp(1), 32,
                         Seconds(600));
     double penalty = (cold && warm) ? ToMillis(*cold - *warm) : 0;
-    PrintRow({"radio-1200", cold ? Fmt(ToMillis(*cold), 0) : "timeout",
+    rep.Row({"radio-1200", cold ? Fmt(ToMillis(*cold), 0) : "timeout",
               warm ? Fmt(ToMillis(*warm), 0) : "timeout",
-              FmtInt(tb.pc(0).radio_if()->arp().requests_sent()), Fmt(penalty, 0)});
+             FmtInt(tb.pc(0).radio_if()->arp().requests_sent()), Fmt(penalty, 0)});
+    rep.Events(tb.sim().events_scheduled());
   }
 
   {  // Radio via digipeater (static entry with a path)
@@ -67,14 +73,15 @@ int main() {
                         Seconds(600));
     auto warm = RunPing(&tb.sim(), &tb.pc(0).stack(), Testbed::RadioPcIp(1), 32,
                         Seconds(600));
-    PrintRow({"radio+digi", cold ? Fmt(ToMillis(*cold), 0) : "timeout",
+    rep.Row({"radio+digi", cold ? Fmt(ToMillis(*cold), 0) : "timeout",
               warm ? Fmt(ToMillis(*warm), 0) : "timeout",
-              FmtInt(tb.pc(0).radio_if()->arp().requests_sent()), "static"});
+             FmtInt(tb.pc(0).radio_if()->arp().requests_sent()), "static"});
+    rep.Events(tb.sim().events_scheduled());
   }
 
   // Cache expiry behaviour: the radio ARP entry times out; the next packet
   // pays the cold price again.
-  PrintHeader("cache lifetime on the radio side",
+  rep.Header("cache lifetime on the radio side",
               {"event", "rtt_ms", "total_requests"}, 26);
   {
     TestbedConfig cfg;
@@ -84,20 +91,21 @@ int main() {
     Testbed tb(cfg);
     auto first = RunPing(&tb.sim(), &tb.pc(0).stack(), Testbed::RadioPcIp(1), 32,
                          Seconds(600));
-    PrintRow({"first (cold)", first ? Fmt(ToMillis(*first), 0) : "timeout",
+    rep.Row({"first (cold)", first ? Fmt(ToMillis(*first), 0) : "timeout",
               FmtInt(tb.pc(0).radio_if()->arp().requests_sent())},
              26);
     tb.sim().RunUntil(tb.sim().Now() + Seconds(25 * 60));  // > 20 min TTL
     auto later = RunPing(&tb.sim(), &tb.pc(0).stack(), Testbed::RadioPcIp(1), 32,
                          Seconds(600));
-    PrintRow({"after 25 min idle", later ? Fmt(ToMillis(*later), 0) : "timeout",
-              FmtInt(tb.pc(0).radio_if()->arp().requests_sent())},
-             26);
+    rep.Row({"after 25 min idle", later ? Fmt(ToMillis(*later), 0) : "timeout",
+             FmtInt(tb.pc(0).radio_if()->arp().requests_sent())},
+            26);
+    rep.Events(tb.sim().events_scheduled());
   }
 
   std::printf("\nShape check: the ARP penalty is microscopic on Ethernet and seconds\n"
               "on the radio channel (one extra round of 40-byte frames at 1200\n"
               "bps) — why the paper pre-loads digipeater paths as static entries\n"
               "instead of discovering them.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/ax25/frame.h"
 #include "src/kiss/kiss.h"
@@ -136,11 +137,14 @@ RunStats Measure(const Bytes& in_wire, Bytes (*forward)(const Bytes&), int iters
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchReport rep("e8_copy_path", &argc, argv);
   // One smoke iteration for CI / sanitizer jobs.
-  int iters = (argc > 1 && std::string(argv[1]) == "--smoke") ? 1 : 1000;
+  int iters = rep.smoke() ? 1 : 1000;
+  rep.Param("iters", iters);
+  rep.Param("payloads", "64,200,236");
 
   std::printf("E8-copy: buffer work per gateway-forwarded datagram\n");
-  PrintHeader("radio->radio forward, per datagram",
+  rep.Header("radio->radio forward, per datagram",
               {"payload", "legacy_B", "pbuf_B", "B_ratio", "legacy_al", "pbuf_al",
                "al_ratio"},
               11);
@@ -157,11 +161,11 @@ int main(int argc, char** argv) {
     RunStats pbuf = Measure(in_wire, ForwardPacketBuf, iters);
     double b_ratio = legacy.bytes_per_dgram / pbuf.bytes_per_dgram;
     double a_ratio = legacy.allocs_per_dgram / pbuf.allocs_per_dgram;
-    PrintRow({FmtInt(payload), Fmt(legacy.bytes_per_dgram, 0),
-              Fmt(pbuf.bytes_per_dgram, 0), Fmt(b_ratio, 2),
-              Fmt(legacy.allocs_per_dgram, 1), Fmt(pbuf.allocs_per_dgram, 1),
-              Fmt(a_ratio, 2)},
-             11);
+    rep.Row({FmtInt(payload), Fmt(legacy.bytes_per_dgram, 0),
+             Fmt(pbuf.bytes_per_dgram, 0), Fmt(b_ratio, 2),
+             Fmt(legacy.allocs_per_dgram, 1), Fmt(pbuf.allocs_per_dgram, 1),
+             Fmt(a_ratio, 2)},
+            11);
     if (b_ratio < 3.0 || a_ratio < 2.0) {
       ok = false;
     }
@@ -181,9 +185,10 @@ int main(int argc, char** argv) {
                        Seconds(600));
     std::printf("%s", FormatBufStats().c_str());
     std::printf("ping %s\n", rtt ? "completed" : "timed out");
+    rep.Events(tb.sim().events_scheduled());
   }
 
   std::printf("\n%s: bytes ratio >= 3x and alloc ratio >= 2x %s\n", ok ? "PASS" : "FAIL",
               ok ? "met" : "NOT met");
-  return ok ? 0 : 1;
+  return rep.Finish(ok ? 0 : 1);
 }

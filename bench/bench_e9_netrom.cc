@@ -9,6 +9,7 @@
 // the backbone's job, as the paper wants.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/netrom/netrom.h"
 #include "src/netrom/netrom_transport.h"
@@ -55,10 +56,13 @@ std::unique_ptr<Backbone> MakeChain(std::size_t length) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("e9_netrom", &argc, argv);
+  rep.Param("bit_rate", 1200);
+  rep.Param("circuit_bytes", 2048);
   std::printf("E9: IP over a NET/ROM backbone (1200 bps channel per hop)\n");
 
-  PrintHeader("route convergence + end-to-end ping vs chain length",
+  rep.Header("route convergence + end-to-end ping vs chain length",
               {"nodes", "bcast_rounds", "routes@end0", "quality", "rtt_s",
                "relayed"},
               13);
@@ -92,15 +96,16 @@ int main() {
     for (std::size_t i = 1; i + 1 < length; ++i) {
       relayed += bb->nodes[i]->forwarded();
     }
-    PrintRow({FmtInt(length), FmtInt(static_cast<std::uint64_t>(rounds)),
-              FmtInt(bb->nodes[0]->route_count()),
-              route ? FmtInt(route->quality) : "-",
-              rtt ? Fmt(ToSeconds(*rtt), 1) : "timeout", FmtInt(relayed)},
-             13);
+    rep.Row({FmtInt(length), FmtInt(static_cast<std::uint64_t>(rounds)),
+             FmtInt(bb->nodes[0]->route_count()),
+             route ? FmtInt(route->quality) : "-",
+             rtt ? Fmt(ToSeconds(*rtt), 1) : "timeout", FmtInt(relayed)},
+            13);
+    rep.Events(bb->sim.events_scheduled());
   }
 
   // Head-to-head: 3-relay NET/ROM path vs 3-digipeater source route.
-  PrintHeader("same relay count: NET/ROM backbone vs digipeater source route",
+  rep.Header("same relay count: NET/ROM backbone vs digipeater source route",
               {"transport", "rtt_s", "sender_must_know"}, 20);
   {
     auto bb = MakeChain(5);
@@ -120,9 +125,10 @@ int main() {
     bb->stations[4]->stack().AddInterface(std::move(tun_b));
     auto rtt = RunPing(&bb->sim, &bb->stations[0]->stack(),
                        IpV4Address(44, 100, 0, 2), 32, Seconds(1200));
-    PrintRow({"netrom-3-relays", rtt ? Fmt(ToSeconds(*rtt), 1) : "timeout",
-              "next hop only"},
-             20);
+    rep.Row({"netrom-3-relays", rtt ? Fmt(ToSeconds(*rtt), 1) : "timeout",
+             "next hop only"},
+            20);
+    rep.Events(bb->sim.events_scheduled());
   }
   {
     TestbedConfig cfg;
@@ -140,13 +146,14 @@ int main() {
                                      reverse);
     auto rtt = RunPing(&tb.sim(), &tb.pc(0).stack(), Testbed::RadioPcIp(1), 32,
                        Seconds(1200));
-    PrintRow({"digipeater-3", rtt ? Fmt(ToSeconds(*rtt), 1) : "timeout",
-              "entire path"},
-             20);
+    rep.Row({"digipeater-3", rtt ? Fmt(ToSeconds(*rtt), 1) : "timeout",
+             "entire path"},
+            20);
+    rep.Events(tb.sim().events_scheduled());
   }
 
   // Layer-4 circuit stream across the same 5-node chain: 2 KB end to end.
-  PrintHeader("layer-4 circuit: 2 KB stream across the 5-node backbone",
+  rep.Header("layer-4 circuit: 2 KB stream across the 5-node backbone",
               {"transport", "time_s", "goodput_bps", "info_resent"}, 16);
   {
     auto bb = MakeChain(5);
@@ -175,16 +182,17 @@ int main() {
              bb->sim.Step()) {
       }
       double secs = ToSeconds(bb->sim.Now() - start);
-      PrintRow({"nr-circuit", Fmt(secs, 0),
-                received >= kBytes ? Fmt(received * 8.0 / secs, 0) : "incomplete",
-                FmtInt(circuit->info_resent())},
-               16);
+      rep.Row({"nr-circuit", Fmt(secs, 0),
+               received >= kBytes ? Fmt(received * 8.0 / secs, 0) : "incomplete",
+               FmtInt(circuit->info_resent())},
+              16);
     }
+    rep.Events(bb->sim.events_scheduled());
   }
 
   std::printf("\nShape check (§2.4): RTT grows linearly with chain length for both;\n"
               "NET/ROM pays a small header tax per hop but the source only names\n"
               "the destination node — the backbone routes, 'in the same way\n"
               "Internet subnets are connected via the ARPANET'.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -6,6 +6,7 @@
 // air-time column dwarfing everything else at 1200 bps.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/scenario/testbed.h"
 
@@ -43,11 +44,15 @@ StagePair MakePair(Simulator* sim, RadioChannel* channel, std::uint32_t baud) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("fig1_pipeline", &argc, argv);
+  rep.Param("seed", 99);
+  rep.Param("serial_baud", 9600);
+  rep.Param("txdelay_ms", 300);
   std::printf("F1: figure-1 pipeline latency budget (Radio-TNC-RS232-DZ-Host)\n");
   std::printf("channel 1200 bps, serial 9600 baud, TXDELAY 300 ms\n");
 
-  PrintHeader("one-way latency budget per stage (ms), ICMP echo of given payload",
+  rep.Header("one-way latency budget per stage (ms), ICMP echo of given payload",
               {"payload_B", "kiss_B", "serial_ms", "txdelay_ms", "air_ms",
                "predicted_ms", "measured_rtt_ms"});
 
@@ -70,9 +75,10 @@ int main() {
     double predicted_one_way = serial_ms + txdelay_ms + air_ms + serial_ms;
 
     auto rtt = RunPing(&sim, &pair.a->stack(), pair.b->ip(), payload, Seconds(120));
-    PrintRow({FmtInt(payload), FmtInt(kiss), Fmt(serial_ms), Fmt(txdelay_ms),
-              Fmt(air_ms), Fmt(predicted_one_way),
-              rtt ? Fmt(ToMillis(*rtt)) : "timeout"});
+    rep.Row({FmtInt(payload), FmtInt(kiss), Fmt(serial_ms), Fmt(txdelay_ms),
+             Fmt(air_ms), Fmt(predicted_one_way),
+             rtt ? Fmt(ToMillis(*rtt)) : "timeout"});
+    rep.Events(sim.events_scheduled());
   }
 
   std::printf("\nAt 1200 bps the air time is ~%d%% of the one-way latency for a\n"
@@ -81,7 +87,7 @@ int main() {
               75);
 
   // Also show the budget at a faster link for contrast.
-  PrintHeader("same 128 B payload across channel bit rates",
+  rep.Header("same 128 B payload across channel bit rates",
               {"bit_rate", "air_ms", "measured_rtt_ms", "air_fraction"});
   for (std::uint64_t rate : {1200, 2400, 4800, 9600}) {
     Simulator sim;
@@ -93,8 +99,9 @@ int main() {
     double air_ms = static_cast<double>(frame) * 8.0 / static_cast<double>(rate) * 1000.0;
     auto rtt = RunPing(&sim, &pair.a->stack(), pair.b->ip(), 128, Seconds(120));
     double fraction = rtt ? (2 * air_ms) / ToMillis(*rtt) : 0.0;
-    PrintRow({FmtInt(rate), Fmt(air_ms), rtt ? Fmt(ToMillis(*rtt)) : "timeout",
-              Fmt(fraction, 3)});
+    rep.Row({FmtInt(rate), Fmt(air_ms), rtt ? Fmt(ToMillis(*rtt)) : "timeout",
+             Fmt(fraction, 3)});
+    rep.Events(sim.events_scheduled());
   }
-  return 0;
+  return rep.Finish();
 }

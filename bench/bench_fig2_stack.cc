@@ -6,6 +6,7 @@
 // added, proving all seven boxes are live code.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/apps/ftp.h"
 #include "src/apps/smtp.h"
@@ -26,9 +27,10 @@ struct LayerCounts {
   double elapsed = 0;
 };
 
-void PrintCounts(const char* app, const LayerCounts& c) {
-  PrintRow({app, FmtInt(c.app_bytes), FmtInt(c.tcp_segments), FmtInt(c.ip_bytes),
-            FmtInt(c.serial_bytes), Fmt(c.air_seconds, 1), Fmt(c.elapsed, 1)});
+void PrintCounts(bench::BenchReport* rep, const char* app, const LayerCounts& c) {
+  rep->Row({app, FmtInt(c.app_bytes), FmtInt(c.tcp_segments), FmtInt(c.ip_bytes),
+            FmtInt(c.serial_bytes), Fmt(c.air_seconds, 1), Fmt(c.elapsed, 1)},
+           12);
 }
 
 LayerCounts Snapshot(Testbed& tb, std::uint64_t app_bytes, std::uint64_t segments,
@@ -55,10 +57,13 @@ TestbedConfig Config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("fig2_stack", &argc, argv);
+  rep.Param("bit_rate", 1200);
+  rep.Param("ftp_file_bytes", 2000);
   std::printf("F2: figure-2 stack exercise — telnet/SMTP/FTP over\n"
               "TCP/IP/AX.25/KISS/radio, PC <-> gateway <-> Ethernet host\n");
-  PrintHeader("per-application layer accounting (radio side of the gateway)",
+  rep.Header("per-application layer accounting (radio side of the gateway)",
               {"app", "app_B", "tcp_segs", "ip_B", "serial_B", "air_s", "elapsed_s"},
               12);
 
@@ -78,7 +83,8 @@ int main() {
     for (const auto& line : client.transcript()) {
       app_bytes += line.size() + 2;
     }
-    PrintCounts("telnet", Snapshot(tb, app_bytes, 0, start));
+    PrintCounts(&rep, "telnet", Snapshot(tb, app_bytes, 0, start));
+    rep.Events(tb.sim().events_scheduled());
   }
 
   {  // SMTP
@@ -101,7 +107,8 @@ int main() {
       app_bytes += line.size() + 2;
     }
     std::printf("%s", ok ? "" : "  (SMTP DID NOT COMPLETE)\n");
-    PrintCounts("smtp", Snapshot(tb, app_bytes, 0, start));
+    PrintCounts(&rep, "smtp", Snapshot(tb, app_bytes, 0, start));
+    rep.Events(tb.sim().events_scheduled());
   }
 
   {  // FTP
@@ -121,11 +128,12 @@ int main() {
     });
     tb.sim().RunUntil(Seconds(3600));
     std::printf("%s", ok ? "" : "  (FTP DID NOT COMPLETE)\n");
-    PrintCounts("ftp-2000B", Snapshot(tb, data.size(), 0, start));
+    PrintCounts(&rep, "ftp-2000B", Snapshot(tb, data.size(), 0, start));
+    rep.Events(tb.sim().events_scheduled());
   }
 
   std::printf("\nEach layer's overhead is visible: serial_B > ip_B > app_B, and the\n"
               "air occupies the channel for roughly serial_B * 8/1200 seconds —\n"
               "the stack of figure 2, measured rather than drawn.\n");
-  return 0;
+  return rep.Finish();
 }

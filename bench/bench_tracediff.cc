@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/trace/pcapng_writer.h"
 #include "src/trace/trace_diff.h"
@@ -70,13 +71,16 @@ double DiffRate(const trace::PcapngFile& a, const trace::PcapngFile& b,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  BenchReport rep("tracediff", &argc, argv);
+  const bool smoke = rep.smoke();
   const std::size_t frames = smoke ? 2'000 : 50'000;
   const int iters = smoke ? 1 : 10;
+  rep.Param("frames", static_cast<std::int64_t>(frames));
+  rep.Param("iters", iters);
 
   std::printf("tracediff: structural diff throughput, %zu frames x%d\n",
               frames, iters);
-  PrintHeader("capture pair", {"case", "frames/s"}, 16);
+  rep.Header("capture pair", {"case", "frames/s"}, 16, TableKind::kWall);
 
   bool ok = true;
   trace::PcapngFile a = MakeCapture(frames, 3);
@@ -84,7 +88,8 @@ int main(int argc, char** argv) {
   // Clean pair: the common case in a green check.sh run.
   trace::PcapngFile b_clean = MakeCapture(frames, 3);
   double clean_rate = DiffRate(a, b_clean, frames, iters, true, &ok);
-  PrintRow({"identical", Fmt(clean_rate, 0)}, 16);
+  rep.Row({"identical", Fmt(clean_rate, 0)}, 16);
+  rep.Wall("clean_frames_per_sec", clean_rate, "higher");
 
   // Sparse mutations: 1 in 500 frames has a flipped byte.
   trace::PcapngFile b_mut = MakeCapture(frames, 3);
@@ -92,7 +97,8 @@ int main(int argc, char** argv) {
     b_mut.packets[i].data[10] ^= 0xFF;
   }
   double mut_rate = DiffRate(a, b_mut, frames, iters, false, &ok);
-  PrintRow({"sparse mutations", Fmt(mut_rate, 0)}, 16);
+  rep.Row({"sparse mutations", Fmt(mut_rate, 0)}, 16);
+  rep.Wall("mutated_frames_per_sec", mut_rate, "higher");
 
   // Sparse deletions: 1 in 500 frames missing from B; every one forces a
   // resync-window search, the aligner's worst realistic case.
@@ -102,7 +108,8 @@ int main(int argc, char** argv) {
                         static_cast<std::ptrdiff_t>(i));
   }
   double del_rate = DiffRate(a, b_del, frames, iters, false, &ok);
-  PrintRow({"sparse deletions", Fmt(del_rate, 0)}, 16);
+  rep.Row({"sparse deletions", Fmt(del_rate, 0)}, 16);
+  rep.Wall("deleted_frames_per_sec", del_rate, "higher");
 
   // Divergent pairs must stay within 20x of the clean pair — the resync
   // search is windowed, so a collapse here means it went quadratic.
@@ -117,5 +124,5 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s: verdicts correct, divergent pairs within 20x of clean\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return rep.Finish(ok ? 0 : 1);
 }

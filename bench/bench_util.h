@@ -17,27 +17,32 @@
 namespace upr {
 namespace bench {
 
+// Left-pads each cell to `width` columns. Cells longer than `width` are kept
+// whole (the column just overflows) — the old snprintf(char[64]) version
+// silently truncated any cell of 64+ characters, which clipped long scenario
+// labels; tests/bench_util_test.cc pins the long-cell behavior.
+inline std::string FormatCells(const std::vector<std::string>& cells, int width = 14) {
+  std::string row;
+  const auto w = static_cast<std::size_t>(width < 0 ? 0 : width);
+  for (const auto& c : cells) {
+    row += c;
+    if (c.size() < w) {
+      row.append(w - c.size(), ' ');
+    }
+  }
+  return row;
+}
+
 inline void PrintHeader(const std::string& title, const std::vector<std::string>& cols,
                         int width = 14) {
   std::printf("\n== %s ==\n", title.c_str());
-  std::string row;
-  for (const auto& c : cols) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%-*s", width, c.c_str());
-    row += buf;
-  }
+  std::string row = FormatCells(cols, width);
   std::printf("%s\n", row.c_str());
   std::printf("%s\n", std::string(row.size(), '-').c_str());
 }
 
 inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
-  std::string row;
-  for (const auto& c : cells) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%-*s", width, c.c_str());
-    row += buf;
-  }
-  std::printf("%s\n", row.c_str());
+  std::printf("%s\n", FormatCells(cells, width).c_str());
 }
 
 inline std::string Fmt(double v, int decimals = 2) {

@@ -9,6 +9,7 @@
 // paper) vs on, across send-window sizes.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 using namespace upr;
@@ -18,6 +19,7 @@ namespace {
 
 struct X1Result {
   bool completed = false;
+  std::uint64_t events = 0;
   double elapsed_s = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t gw_output_drops = 0;
@@ -51,23 +53,29 @@ X1Result RunOne(bool slow_start, std::uint16_t window, std::uint64_t seed) {
   r.retransmissions = tr.retransmissions;
   r.gw_output_drops = tb.gateway().radio_if()->driver_stats().output_drops;
   r.gw_input_drops = tb.gateway().stack().ip_stats().input_drops;
+  r.events = tb.sim().events_scheduled();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("x1_slow_start", &argc, argv);
+  rep.Param("seed", 19);
+  rep.Param("transfer_bytes", 16 * 1024);
+  rep.Param("bit_rate", 1200);
   std::printf("X1: slow start ablation — 16 KB Ethernet -> radio PC at 1200 bps\n");
   for (bool slow_start : {false, true}) {
-    PrintHeader(slow_start ? "with slow start (Jacobson '88)"
+    rep.Header(slow_start ? "with slow start (Jacobson '88)"
                            : "no congestion control (stock 4.3BSD, as in the paper)",
                 {"window_B", "done", "time_s", "rexmit", "gw_drops"}, 12);
     for (std::uint16_t window : {2048, 4096, 8192, 16384}) {
       X1Result r = RunOne(slow_start, window, 19);
-      PrintRow({FmtInt(window), r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
-                FmtInt(r.retransmissions),
-                FmtInt(r.gw_output_drops + r.gw_input_drops)},
-               12);
+      rep.Row({FmtInt(window), r.completed ? "yes" : "NO", Fmt(r.elapsed_s, 0),
+               FmtInt(r.retransmissions),
+               FmtInt(r.gw_output_drops + r.gw_input_drops)},
+              12);
+      rep.Events(r.events);
     }
   }
   std::printf("\nShape check: without congestion control, larger windows dump\n"
@@ -75,5 +83,5 @@ int main() {
               "seen by the estimator and drops force retransmissions. Slow start\n"
               "paces the opening burst, so time and retransmissions stay flat as\n"
               "the window grows — the fix the Internet adopted the same year.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -10,6 +10,7 @@
 // one packet pays the detour and the host learns the /32.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 using namespace upr;
@@ -91,10 +92,13 @@ std::unique_ptr<World> Build(bool redirects) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("x2_redirect", &argc, argv);
+  rep.Param("pings", 10);
+  rep.Param("ping_payload", 16);
   std::printf("X2: the two-coast gateway problem of §4.2, with and without the\n"
               "ICMP-redirect mechanism the paper wished for\n");
-  PrintHeader("10 pings from the Internet host to the EAST coast PC (44.56.0.5)",
+  rep.Header("10 pings from the Internet host to the EAST coast PC (44.56.0.5)",
               {"redirects", "replies", "west_gw_fwd", "redirects_rx",
                "host_routes", "avg_rtt_ms"},
               14);
@@ -110,16 +114,17 @@ int main() {
         rtts.Add(ToMillis(*rtt));
       }
     }
-    PrintRow({redirects ? "on" : "off", FmtInt(static_cast<std::uint64_t>(replies)),
-              FmtInt(w->west.gw->stack().ip_stats().forwarded),
-              FmtInt(w->host->stack().icmp().redirects_accepted()),
-              FmtInt(w->host->stack().routes().size()), Fmt(rtts.Mean(), 0)},
-             14);
+    rep.Row({redirects ? "on" : "off", FmtInt(static_cast<std::uint64_t>(replies)),
+             FmtInt(w->west.gw->stack().ip_stats().forwarded),
+             FmtInt(w->host->stack().icmp().redirects_accepted()),
+             FmtInt(w->host->stack().routes().size()), Fmt(rtts.Mean(), 0)},
+            14);
+    rep.Events(w->sim.events_scheduled());
   }
   std::printf("\nShape check: with redirects off, all 10 packets (and their IP\n"
               "headers' worth of Ethernet bandwidth) hairpin through the west\n"
               "gateway; with redirects on, exactly one does — the host learns the\n"
               "/32 and the west gateway drops out of the path. The paper's wished-\n"
               "for mechanism works with no changes to the gateways' peers.\n");
-  return 0;
+  return rep.Finish();
 }

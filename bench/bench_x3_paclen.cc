@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/ax25/lapb.h"
 #include "src/tnc/command_tnc.h"
@@ -21,6 +22,7 @@ namespace {
 
 struct X3Result {
   bool completed = false;
+  std::uint64_t events = 0;
   double elapsed_s = 0;
   std::uint64_t i_sent = 0;
   std::uint64_t i_resent = 0;
@@ -103,16 +105,21 @@ X3Result RunOne(std::size_t paclen, std::uint8_t window, double ber,
   r.elapsed_s = ToSeconds(sim.Now());
   r.i_sent = conn->i_frames_sent();
   r.i_resent = conn->i_frames_resent();
+  r.events = sim.events_scheduled();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("x3_paclen", &argc, argv);
+  rep.Param("seed", 77);
+  rep.Param("transfer_bytes", 4096);
+  rep.Param("bit_rate", 1200);
   std::printf("X3: AX.25 PACLEN / window tuning — 4 KB connected-mode transfer\n"
               "at 1200 bps; bit-error rate as marked (long frames die more often)\n");
   for (double ber : {0.0, 1e-4, 5e-4}) {
-    PrintHeader("BER = " + Fmt(ber * 1e4, 1) + "e-4",
+    rep.Header("BER = " + Fmt(ber * 1e4, 1) + "e-4",
                 {"paclen", "k", "done", "time_s", "bps", "resent/sent"}, 10);
     for (std::size_t paclen : {32, 64, 128, 256}) {
       for (std::uint8_t window : {1, 4, 7}) {
@@ -121,9 +128,10 @@ int main() {
         double ratio = r.i_sent > 0 ? static_cast<double>(r.i_resent) /
                                           static_cast<double>(r.i_sent)
                                     : 0.0;
-        PrintRow({FmtInt(paclen), FmtInt(window), r.completed ? "yes" : "NO",
-                  Fmt(r.elapsed_s, 0), Fmt(bps, 0), Fmt(ratio, 2)},
-                 10);
+        rep.Row({FmtInt(paclen), FmtInt(window), r.completed ? "yes" : "NO",
+                 Fmt(r.elapsed_s, 0), Fmt(bps, 0), Fmt(ratio, 2)},
+                10);
+        rep.Events(r.events);
       }
     }
   }
@@ -133,5 +141,5 @@ int main() {
               "to die than a 32-byte one, and each loss costs a go-back-N burst\n"
               "that larger windows amplify. This is the trade every TNC manual's\n"
               "PACLEN advice encoded.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -8,6 +8,7 @@
 // 1200 bps.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 using namespace upr;
@@ -17,6 +18,7 @@ namespace {
 
 struct X4Result {
   bool completed = false;
+  std::uint64_t events = 0;
   double elapsed_s = 0;
   std::uint64_t receiver_segments = 0;  // almost all pure ACKs
   std::uint64_t sender_segments = 0;
@@ -61,24 +63,30 @@ X4Result RunOne(bool delayed_ack, std::size_t bytes, std::uint64_t seed) {
   if (r.elapsed_s > 0) {
     r.goodput_bps = static_cast<double>(received) * 8.0 / r.elapsed_s;
   }
+  r.events = tb.sim().events_scheduled();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("x4_delayed_ack", &argc, argv);
+  rep.Param("seed", 29);
+  rep.Param("bit_rate", 1200);
+  rep.Param("delack_timeout_s", 10);
   std::printf("X4: delayed-ACK ablation — Ethernet host -> radio PC at 1200 bps\n");
-  PrintHeader("per transfer size, ack-every-segment vs delayed (2 in-order / 10 s)",
+  rep.Header("per transfer size, ack-every-segment vs delayed (2 in-order / 10 s)",
               {"bytes", "delack", "done", "time_s", "acks", "data_segs",
                "goodput_bps"},
               12);
   for (std::size_t bytes : {2048, 8192, 16384}) {
     for (bool delack : {false, true}) {
       X4Result r = RunOne(delack, bytes, 29);
-      PrintRow({FmtInt(bytes), delack ? "on" : "off", r.completed ? "yes" : "NO",
-                Fmt(r.elapsed_s, 0), FmtInt(r.receiver_segments),
-                FmtInt(r.sender_segments), Fmt(r.goodput_bps, 0)},
-               12);
+      rep.Row({FmtInt(bytes), delack ? "on" : "off", r.completed ? "yes" : "NO",
+               Fmt(r.elapsed_s, 0), FmtInt(r.receiver_segments),
+               FmtInt(r.sender_segments), Fmt(r.goodput_bps, 0)},
+              12);
+      rep.Events(r.events);
     }
   }
   std::printf("\nShape check: delayed ACK roughly halves the receiver's segment\n"
@@ -86,5 +94,5 @@ int main() {
               "time plus a keyup to the data stream, so goodput rises by\n"
               "double-digit percent. (The sender's RTT estimator sees slightly\n"
               "higher, more variable samples — the known delack cost.)\n");
-  return 0;
+  return rep.Finish();
 }

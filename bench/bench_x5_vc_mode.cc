@@ -8,6 +8,7 @@
 // TCP transfer both ways across a loss sweep.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/driver/vc_ip_interface.h"
 
@@ -18,6 +19,7 @@ namespace {
 
 struct X5Result {
   bool completed = false;
+  std::uint64_t events = 0;
   double elapsed_s = 0;
   std::uint64_t tcp_rexmit = 0;
   std::uint64_t link_resent = 0;  // VC only
@@ -42,6 +44,7 @@ X5Result RunUi(double loss, std::uint64_t seed) {
   r.completed = tr.completed;
   r.elapsed_s = ToSeconds(tr.elapsed);
   r.tcp_rexmit = tr.retransmissions;
+  r.events = tb.sim().events_scheduled();
   return r;
 }
 
@@ -111,26 +114,34 @@ X5Result RunVc(double loss, std::uint64_t seed) {
           b->vc->link().FindConnection(*Ax25Address::Parse("KD7AA"))) {
     r.link_resent += back->i_frames_resent();
   }
+  r.events = sim.events_scheduled();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport rep("x5_vc_mode", &argc, argv);
+  rep.Param("seed_ui", 91);
+  rep.Param("seed_vc", 92);
+  rep.Param("transfer_bytes", 8 * 1024);
+  rep.Param("bit_rate", 9600);
   std::printf("X5: IP encapsulation — UI datagrams (the paper, KA9Q default) vs\n"
               "AX.25 virtual circuits (KA9Q VC mode); 8 KB TCP transfer, 9600 bps\n");
-  PrintHeader("per frame-loss rate",
+  rep.Header("per frame-loss rate",
               {"loss", "mode", "done", "time_s", "tcp_rexmit", "link_resent"},
               12);
   for (double loss : {0.0, 0.10, 0.25, 0.40}) {
     X5Result ui = RunUi(loss, 91);
-    PrintRow({Fmt(loss, 2), "ui-dgram", ui.completed ? "yes" : "NO",
-              Fmt(ui.elapsed_s, 0), FmtInt(ui.tcp_rexmit), "-"},
-             12);
+    rep.Row({Fmt(loss, 2), "ui-dgram", ui.completed ? "yes" : "NO",
+             Fmt(ui.elapsed_s, 0), FmtInt(ui.tcp_rexmit), "-"},
+            12);
+    rep.Events(ui.events);
     X5Result vc = RunVc(loss, 92);
-    PrintRow({Fmt(loss, 2), "ax25-vc", vc.completed ? "yes" : "NO",
-              Fmt(vc.elapsed_s, 0), FmtInt(vc.tcp_rexmit), FmtInt(vc.link_resent)},
-             12);
+    rep.Row({Fmt(loss, 2), "ax25-vc", vc.completed ? "yes" : "NO",
+             Fmt(vc.elapsed_s, 0), FmtInt(vc.tcp_rexmit), FmtInt(vc.link_resent)},
+            12);
+    rep.Events(vc.events);
   }
   std::printf("\nShape check: on a clean channel UI wins (no SABM handshake, no RR\n"
               "chatter). As loss grows, VC's per-hop ARQ recovers in one link\n"
@@ -138,5 +149,5 @@ int main() {
               "TCP retransmissions grow much faster in datagram mode. This is the\n"
               "trade Karn's KA9Q exposed as a per-route mode switch, and the\n"
               "reason dirty paths ran VC while clean ones ran datagram.\n");
-  return 0;
+  return rep.Finish();
 }

@@ -5,6 +5,17 @@
 // in scheduling order (a monotonically increasing sequence number breaks
 // ties), so runs are bit-reproducible.
 //
+// Event storage is a hierarchical timer wheel (4 levels x 256 slots,
+// 65.536 µs base granularity, ~78 h horizon) with a binary heap as overflow
+// for beyond-horizon events. Wheel residents are doubly linked into their
+// slot, so Cancel() unlinks and recycles in O(1) — the protocol timers
+// (T1/T3/RTO/ARP/silo alarms) that are re-armed far more often than they
+// fire no longer leave tombstones behind the way the old single
+// priority_queue did (every cancelled entry used to stay queued, paying an
+// O(log n) pop and holding its pool slot until it surfaced). The execution
+// order is exactly the old (when, seq) order; `tools/check.sh` A/B-gates the
+// wheel against the legacy heap-only mode with tracediff.
+//
 // Time is kept in integer nanoseconds (`SimTime`). Helpers convert from
 // humane units.
 #ifndef SRC_SIM_SIMULATOR_H_
@@ -14,7 +25,6 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace upr {
@@ -45,15 +55,35 @@ constexpr double ToMillis(SimTime t) {
 
 // Transmission time of `bytes` at `bits_per_second` (8 bits per byte; HDLC
 // bit-stuffing overhead is ignored, as the paper's budget analysis does).
+// Integer math with round-half-up: the old double formula truncated, so
+// rates that don't divide evenly (1200, 9600, ...) drifted up to 1 ns per
+// frame — the same error class PR 1 fixed for per-byte serial `byte_time`.
 constexpr SimTime TransmitTime(std::size_t bytes, std::uint64_t bits_per_second) {
-  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
-                              static_cast<double>(bits_per_second) *
-                              static_cast<double>(kSecond));
+  if (bits_per_second == 0) {
+    return 0;
+  }
+  using Wide = unsigned __int128;
+  Wide ns = (Wide(bytes) * 8u * Wide(kSecond) + bits_per_second / 2) /
+            bits_per_second;
+  constexpr Wide kMax = Wide(INT64_MAX);
+  return ns > kMax ? INT64_MAX : static_cast<SimTime>(ns);
 }
 
 class Simulator {
  public:
-  Simulator() = default;
+  // Event-queue implementation. kTimerWheel is the default; kHeap is the
+  // seed's single priority_queue with lazy tombstones, kept for the
+  // tracediff A/B equivalence gate (`uprsim --event-queue heap`).
+  enum class EventQueue { kTimerWheel, kHeap };
+
+  // Default used by Simulator() — lets tools select the implementation
+  // without threading a parameter through every scenario constructor.
+  static void SetDefaultEventQueue(EventQueue q);
+  static EventQueue default_event_queue();
+
+  Simulator();
+  explicit Simulator(EventQueue q);
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -65,6 +95,7 @@ class Simulator {
   std::uint64_t ScheduleAt(SimTime when, std::function<void()> fn);
 
   // Cancels a pending event; a no-op if it already ran or was cancelled.
+  // O(1) for wheel-resident events (unlink + immediate recycle).
   void Cancel(std::uint64_t id);
 
   // Runs events until the queue is empty or `deadline` is passed. Events at
@@ -88,13 +119,36 @@ class Simulator {
   // on a free list, so this tracks peak concurrency, not event count.
   std::size_t pool_capacity() const { return pool_.size(); }
   std::size_t pool_free() const { return free_.size(); }
+  // Events currently resident in the wheel vs. the overflow heap (the heap
+  // also counts not-yet-surfaced tombstones).
+  std::size_t wheel_resident() const { return wheel_count_; }
+  std::size_t heap_resident() const { return queue_.size(); }
 
  private:
+  // Wheel geometry: 4 levels of 256 slots. Level 0 slots are 2^16 ns
+  // (65.536 µs); each level is 256x coarser. Horizon = 2^48 ns ≈ 78 h;
+  // events beyond it overflow to the heap.
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;            // 256
+  static constexpr int kShift0 = 16;
+  static constexpr int Shift(int level) { return kShift0 + kSlotBits * level; }
+
+  static constexpr std::int8_t kLocFree = -3;
+  static constexpr std::int8_t kLocHeap = -2;
+  // loc >= 0: wheel level the event is linked into.
+
   struct Event {
-    SimTime when;
-    std::uint64_t seq;
+    SimTime when = 0;
+    std::uint64_t seq = 0;
     std::function<void()> fn;
-    bool cancelled = false;
+    Event* prev = nullptr;  // intrusive slot links while wheel-resident
+    Event* next = nullptr;
+    std::uint32_t gen = 0;        // bumped on alloc; ids embed it
+    std::uint32_t pool_index = 0;
+    std::int8_t loc = kLocFree;
+    std::uint16_t slot = 0;
+    bool cancelled = false;  // heap tombstone flag
   };
   struct EventCompare {
     bool operator()(const Event* a, const Event* b) const {
@@ -104,6 +158,13 @@ class Simulator {
       return a->seq > b->seq;
     }
   };
+  // Strict (when, seq) order — the execution order contract.
+  static bool Earlier(const Event* a, const Event* b) {
+    if (a->when != b->when) {
+      return a->when < b->when;
+    }
+    return a->seq < b->seq;
+  }
 
   // Free-list allocation: events live in `pool_` for the simulator's
   // lifetime and recycle through `free_` instead of a per-schedule
@@ -112,17 +173,46 @@ class Simulator {
   Event* AllocEvent();
   void Recycle(Event* ev);
 
+  // Queue placement and removal.
+  void Place(Event* ev);
+  void WheelInsert(Event* ev, int level);
+  void WheelUnlink(Event* ev);
+  // Earliest wheel resident by (when, seq), or nullptr. Cached; recomputed
+  // only when the cached minimum is removed.
+  Event* WheelMin();
+  Event* WheelScanMin() const;
+  // First occupied slot at `level` in wrap order starting at `from`; -1 when
+  // the level is empty.
+  int FindOccupied(int level, int from) const;
+  // Re-buckets coarse slots after now_ advances across slot boundaries.
+  void AdvanceWheel(SimTime t);
+  void CascadeSlot(int level, int slot);
+  // Drops cancelled heap tombstones off the top of the heap.
+  void DrainHeapTombstones();
+
   // Pops the next non-cancelled event, or nullptr. The returned event is
   // still owned by the pool; callers must Recycle() it.
   Event* PopNext();
+  // Time of the next pending event; false when idle.
+  bool PeekNextTime(SimTime* when);
 
+  EventQueue mode_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t pending_ = 0;   // non-cancelled events in queue
   std::size_t executed_ = 0;
+
+  // Overflow heap (and the whole store in kHeap mode).
   std::priority_queue<Event*, std::vector<Event*>, EventCompare> queue_;
-  // id (== seq) -> event, for O(1) cancellation. Absent once run/cancelled.
-  std::unordered_map<std::uint64_t, Event*> live_;
+
+  // Timer wheel state.
+  Event* slots_[kLevels][kSlots] = {};
+  std::uint64_t occ_[kLevels][kSlots / 64] = {};
+  std::uint64_t base_[kLevels] = {};  // absolute slot index of now_ per level
+  std::size_t wheel_count_ = 0;
+  Event* cached_min_ = nullptr;
+  bool cached_min_valid_ = true;  // empty wheel: valid, nullptr
+
   std::vector<std::unique_ptr<Event>> pool_;
   std::vector<Event*> free_;
 };

@@ -1,0 +1,350 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace upr {
+namespace json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Value> Run() {
+    SkipWs();
+    Value v;
+    if (!ParseValue(&v)) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  std::optional<Value> Fail(const char* msg) {
+    if (error_ != nullptr) {
+      *error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+    }
+    failed_ = true;
+    return std::nullopt;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Value* out) {
+    if (depth_ > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of document");
+      return false;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (!Literal("true")) {
+          Fail("bad literal");
+          return false;
+        }
+        out->kind = Value::Kind::kBool;
+        out->boolean = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) {
+          Fail("bad literal");
+          return false;
+        }
+        out->kind = Value::Kind::kBool;
+        out->boolean = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) {
+          Fail("bad literal");
+          return false;
+        }
+        out->kind = Value::Kind::kNull;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    ++depth_;
+    ++pos_;  // '{'
+    out->kind = Value::Kind::kObject;
+    SkipWs();
+    if (Eat('}')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        Fail("expected object key");
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        Fail("expected ':' after key");
+        return false;
+      }
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        --depth_;
+        return true;
+      }
+      Fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    ++depth_;
+    ++pos_;  // '['
+    out->kind = Value::Kind::kArray;
+    SkipWs();
+    if (Eat(']')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->items.push_back(std::move(v));
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat(']')) {
+        --depth_;
+        return true;
+      }
+      Fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad hex digit in \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // for bench documents; lone surrogates encode as-is).
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(Value* out) {
+    std::size_t start = pos_;
+    if (Eat('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Fail("expected a value");
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("expected digits after decimal point");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("expected digits in exponent");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = Value::Kind::kNumber;
+    out->raw = std::string(text_.substr(start, pos_ - start));
+    out->number = std::strtod(out->raw.c_str(), nullptr);
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+bool Value::is_integer_token() const {
+  if (kind != Kind::kNumber || raw.empty()) {
+    return false;
+  }
+  for (char c : raw) {
+    if (c == '.' || c == 'e' || c == 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  return Parser(text, error).Run();
+}
+
+}  // namespace json
+}  // namespace upr

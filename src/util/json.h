@@ -1,0 +1,54 @@
+// Minimal strict JSON parser for the perf-ledger tooling (tools/benchdiff
+// reads the BENCH_*.json documents bench/bench_json.h emits).
+//
+// Deliberately small: parses the full JSON grammar (objects, arrays,
+// strings with escapes, numbers, true/false/null) into a single Value tree,
+// keeps object keys in insertion order, and — because benchdiff compares
+// integers exactly but doubles with an epsilon — keeps the raw number token
+// alongside the parsed double so "3" and "3.0" remain distinguishable.
+// No writer here: emission lives in bench/bench_json.h, which formats
+// documents for human diffing too.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace upr {
+namespace json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  // the exact number token as written, e.g. "3" vs "3.0"
+  std::string str;
+  std::vector<Value> items;                              // kArray
+  std::vector<std::pair<std::string, Value>> members;    // kObject, in order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // True when the number token is a plain integer literal (no '.', 'e').
+  bool is_integer_token() const;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+};
+
+// Parses `text` as one JSON document (trailing whitespace allowed, trailing
+// garbage rejected). On failure returns nullopt and, if `error` is non-null,
+// stores a one-line message with byte offset.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace json
+}  // namespace upr
+
+#endif  // SRC_UTIL_JSON_H_

@@ -1,0 +1,46 @@
+// Regression tests for the bench table formatter (bench/bench_util.h): the
+// old snprintf(char[64]) implementation silently truncated any cell of 64+
+// characters, clipping long scenario labels in bench output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace upr {
+namespace bench {
+namespace {
+
+TEST(BenchFormatTest, PadsShortCellsToWidth) {
+  EXPECT_EQ(FormatCells({"a", "bb"}, 4), "a   bb  ");
+  EXPECT_EQ(FormatCells({"abcd"}, 4), "abcd");
+}
+
+TEST(BenchFormatTest, LongCellsAreKeptWholeNotTruncated) {
+  // 80 characters — the old fixed char[64] formatter clipped this to 63.
+  std::string long_cell(80, 'x');
+  std::string row = FormatCells({long_cell, "tail"}, 14);
+  EXPECT_EQ(row, long_cell + "tail" + std::string(10, ' '));
+  EXPECT_NE(row.find("xxxxtail"), std::string::npos);
+}
+
+TEST(BenchFormatTest, CellExactlyAtOldBufferBoundary) {
+  for (std::size_t n : {63u, 64u, 65u, 200u}) {
+    std::string cell(n, 'y');
+    EXPECT_EQ(FormatCells({cell}, 14), cell) << "n=" << n;
+  }
+}
+
+TEST(BenchFormatTest, ZeroAndNegativeWidthActAsNoPadding) {
+  EXPECT_EQ(FormatCells({"a", "b"}, 0), "ab");
+  EXPECT_EQ(FormatCells({"a", "b"}, -3), "ab");
+}
+
+TEST(BenchFormatTest, EmptyCellsStillPad) {
+  EXPECT_EQ(FormatCells({"", ""}, 3), "      ");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace upr

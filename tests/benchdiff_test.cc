@@ -1,0 +1,147 @@
+// Perf-ledger regression gate (tools/benchdiff_core): the fixtures here
+// build a representative bench-ledger document, inject one fault at a time —
+// a flipped sim table cell, a drifted counter, a slower wall clock, a
+// changed scenario param — and assert the diff engine flags exactly the
+// faults it should. This is the ISSUE's "inject a fake regression and assert
+// benchdiff exits nonzero" test, run against the same code the CLI links.
+#include "tools/benchdiff_core.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/json.h"
+
+namespace upr {
+namespace {
+
+constexpr char kDoc[] = R"({
+  "schema": 1,
+  "bench": "e1_link_speed",
+  "exit_code": 0,
+  "smoke": false,
+  "params": {"seed": 7, "payload": 56, "rates": "300..19200"},
+  "sim": {"events_total": 123456, "goodput_frac": 0.8125},
+  "tables": [
+    {"title": "rtt vs rate", "kind": "sim", "cols": ["rate", "rtt_ms"],
+     "rows": [["1200", "4216"], ["9600", "572"]]},
+    {"title": "decode timings", "kind": "wall", "cols": ["case", "ns"],
+     "rows": [["kiss", "812"]]}
+  ],
+  "wall": {
+    "events_per_wall_sec": {"value": 2000000.0, "better": "higher"},
+    "wall_ms": {"value": 100.0, "better": "lower"}
+  }
+})";
+
+json::Value Doc(const std::string& text = kDoc) {
+  std::string err;
+  auto v = json::Parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << err;
+  return *v;
+}
+
+// Replaces the first occurrence of `from` in the canned document.
+json::Value Mutated(const std::string& from, const std::string& to) {
+  std::string text = kDoc;
+  auto pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  text.replace(pos, from.size(), to);
+  return Doc(text);
+}
+
+TEST(BenchdiffTest, IdenticalDocumentsPass) {
+  std::string report;
+  EXPECT_TRUE(benchdiff::CompareDocs(Doc(), Doc(), {}, &report)) << report;
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(BenchdiffTest, InjectedSimTableRegressionFails) {
+  // One RTT cell drifts by a millisecond: exact-compare must catch it.
+  std::string report;
+  EXPECT_FALSE(
+      benchdiff::CompareDocs(Doc(), Mutated("\"4216\"", "\"4217\""), {}, &report));
+  EXPECT_NE(report.find("rtt vs rate"), std::string::npos) << report;
+}
+
+TEST(BenchdiffTest, InjectedSimCounterRegressionFails) {
+  std::string report;
+  EXPECT_FALSE(
+      benchdiff::CompareDocs(Doc(), Mutated("123456", "123457"), {}, &report));
+  EXPECT_NE(report.find("events_total"), std::string::npos) << report;
+}
+
+TEST(BenchdiffTest, SimFloatsTolerateOnlyTinyError) {
+  std::string report;
+  // 1 ulp-ish wiggle from FP contraction passes...
+  EXPECT_TRUE(benchdiff::CompareDocs(
+      Doc(), Mutated("0.8125", "0.81250000000000011"), {}, &report))
+      << report;
+  // ...a real drift does not.
+  EXPECT_FALSE(
+      benchdiff::CompareDocs(Doc(), Mutated("0.8125", "0.8126"), {}, &report));
+}
+
+TEST(BenchdiffTest, WallClockBandIsOneSided) {
+  benchdiff::Options opt;
+  opt.wall_tol = 0.5;
+  std::string report;
+  // 10x faster: passes (improvements are always in tolerance).
+  EXPECT_TRUE(benchdiff::CompareDocs(Doc(), Mutated("100.0", "10.0"), opt, &report))
+      << report;
+  // Just inside the 1.5x ceiling: passes.
+  EXPECT_TRUE(benchdiff::CompareDocs(Doc(), Mutated("100.0", "149.0"), opt, &report))
+      << report;
+  // Beyond it: fails and names the metric.
+  report.clear();
+  EXPECT_FALSE(
+      benchdiff::CompareDocs(Doc(), Mutated("100.0", "151.0"), opt, &report));
+  EXPECT_NE(report.find("wall.wall_ms"), std::string::npos) << report;
+  // Higher-is-better direction: a throughput collapse fails.
+  EXPECT_FALSE(
+      benchdiff::CompareDocs(Doc(), Mutated("2000000.0", "900000.0"), opt, &report));
+}
+
+TEST(BenchdiffTest, WallTablesOnlyCheckShape) {
+  std::string report;
+  // A wall-table timing cell may move freely...
+  EXPECT_TRUE(
+      benchdiff::CompareDocs(Doc(), Mutated("\"812\"", "\"2990\""), {}, &report))
+      << report;
+  // ...but dropping its row does not pass.
+  EXPECT_FALSE(benchdiff::CompareDocs(
+      Doc(), Mutated("[[\"kiss\", \"812\"]]", "[]"), {}, &report));
+}
+
+TEST(BenchdiffTest, ChangedParamDemandsRebaseline) {
+  std::string report;
+  EXPECT_FALSE(
+      benchdiff::CompareDocs(Doc(), Mutated("\"seed\": 7", "\"seed\": 8"), {}, &report));
+  EXPECT_NE(report.find("regenerate bench/baselines"), std::string::npos) << report;
+}
+
+TEST(BenchdiffTest, NewAndMissingKeysBothFail) {
+  std::string report;
+  EXPECT_FALSE(benchdiff::CompareDocs(
+      Doc(), Mutated("\"seed\": 7, ", ""), {}, &report));
+  EXPECT_FALSE(benchdiff::CompareDocs(
+      Doc(), Mutated("\"seed\": 7", "\"seed\": 7, \"extra\": 1"), {}, &report));
+}
+
+TEST(BenchdiffTest, BenchIdAndExitCodeMismatchFail) {
+  std::string report;
+  EXPECT_FALSE(benchdiff::CompareDocs(
+      Doc(), Mutated("e1_link_speed", "e2_gateway_load"), {}, &report));
+  EXPECT_FALSE(benchdiff::CompareDocs(
+      Doc(), Mutated("\"exit_code\": 0", "\"exit_code\": 1"), {}, &report));
+}
+
+TEST(BenchdiffTest, CompareFilesReportsUnreadableAndUnparsablePaths) {
+  std::string report;
+  EXPECT_FALSE(benchdiff::CompareFiles("/nonexistent/base.json",
+                                       "/nonexistent/cur.json", {}, &report));
+  EXPECT_NE(report.find("cannot read"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace upr

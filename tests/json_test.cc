@@ -1,0 +1,89 @@
+// src/util/json.h — the strict little parser under the perf-ledger tooling.
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace upr {
+namespace {
+
+json::Value MustParse(const std::string& text) {
+  std::string err;
+  auto v = json::Parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << err << " in: " << text;
+  return v.has_value() ? *v : json::Value{};
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(MustParse("null").kind, json::Value::Kind::kNull);
+  EXPECT_TRUE(MustParse("true").boolean);
+  EXPECT_FALSE(MustParse("false").boolean);
+  EXPECT_DOUBLE_EQ(MustParse("3.5").number, 3.5);
+  EXPECT_DOUBLE_EQ(MustParse("-2e3").number, -2000.0);
+  EXPECT_EQ(MustParse("\"hi\"").str, "hi");
+}
+
+TEST(JsonTest, KeepsRawNumberTokenForExactIntegerCompare) {
+  json::Value a = MustParse("3");
+  json::Value b = MustParse("3.0");
+  EXPECT_TRUE(a.is_integer_token());
+  EXPECT_FALSE(b.is_integer_token());
+  EXPECT_EQ(a.raw, "3");
+  EXPECT_EQ(b.raw, "3.0");
+  // Full-precision doubles survive a parse round trip.
+  EXPECT_DOUBLE_EQ(MustParse("0.1000000000000000055511151231257827").number, 0.1);
+  EXPECT_TRUE(MustParse("-9223372036854775807").is_integer_token());
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  json::Value v = MustParse(
+      R"({"bench": "e1", "params": {"seed": 7}, "tables": [{"rows": [["a", "b"], []]}]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("bench")->str, "e1");
+  EXPECT_EQ(v.Find("params")->Find("seed")->raw, "7");
+  const json::Value* tables = v.Find("tables");
+  ASSERT_TRUE(tables->is_array());
+  const json::Value* rows = tables->items[0].Find("rows");
+  ASSERT_EQ(rows->items.size(), 2u);
+  EXPECT_EQ(rows->items[0].items[1].str, "b");
+  EXPECT_TRUE(rows->items[1].items.empty());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, PreservesObjectMemberOrder) {
+  json::Value v = MustParse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].first, "z");
+  EXPECT_EQ(v.members[1].first, "a");
+  EXPECT_EQ(v.members[2].first, "m");
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\nd\te")").str, "a\"b\\c\nd\te");
+  EXPECT_EQ(MustParse(R"("Aé")").str, "A\xC3\xA9");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "01x", "\"unterminated",
+        "tru", "{} trailing", "[1 2]", "\"\x01\"", "nul", "- 1", "1.e5",
+        R"("\q")"}) {
+    std::string err;
+    EXPECT_FALSE(json::Parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json::Parse(deep).has_value());
+}
+
+TEST(JsonTest, AcceptsSurroundingWhitespaceOnly) {
+  EXPECT_TRUE(json::Parse("  {\n\t\"a\": [1, 2]\r\n}  ").has_value());
+}
+
+}  // namespace
+}  // namespace upr

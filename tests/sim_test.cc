@@ -191,6 +191,113 @@ TEST(SimulatorTest, CancelOfRecycledIdDoesNotAffectNewEvent) {
   EXPECT_TRUE(ran);
 }
 
+TEST(TimerWheelTest, CancelledWheelEventsRecycleImmediately) {
+  // The tombstone regression: re-arming a timer 100k times used to leave
+  // 100k dead heap entries (pool slots + O(log n) pops). With the wheel,
+  // every cancel returns its slot to the free list at once.
+  Simulator sim(Simulator::EventQueue::kTimerWheel);
+  Timer t(&sim, [] {});
+  for (int i = 0; i < 100'000; ++i) {
+    t.Restart(Seconds(5));  // each Restart cancels the previous arm
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // One live arm; everything else must already be recycled.
+  EXPECT_LE(sim.pool_capacity(), 4u);
+  EXPECT_EQ(sim.pool_free(), sim.pool_capacity() - 1);
+  t.Stop();
+  EXPECT_EQ(sim.pool_free(), sim.pool_capacity());
+}
+
+TEST(TimerWheelTest, OrderingAcrossSlotAndLevelBoundaries) {
+  // Deadlines straddling every wheel level (65 µs slots, 16.8 ms, 4.3 s,
+  // 18 min spans) plus a beyond-horizon event that overflows to the heap.
+  Simulator sim(Simulator::EventQueue::kTimerWheel);
+  std::vector<int> order;
+  const SimTime whens[] = {
+      Microseconds(1),  Microseconds(64), Microseconds(65),  Microseconds(200),
+      Milliseconds(16), Milliseconds(17), Milliseconds(400), Seconds(4),
+      Seconds(5),       Seconds(1000),    Seconds(1100),     Seconds(100'000),
+      Seconds(300'000), Seconds(400'000),
+  };
+  // Schedule in reverse to decouple insertion order from firing order.
+  for (int i = static_cast<int>(std::size(whens)) - 1; i >= 0; --i) {
+    sim.ScheduleAt(whens[i], [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(order.size(), std::size(whens));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(sim.Now(), Seconds(400'000));
+}
+
+TEST(TimerWheelTest, EqualTimestampsInterleaveWheelAndHeapBySeq) {
+  // Two events at the same instant, one wheel-resident and one scheduled
+  // while beyond the horizon (heap overflow): sequence order must still win.
+  Simulator sim(Simulator::EventQueue::kTimerWheel);
+  std::vector<int> order;
+  const SimTime far = Seconds(500'000);  // beyond the 78 h wheel horizon
+  sim.ScheduleAt(far, [&] { order.push_back(0); });   // heap resident
+  sim.ScheduleAt(far, [&] { order.push_back(1); });   // heap resident
+  sim.ScheduleAt(Seconds(250'000), [&] {
+    // By now `far` is inside the horizon: this lands in the wheel, at the
+    // same timestamp but with a later seq than the heap pair.
+    sim.ScheduleAt(far, [&] { order.push_back(2); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimerWheelTest, RunUntilAdvancesAcrossEmptySpans) {
+  // Large idle jumps (RunUntil with an empty wheel) must not cost per-slot
+  // work or corrupt bucketing for later schedules.
+  Simulator sim(Simulator::EventQueue::kTimerWheel);
+  sim.RunUntil(Seconds(3600));
+  EXPECT_EQ(sim.Now(), Seconds(3600));
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(30), [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.Now(), Seconds(3600) + Seconds(30));
+}
+
+TEST(TimerWheelTest, ExecutionOrderIdenticalToLegacyHeapUnderChurn) {
+  // A/B determinism gate in miniature: a randomized schedule/cancel/re-arm
+  // storm must execute in exactly the same order under the wheel and the
+  // legacy heap. (check.sh runs the full-scenario tracediff version.)
+  auto run = [](Simulator::EventQueue mode) {
+    Simulator sim(mode);
+    std::vector<std::uint64_t> fired;
+    std::vector<std::uint64_t> ids;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      return lcg >> 33;
+    };
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 40; ++i) {
+        std::uint64_t tag = next();
+        SimTime delay = static_cast<SimTime>(next() % 2'000'000'000);  // 0..2 s
+        ids.push_back(sim.Schedule(delay, [&fired, tag] { fired.push_back(tag); }));
+      }
+      // Cancel a pseudo-random third of everything ever scheduled.
+      for (std::size_t i = 0; i < ids.size(); i += 3) {
+        if (next() % 2 == 0) {
+          sim.Cancel(ids[i]);
+        }
+      }
+      sim.RunUntil(sim.Now() + Milliseconds(250));
+    }
+    sim.RunAll();
+    return fired;
+  };
+  auto wheel = run(Simulator::EventQueue::kTimerWheel);
+  auto heap = run(Simulator::EventQueue::kHeap);
+  EXPECT_GT(wheel.size(), 100u);
+  EXPECT_EQ(wheel, heap);
+}
+
 TEST(TimeHelpersTest, Conversions) {
   EXPECT_EQ(Seconds(1.5), 1'500'000'000);
   EXPECT_EQ(Milliseconds(2), 2'000'000);
@@ -203,6 +310,37 @@ TEST(TimeHelpersTest, TransmitTimeAt1200Baud) {
   // 150 bytes at 1200 bit/s = 1 second: the paper's dominant cost.
   EXPECT_EQ(TransmitTime(150, 1200), Seconds(1));
   EXPECT_EQ(TransmitTime(1500, 10'000'000), Microseconds(1200));
+}
+
+TEST(TimeHelpersTest, TransmitTimeIsExactIntegerMathWithRoundHalfUp) {
+  // Non-divisible rates: the old double formula truncated (1 byte at 1200
+  // bit/s -> 6666666 ns); integer round-half-up pins the mathematically
+  // nearest nanosecond.
+  EXPECT_EQ(TransmitTime(1, 1200), 6'666'667);     // 6666666.66... rounds up
+  EXPECT_EQ(TransmitTime(100, 1200), 666'666'667); // .66 rounds up
+  EXPECT_EQ(TransmitTime(1, 9600), 833'333);       // 833333.33 rounds down
+  EXPECT_EQ(TransmitTime(7, 9600), 5'833'333);     // 5833333.33 rounds down
+  // Exact half: 1 byte at 16000 bit/s = 500000 ns exactly; 1 at 3200000 is
+  // 2500 ns exactly; 1 byte at 4800 = 1666666.66 rounds up.
+  EXPECT_EQ(TransmitTime(1, 4800), 1'666'667);
+  // Half-way case rounds up: 3 bytes at 48'000'000'000 bps = 0.5 ns.
+  EXPECT_EQ(TransmitTime(3, 48'000'000'000ULL), 1);
+  // Pathological rates.
+  EXPECT_EQ(TransmitTime(1, 1), Seconds(8));         // 8 s per byte
+  EXPECT_EQ(TransmitTime(1, 3), 2'666'666'667);      // 2.66... s rounds up
+  EXPECT_EQ(TransmitTime(0, 1200), 0);
+  EXPECT_EQ(TransmitTime(10, 0), 0);  // guarded: no divide-by-zero
+  // Saturates instead of overflowing for absurd byte counts.
+  EXPECT_EQ(TransmitTime(static_cast<std::size_t>(-1), 1), INT64_MAX);
+  // No drift when accumulated: 1000 one-byte times vs one 1000-byte frame
+  // differ only by per-frame rounding, never by more than half a ns each.
+  SimTime per_byte_sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    per_byte_sum += TransmitTime(1, 1200);
+  }
+  SimTime frame = TransmitTime(1000, 1200);
+  EXPECT_LE(per_byte_sum - frame, 1000);
+  EXPECT_GE(per_byte_sum - frame, 0);
 }
 
 }  // namespace

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Perf-ledger runner: executes every bench binary with `--json` and collects
+# the documents as BENCH_<id>.json in one directory, ready for benchdiff
+# against the checked-in baselines in bench/baselines/.
+#
+# Usage: tools/bench_ledger.sh <builddir> <outdir> [--smoke]
+#   <builddir>  a configured build tree (bench binaries in <builddir>/bench).
+#               Baselines are generated from a Release tree — wall metrics
+#               from unoptimized builds are not comparable to them.
+#   <outdir>    where the BENCH_*.json documents land (created if missing).
+#   --smoke     pass --smoke to every bench (CI sanity only; smoke documents
+#               carry different params and will NOT diff clean against full
+#               baselines).
+#
+# Any bench exiting nonzero fails the run: several benches (copy-path ratios,
+# tracediff throughput, the hotpath frame-rate floor) gate on their own
+# acceptance criteria via exit status.
+set -eu
+
+if [ $# -lt 2 ]; then
+  echo "usage: tools/bench_ledger.sh <builddir> <outdir> [--smoke]" >&2
+  exit 2
+fi
+builddir=$1
+outdir=$2
+smoke_flag=${3:-}
+
+if [ ! -d "$builddir/bench" ]; then
+  echo "bench_ledger: no bench/ directory under $builddir" >&2
+  exit 2
+fi
+mkdir -p "$outdir"
+
+failed=0
+count=0
+for bin in "$builddir"/bench/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  id=${name#bench_}
+  out="$outdir/BENCH_$id.json"
+  # google-benchmark binaries read their own flags; in smoke mode shorten
+  # their measurement window instead of --smoke-scaling the scenario.
+  extra=""
+  if [ "$name" = "bench_e5_interrupt_path" ] && [ -n "$smoke_flag" ]; then
+    extra="--benchmark_min_time=0.01"
+  fi
+  # shellcheck disable=SC2086
+  if ! "$bin" $smoke_flag $extra --json "$out" >"$outdir/$name.out" 2>&1; then
+    echo "FAIL: $name exited nonzero (output in $outdir/$name.out)" >&2
+    failed=1
+  fi
+  count=$((count + 1))
+done
+
+if [ "$count" -eq 0 ]; then
+  echo "bench_ledger: no bench binaries found under $builddir/bench" >&2
+  exit 2
+fi
+if [ "$failed" -ne 0 ]; then
+  exit 1
+fi
+echo "bench_ledger: $count benches -> $outdir"

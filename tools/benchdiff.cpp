@@ -1,0 +1,117 @@
+// benchdiff — perf-ledger regression gate.
+//
+// Compares bench-ledger JSON documents (emitted by `bench_* --json <path>`,
+// schema in bench/bench_json.h) against checked-in baselines. Deterministic
+// simulation metrics must match exactly; wall-clock metrics get a one-sided
+// tolerance band. See tools/benchdiff_core.h for the full contract.
+//
+// Usage:
+//   benchdiff [--wall-tol F] <baseline.json> <current.json>
+//   benchdiff [--wall-tol F] --dir <baseline-dir> <current-dir>
+//
+// --dir mode pairs every BENCH_*.json in <baseline-dir> with the same name
+// in <current-dir>; a baseline with no current-run counterpart is a failure
+// (a bench binary silently dropping out of the ledger must not pass CI).
+//
+// Exit codes: 0 all within tolerance, 1 regression or missing file,
+// 2 usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/benchdiff_core.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff [--wall-tol FRAC] <baseline.json> <current.json>\n"
+               "       benchdiff [--wall-tol FRAC] --dir <baseline-dir> "
+               "<current-dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  upr::benchdiff::Options opt;
+  bool dir_mode = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--wall-tol") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      char* end = nullptr;
+      opt.wall_tol = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || opt.wall_tol < 0) {
+        std::fprintf(stderr, "benchdiff: bad --wall-tol value\n");
+        return Usage();
+      }
+    } else if (a == "--dir") {
+      dir_mode = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "benchdiff: unknown option %s\n", a.c_str());
+      return Usage();
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) {
+    return Usage();
+  }
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (dir_mode) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(paths[0], ec)) {
+      std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          name.substr(name.size() - 5) == ".json") {
+        names.push_back(name);
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "benchdiff: cannot list %s: %s\n", paths[0].c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    if (names.empty()) {
+      std::fprintf(stderr, "benchdiff: no BENCH_*.json baselines in %s\n",
+                   paths[0].c_str());
+      return 2;
+    }
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) {
+      pairs.emplace_back(paths[0] + "/" + name, paths[1] + "/" + name);
+    }
+  } else {
+    pairs.emplace_back(paths[0], paths[1]);
+  }
+
+  int failures = 0;
+  for (const auto& [base, cur] : pairs) {
+    std::string report;
+    if (upr::benchdiff::CompareFiles(base, cur, opt, &report)) {
+      std::printf("ok        %s\n", cur.c_str());
+    } else {
+      std::printf("REGRESSED %s\n%s", cur.c_str(), report.c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::printf("benchdiff: %d of %zu documents regressed (wall tol %.0f%%)\n",
+                failures, pairs.size(), opt.wall_tol * 100);
+    return 1;
+  }
+  std::printf("benchdiff: all %zu documents within tolerance (wall tol %.0f%%)\n",
+              pairs.size(), opt.wall_tol * 100);
+  return 0;
+}

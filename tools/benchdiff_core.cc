@@ -1,0 +1,338 @@
+#include "tools/benchdiff_core.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace upr {
+namespace benchdiff {
+
+namespace {
+
+void Note(std::string* report, const std::string& line) {
+  *report += "  ";
+  *report += line;
+  *report += '\n';
+}
+
+std::string Describe(const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kNull:
+      return "null";
+    case json::Value::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case json::Value::Kind::kNumber:
+      return v.raw;
+    case json::Value::Kind::kString:
+      return "\"" + v.str + "\"";
+    case json::Value::Kind::kArray:
+      return "<array>";
+    case json::Value::Kind::kObject:
+      return "<object>";
+  }
+  return "<?>";
+}
+
+bool NumbersClose(double a, double b) {
+  if (a == b) {
+    return true;
+  }
+  double diff = std::fabs(a - b);
+  double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= 1e-12 || diff <= 1e-9 * scale;
+}
+
+// Exact-class scalar equality: used for params and sim metrics.
+bool ScalarEqual(const json::Value& a, const json::Value& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  switch (a.kind) {
+    case json::Value::Kind::kNumber:
+      if (a.is_integer_token() && b.is_integer_token()) {
+        return std::strtoll(a.raw.c_str(), nullptr, 10) ==
+               std::strtoll(b.raw.c_str(), nullptr, 10);
+      }
+      return NumbersClose(a.number, b.number);
+    case json::Value::Kind::kString:
+      return a.str == b.str;
+    case json::Value::Kind::kBool:
+      return a.boolean == b.boolean;
+    case json::Value::Kind::kNull:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Key-set + value comparison of a flat object ("params" or "sim").
+bool CompareFlatObject(const char* what, const json::Value* base,
+                       const json::Value* cur, const char* stale_hint,
+                       std::string* report) {
+  bool ok = true;
+  if (base == nullptr || cur == nullptr || !base->is_object() ||
+      !cur->is_object()) {
+    if ((base != nullptr && base->is_object() && !base->members.empty()) ||
+        (cur != nullptr && cur->is_object() && !cur->members.empty())) {
+      Note(report, std::string(what) + ": section missing or malformed");
+      return false;
+    }
+    return true;
+  }
+  for (const auto& [key, bv] : base->members) {
+    const json::Value* cv = cur->Find(key);
+    if (cv == nullptr) {
+      Note(report, std::string(what) + "." + key + ": missing from current run" +
+                       stale_hint);
+      ok = false;
+      continue;
+    }
+    if (!ScalarEqual(bv, *cv)) {
+      Note(report, std::string(what) + "." + key + ": baseline " + Describe(bv) +
+                       " != current " + Describe(*cv) + stale_hint);
+      ok = false;
+    }
+  }
+  for (const auto& [key, cv] : cur->members) {
+    (void)cv;
+    if (base->Find(key) == nullptr) {
+      Note(report,
+           std::string(what) + "." + key + ": new key not in baseline" + stale_hint);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+const json::Value* FindTable(const json::Value& tables, const std::string& title) {
+  for (const auto& t : tables.items) {
+    const json::Value* tt = t.Find("title");
+    if (tt != nullptr && tt->is_string() && tt->str == title) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+bool StringArraysEqual(const json::Value& a, const json::Value& b) {
+  if (!a.is_array() || !b.is_array() || a.items.size() != b.items.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    if (!a.items[i].is_string() || !b.items[i].is_string() ||
+        a.items[i].str != b.items[i].str) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CompareTables(const json::Value& base, const json::Value& cur,
+                   std::string* report) {
+  const json::Value* bt = base.Find("tables");
+  const json::Value* ct = cur.Find("tables");
+  if (bt == nullptr || ct == nullptr || !bt->is_array() || !ct->is_array()) {
+    if (bt != nullptr && bt->is_array() && !bt->items.empty()) {
+      Note(report, "tables: section missing from current run");
+      return false;
+    }
+    return true;
+  }
+  bool ok = true;
+  for (const auto& table : bt->items) {
+    const json::Value* title_v = table.Find("title");
+    std::string title =
+        title_v != nullptr && title_v->is_string() ? title_v->str : "<untitled>";
+    const json::Value* other = FindTable(*ct, title);
+    if (other == nullptr) {
+      Note(report, "table \"" + title + "\": missing from current run");
+      ok = false;
+      continue;
+    }
+    const json::Value* kind_v = table.Find("kind");
+    bool sim_table =
+        kind_v == nullptr || !kind_v->is_string() || kind_v->str == "sim";
+    const json::Value* bcols = table.Find("cols");
+    const json::Value* ccols = other->Find("cols");
+    if (bcols == nullptr || ccols == nullptr ||
+        !StringArraysEqual(*bcols, *ccols)) {
+      Note(report, "table \"" + title + "\": column set changed (stale baseline?)");
+      ok = false;
+      continue;
+    }
+    const json::Value* brows = table.Find("rows");
+    const json::Value* crows = other->Find("rows");
+    std::size_t bn = brows != nullptr && brows->is_array() ? brows->items.size() : 0;
+    std::size_t cn = crows != nullptr && crows->is_array() ? crows->items.size() : 0;
+    if (bn != cn) {
+      Note(report, "table \"" + title + "\": row count " + std::to_string(bn) +
+                       " -> " + std::to_string(cn));
+      ok = false;
+      continue;
+    }
+    if (!sim_table) {
+      continue;  // wall tables: shape only, timings live in "wall"
+    }
+    for (std::size_t r = 0; r < bn; ++r) {
+      const json::Value& brow = brows->items[r];
+      const json::Value& crow = crows->items[r];
+      if (!brow.is_array() || !crow.is_array() ||
+          brow.items.size() != crow.items.size()) {
+        Note(report, "table \"" + title + "\" row " + std::to_string(r) +
+                         ": cell count changed");
+        ok = false;
+        continue;
+      }
+      for (std::size_t c = 0; c < brow.items.size(); ++c) {
+        const std::string& bs = brow.items[c].str;
+        const std::string& cs = crow.items[c].str;
+        if (bs != cs) {
+          Note(report, "table \"" + title + "\" row " + std::to_string(r) +
+                           " col " + std::to_string(c) + ": \"" + bs +
+                           "\" != \"" + cs + "\"");
+          ok = false;
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+bool CompareWall(const json::Value& base, const json::Value& cur,
+                 const Options& opt, std::string* report) {
+  const json::Value* bw = base.Find("wall");
+  const json::Value* cw = cur.Find("wall");
+  if (bw == nullptr || !bw->is_object()) {
+    return true;
+  }
+  bool ok = true;
+  for (const auto& [name, metric] : bw->members) {
+    const json::Value* bval = metric.Find("value");
+    const json::Value* better = metric.Find("better");
+    if (bval == nullptr || !bval->is_number()) {
+      continue;
+    }
+    const json::Value* cm = cw != nullptr ? cw->Find(name) : nullptr;
+    const json::Value* cval = cm != nullptr ? cm->Find("value") : nullptr;
+    if (cval == nullptr || !cval->is_number()) {
+      Note(report, "wall." + name + ": missing from current run");
+      ok = false;
+      continue;
+    }
+    bool higher = better != nullptr && better->is_string() && better->str == "higher";
+    double b = bval->number;
+    double c = cval->number;
+    char buf[160];
+    if (higher) {
+      double floor = b / (1.0 + opt.wall_tol);
+      if (c < floor) {
+        std::snprintf(buf, sizeof(buf),
+                      "wall.%s: %.4g below tolerance floor %.4g (baseline %.4g, "
+                      "tol %.0f%%)",
+                      name.c_str(), c, floor, b, opt.wall_tol * 100);
+        Note(report, buf);
+        ok = false;
+      }
+    } else {
+      double ceil = b * (1.0 + opt.wall_tol);
+      if (c > ceil) {
+        std::snprintf(buf, sizeof(buf),
+                      "wall.%s: %.4g above tolerance ceiling %.4g (baseline %.4g, "
+                      "tol %.0f%%)",
+                      name.c_str(), c, ceil, b, opt.wall_tol * 100);
+        Note(report, buf);
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool CompareDocs(const json::Value& baseline, const json::Value& current,
+                 const Options& opt, std::string* report) {
+  const char* kStale = " (scenario changed? regenerate bench/baselines)";
+  bool ok = true;
+  const json::Value* bid = baseline.Find("bench");
+  const json::Value* cid = current.Find("bench");
+  if (bid == nullptr || cid == nullptr || !bid->is_string() ||
+      !cid->is_string() || bid->str != cid->str) {
+    Note(report, "bench id mismatch: baseline " +
+                     (bid != nullptr ? Describe(*bid) : "<missing>") +
+                     " vs current " +
+                     (cid != nullptr ? Describe(*cid) : "<missing>"));
+    return false;
+  }
+  const json::Value* brc = baseline.Find("exit_code");
+  const json::Value* crc = current.Find("exit_code");
+  if (brc != nullptr && crc != nullptr && brc->is_number() &&
+      crc->is_number() && brc->number != crc->number) {
+    Note(report, "exit_code: baseline " + brc->raw + " != current " + crc->raw);
+    ok = false;
+  }
+  const json::Value* bsmoke = baseline.Find("smoke");
+  const json::Value* csmoke = current.Find("smoke");
+  if (bsmoke != nullptr && csmoke != nullptr &&
+      bsmoke->kind == json::Value::Kind::kBool &&
+      csmoke->kind == json::Value::Kind::kBool &&
+      bsmoke->boolean != csmoke->boolean) {
+    Note(report, "smoke flag differs between baseline and current run" +
+                     std::string(kStale));
+    ok = false;
+  }
+  if (!CompareFlatObject("params", baseline.Find("params"),
+                         current.Find("params"), kStale, report)) {
+    ok = false;
+  }
+  if (!CompareFlatObject("sim", baseline.Find("sim"), current.Find("sim"), "",
+                         report)) {
+    ok = false;
+  }
+  if (!CompareTables(baseline, current, report)) {
+    ok = false;
+  }
+  if (!CompareWall(baseline, current, opt, report)) {
+    ok = false;
+  }
+  return ok;
+}
+
+bool CompareFiles(const std::string& baseline_path,
+                  const std::string& current_path, const Options& opt,
+                  std::string* report) {
+  auto read = [report](const std::string& path,
+                       std::optional<json::Value>* out) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      Note(report, "cannot read " + path);
+      return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string err;
+    *out = json::Parse(ss.str(), &err);
+    if (!out->has_value()) {
+      Note(report, path + ": JSON parse error: " + err);
+      return false;
+    }
+    return true;
+  };
+  std::optional<json::Value> base;
+  std::optional<json::Value> cur;
+  bool ok = read(baseline_path, &base);
+  // Read both even if the first fails so the report names every problem.
+  if (!read(current_path, &cur)) {
+    ok = false;
+  }
+  if (!ok) {
+    return false;
+  }
+  return CompareDocs(*base, *cur, opt, report);
+}
+
+}  // namespace benchdiff
+}  // namespace upr

@@ -1,0 +1,47 @@
+// Comparison engine behind tools/benchdiff: diffs a current bench-ledger
+// document (bench/bench_json.h output) against its checked-in baseline
+// (bench/baselines/BENCH_<id>.json).
+//
+// The contract, per field class:
+//   params   must match exactly, key set and values — a changed scenario knob
+//            means the baseline is stale, not that performance moved;
+//   sim      deterministic simulation outputs: integer tokens compare
+//            exactly, floats within 1e-9 relative (FP contraction may differ
+//            across optimization levels), table cells as printed strings;
+//   wall     host timings: one-sided band. An improvement always passes; a
+//            "higher"-is-better metric fails below baseline/(1+tol), a
+//            "lower"-is-better one above baseline*(1+tol).
+//
+// Split from the CLI so tests/benchdiff_test.cc can inject fake regressions
+// and assert they are caught without shelling out.
+#ifndef TOOLS_BENCHDIFF_CORE_H_
+#define TOOLS_BENCHDIFF_CORE_H_
+
+#include <string>
+
+#include "src/util/json.h"
+
+namespace upr {
+namespace benchdiff {
+
+struct Options {
+  // Fractional tolerance for wall-clock metrics. 0.5 = a 1.5x slowdown (or
+  // 1/1.5 throughput drop) fails. CI uses a wider band for shared runners.
+  double wall_tol = 0.5;
+};
+
+// Compares one document pair; appends one line per difference to *report.
+// Returns true when `current` is acceptable against `baseline`.
+bool CompareDocs(const json::Value& baseline, const json::Value& current,
+                 const Options& opt, std::string* report);
+
+// File wrapper: reads and parses both paths. IO and parse failures are
+// reported as regressions with an explanatory line.
+bool CompareFiles(const std::string& baseline_path,
+                  const std::string& current_path, const Options& opt,
+                  std::string* report);
+
+}  // namespace benchdiff
+}  // namespace upr
+
+#endif  // TOOLS_BENCHDIFF_CORE_H_

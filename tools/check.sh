@@ -6,11 +6,22 @@
 # Job 2: ASan+UBSan build + full test suite + smoke, so lifetime bugs in the
 #        simulator event pool / serial callback plumbing cannot land silently.
 #
-# Usage: tools/check.sh [--no-asan] [--asan-only] [--quick]
-#   --no-asan    run only the regular job
-#   --asan-only  run only the sanitizer job (CI matrix uses this)
-#   --quick      regular build + ctest only, no sanitizers and no benches —
-#                fast enough for a pre-push hook (see README)
+# Job 3: perf ledger — Release build, every bench run with --json, and
+#        tools/benchdiff against the checked-in bench/baselines/. A simulated
+#        metric that moves by one count is a red diff; wall clocks get a
+#        tolerance band.
+#
+# Usage: tools/check.sh [--no-asan] [--asan-only] [--quick] [--ledger-only]
+#                       [--no-ledger] [--rebaseline]
+#   --no-asan      run only the regular job (plus the ledger job)
+#   --asan-only    run only the sanitizer job (CI matrix uses this)
+#   --quick        regular build + ctest only, no sanitizers and no benches —
+#                  fast enough for a pre-push hook (see README)
+#   --ledger-only  run only the perf-ledger job (CI bench-ledger uses this)
+#   --no-ledger    skip the perf-ledger job
+#   --rebaseline   after the ledger job, copy the fresh documents over
+#                  bench/baselines/ (use when a PR legitimately moves a
+#                  simulated metric or scenario param; commit the result)
 #
 # Extra configure flags can be passed via UPR_CMAKE_FLAGS, e.g.
 #   UPR_CMAKE_FLAGS="-DUPR_WERROR=ON" tools/check.sh
@@ -30,6 +41,8 @@ jobs=$(nproc 2>/dev/null || echo 4)
 run_regular=1
 run_asan=1
 run_bench=1
+run_ledger=1
+rebaseline=0
 
 for arg in "$@"; do
   case "$arg" in
@@ -38,14 +51,27 @@ for arg in "$@"; do
       ;;
     --asan-only)
       run_regular=0
+      run_ledger=0
       ;;
     --quick)
       run_asan=0
       run_bench=0
+      run_ledger=0
+      ;;
+    --ledger-only)
+      run_regular=0
+      run_asan=0
+      ;;
+    --no-ledger)
+      run_ledger=0
+      ;;
+    --rebaseline)
+      rebaseline=1
       ;;
     *)
       echo "unknown option: $arg" >&2
-      echo "usage: tools/check.sh [--no-asan] [--asan-only] [--quick]" >&2
+      echo "usage: tools/check.sh [--no-asan] [--asan-only] [--quick]" \
+        "[--ledger-only] [--no-ledger] [--rebaseline]" >&2
       exit 2
       ;;
   esac
@@ -164,6 +190,46 @@ run_ab_smoke() {
   done
 }
 
+# A/B equivalence gate for the simulator's event store (PR 6): the same
+# seeded lossy scenario run on the legacy binary heap (--event-queue heap)
+# and on the hierarchical timer wheel (--event-queue wheel) must put
+# byte-identical frames on the wire at identical timestamps — the wheel is
+# a pure data-structure swap and may not reorder a single event.
+run_queue_ab_smoke() {
+  builddir=$1
+  qdir="$builddir/queue-ab-smoke"
+  rm -rf "$qdir"
+  mkdir -p "$qdir"
+  scenario="--pcs 2 --hosts 1 --digis 1 --workload ping --loss 0.05 \
+    --ber 0.0001 --seed 1234 --duration 1800"
+  for queue in heap wheel; do
+    status=0
+    # shellcheck disable=SC2086
+    "$builddir/tools/uprsim" $scenario --event-queue "$queue" \
+      --trace "$qdir/$queue.pcapng" >"$qdir/$queue.out" 2>&1 || status=$?
+    # Workload failure (exit 1) is tolerated — the lossy channel may drop
+    # everything — but both queues must fail identically below.
+    if [ "$status" -gt 1 ]; then
+      cat "$qdir/$queue.out" >&2
+      echo "FAIL: queue A/B smoke: $queue run exited $status" >&2
+      exit 1
+    fi
+    echo "$status" >"$qdir/$queue.status"
+  done
+  if ! cmp -s "$qdir/heap.status" "$qdir/wheel.status"; then
+    echo "FAIL: queue A/B smoke: heap and wheel runs exited differently" >&2
+    exit 1
+  fi
+  if ! "$builddir/tools/tracediff" \
+      "$qdir/heap.pcapng" "$qdir/wheel.pcapng" \
+      >"$qdir/queue.tracediff.txt" 2>&1; then
+    cat "$qdir/queue.tracediff.txt" >&2
+    echo "FAIL: queue A/B smoke: timer wheel diverges from heap (see above)" >&2
+    exit 1
+  fi
+  echo "queue A/B smoke: wheel == heap (byte-identical trace)"
+}
+
 if [ "$run_regular" = 1 ]; then
   echo "=== tier-1: regular build + ctest ==="
   # shellcheck disable=SC2086
@@ -189,6 +255,11 @@ if [ "$run_regular" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: silo vs per-byte A/B trace equivalence ==="
     run_ab_smoke ./build
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: timer wheel vs heap A/B trace equivalence ==="
+    run_queue_ab_smoke ./build
   fi
 fi
 
@@ -218,6 +289,42 @@ if [ "$run_asan" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: silo vs per-byte A/B trace equivalence under ASan ==="
     run_ab_smoke ./build-asan
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: timer wheel vs heap A/B trace equivalence under ASan ==="
+    run_queue_ab_smoke ./build-asan
+  fi
+fi
+
+if [ "$run_ledger" = 1 ]; then
+  echo "=== tier-1: perf ledger (Release benches vs bench/baselines) ==="
+  # shellcheck disable=SC2086
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release $extra_flags >/dev/null
+  cmake --build build-release -j"${jobs}"
+  rm -rf build-release/ledger
+  if ! tools/bench_ledger.sh ./build-release build-release/ledger; then
+    echo "FAIL: a bench exited nonzero while generating the ledger" >&2
+    exit 1
+  fi
+  if [ "$rebaseline" = 1 ]; then
+    mkdir -p bench/baselines
+    cp build-release/ledger/BENCH_*.json bench/baselines/
+    echo "perf ledger: baselines regenerated in bench/baselines/ (commit them)"
+  else
+    # The report is written to a file (and echoed) so CI can upload it as an
+    # artifact next to the BENCH_*.json documents.
+    diff_status=0
+    ./build-release/tools/benchdiff \
+      --wall-tol "${UPR_WALL_TOL:-0.5}" \
+      --dir bench/baselines build-release/ledger \
+      >build-release/ledger/benchdiff.report.txt 2>&1 || diff_status=$?
+    cat build-release/ledger/benchdiff.report.txt
+    if [ "$diff_status" -ne 0 ]; then
+      echo "FAIL: perf ledger regressed vs bench/baselines/ (if the change is" \
+        "intended, rerun with --rebaseline and commit the new baselines)" >&2
+      exit 1
+    fi
   fi
 fi
 

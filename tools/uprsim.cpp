@@ -53,6 +53,7 @@ struct Options {
   bool trace_enabled = false;
   std::string record_faults;
   std::string replay_faults;
+  std::string event_queue = "wheel";
 };
 
 void Usage(const char* argv0) {
@@ -81,7 +82,10 @@ void Usage(const char* argv0) {
       "  --record-faults F  record every channel fault decision to F\n"
       "  --replay-faults F  replay the fault schedule in F instead of\n"
       "                     rolling the channel/MAC RNGs (exit 3 if the\n"
-      "                     run diverges from the schedule)\n",
+      "                     run diverges from the schedule)\n"
+      "  --event-queue Q    simulator event store: wheel (default) or heap\n"
+      "                     (the legacy priority queue; check.sh tracediffs\n"
+      "                     the two for byte-identical schedules)\n",
       argv0);
 }
 
@@ -160,6 +164,11 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
     } else if (arg == "--trace-snap") {
       opt->trace_snap = count(1, 1'000'000, "an integer in [1, 1e6]");
       opt->trace_enabled = true;
+    } else if (arg == "--event-queue") {
+      opt->event_queue = next();
+      if (opt->event_queue != "wheel" && opt->event_queue != "heap") {
+        BadValue(arg, opt->event_queue.c_str(), "'wheel' or 'heap'");
+      }
     } else if (arg == "--record-faults") {
       opt->record_faults = next();
     } else if (arg == "--replay-faults") {
@@ -195,6 +204,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--record-faults and --replay-faults are exclusive\n");
     return 2;
   }
+
+  // Must precede Testbed construction: the simulator picks up the default at
+  // construction time.
+  Simulator::SetDefaultEventQueue(opt.event_queue == "heap"
+                                      ? Simulator::EventQueue::kHeap
+                                      : Simulator::EventQueue::kTimerWheel);
 
   TestbedConfig cfg;
   cfg.radio_pcs = opt.pcs;
