@@ -9,7 +9,8 @@ std::unique_ptr<Ax25Link> BindAx25LinkToDriver(Simulator* sim,
       sim, driver->local_ax25(),
       [driver](const Ax25Frame& f) { driver->SendRawFrame(f); }, config);
   Ax25Link* raw = link.get();
-  driver->set_l3_tap([raw](const Ax25Frame& f) { raw->HandleFrame(f); });
+  driver->set_l3_tap(
+      [raw](const Ax25Frame& f, ByteView wire) { raw->HandleDecoded(f, wire); });
   return link;
 }
 

@@ -8,12 +8,6 @@ namespace upr {
 
 namespace {
 constexpr const char* kTag = "ax25.l2";
-
-std::uint8_t Mod8(int v) { return static_cast<std::uint8_t>(v & 7); }
-
-// Number of frames in the window between va (inclusive) and vs (exclusive).
-std::uint8_t Outstanding(std::uint8_t vs, std::uint8_t va) { return Mod8(vs - va); }
-
 }  // namespace
 
 Ax25Link::Ax25Link(Simulator* sim, Ax25Address local, FrameSender sender,
@@ -49,6 +43,37 @@ void Ax25Link::ReapClosed() {
   }
 }
 
+void Ax25Link::VisitConnections(
+    const std::function<void(const Ax25Connection&)>& fn) const {
+  for (const auto& entry : connections_) {
+    fn(*entry.second);
+  }
+}
+
+bool Ax25Link::HandleDecoded(const Ax25Frame& frame, ByteView wire) {
+  if (frame.destination != local_) {
+    return false;
+  }
+  if (frame.type == Ax25FrameType::kUi) {
+    return false;  // datagram traffic is not ours
+  }
+  auto it = connections_.find(frame.source);
+  if (it != connections_.end() &&
+      it->second->modulus() == Ax25Modulus::kMod128) {
+    // Extended-mode connection: the caller's mod-8 parse got the frame type
+    // right (both layouts agree on I/S/U from the first control byte) but
+    // I/S sequence numbers and P/F wrong. Re-parse the raw wire.
+    auto re = Ax25Frame::DecodeView(wire, Ax25Modulus::kMod128);
+    if (!re) {
+      return true;  // malformed under this link's modulus: drop
+    }
+    Ax25Frame f = std::move(re->frame);
+    f.info.assign(re->info.begin(), re->info.end());
+    return HandleFrame(f);
+  }
+  return HandleFrame(frame);
+}
+
 bool Ax25Link::HandleFrame(const Ax25Frame& frame) {
   if (frame.destination != local_) {
     return false;
@@ -61,17 +86,29 @@ bool Ax25Link::HandleFrame(const Ax25Frame& frame) {
     Ax25Connection* conn = it->second.get();
     bool was_down = conn->state() == Ax25Connection::State::kDisconnected;
     conn->HandleFrame(frame);
-    // A SABM reviving a dead (not yet reaped) connection is a fresh inbound
-    // connection from the application's point of view: without this the app
-    // never learns the peer re-established and the link sits idle forever.
-    if (was_down && frame.type == Ax25FrameType::kSabm &&
+    // A SABM/SABME reviving a dead (not yet reaped) connection is a fresh
+    // inbound connection from the application's point of view: without this
+    // the app never learns the peer re-established and the link sits idle
+    // forever. (An inbound XID leaves the connection disconnected until the
+    // SABME lands, so the handler fires exactly once per establishment.)
+    if (was_down &&
+        (frame.type == Ax25FrameType::kSabm ||
+         frame.type == Ax25FrameType::kSabme) &&
         conn->state() == Ax25Connection::State::kConnected && on_connection_) {
       on_connection_(conn);
     }
     return true;
   }
-  // Unknown peer. A SABM may open a new connection; anything else gets DM.
-  if (frame.type == Ax25FrameType::kSabm) {
+  // Unknown peer. A SABM may open a new connection — and, when this link
+  // speaks v2.2, so may a SABME or an XID command; anything else gets DM.
+  // The DM a v2.0-configured link sends in answer to an XID is exactly what
+  // makes a v2.2 initiator downgrade to SABM.
+  bool opens =
+      frame.type == Ax25FrameType::kSabm ||
+      (config_.dialect == Ax25Dialect::kV22 &&
+       (frame.type == Ax25FrameType::kSabme ||
+        (frame.type == Ax25FrameType::kXid && frame.command)));
+  if (opens) {
     if (accept_ && accept_(frame.source)) {
       // Reverse the digipeater path for our responses.
       std::vector<Ax25Digipeater> path;
@@ -82,8 +119,9 @@ bool Ax25Link::HandleFrame(const Ax25Frame& frame) {
       auto conn = std::make_unique<Ax25Connection>(this, frame.source, std::move(path));
       Ax25Connection* raw = conn.get();
       connections_[frame.source] = std::move(conn);
-      raw->HandleFrame(frame);  // processes the SABM, sends UA
-      if (on_connection_) {
+      raw->HandleFrame(frame);  // SABM/SABME: sends UA; XID: sends XID response
+      if (on_connection_ &&
+          raw->state() == Ax25Connection::State::kConnected) {
         on_connection_(raw);
       }
       return true;
@@ -108,7 +146,64 @@ Ax25Connection::Ax25Connection(Ax25Link* link, Ax25Address peer,
       peer_(std::move(peer)),
       digis_(std::move(digis)),
       t1_(link->sim(), [this] { OnT1Expiry(); }),
-      t3_(link->sim(), [this] { OnT3Expiry(); }) {}
+      t3_(link->sim(), [this] { OnT3Expiry(); }) {
+  PendingParams p = V20Params();
+  window_ = p.window;
+  paclen_ = p.paclen;
+}
+
+Ax25Connection::PendingParams Ax25Connection::V20Params() const {
+  const Ax25LinkConfig& c = link_->config();
+  PendingParams p;
+  p.modulus = Ax25Modulus::kMod8;
+  p.window = std::min<std::uint8_t>(std::max<std::uint8_t>(c.window, 1), 7);
+  p.srej = false;
+  p.paclen = c.paclen;
+  return p;
+}
+
+Ax25XidParams Ax25Connection::LocalXidOffer() const {
+  const Ax25LinkConfig& c = link_->config();
+  Ax25XidParams p;  // defaults are the full v2.2 offer (mod 128 + SREJ)
+  p.window_size_rx = std::min<std::uint8_t>(std::max<std::uint8_t>(c.window, 1), 127);
+  p.i_field_length_rx = static_cast<std::uint32_t>(c.max_i_field * 8);
+  p.ack_timer_ms = static_cast<std::uint32_t>(c.t1 / kMillisecond);
+  p.retries = static_cast<std::uint32_t>(c.n2);
+  return p;
+}
+
+Ax25XidParams Ax25Connection::Agree(const Ax25XidParams& ours,
+                                    const Ax25XidParams& theirs) {
+  Ax25XidParams a;
+  a.classes = ours.classes;
+  // Optional functions both sides support; modulo 128 needs agreement from
+  // both, otherwise the link falls back to modulo 8.
+  a.optional_functions = ours.optional_functions & theirs.optional_functions;
+  if (!(a.optional_functions & kXidOptMod128)) {
+    a.optional_functions |= kXidOptMod8;
+  }
+  a.i_field_length_rx =
+      std::min(ours.i_field_length_rx, theirs.i_field_length_rx);
+  a.window_size_rx = std::min(ours.window_size_rx, theirs.window_size_rx);
+  // Timers and retry budgets negotiate up: the slower side wins.
+  a.ack_timer_ms = std::max(ours.ack_timer_ms, theirs.ack_timer_ms);
+  a.retries = std::max(ours.retries, theirs.retries);
+  return a;
+}
+
+Ax25Connection::PendingParams Ax25Connection::ParamsFrom(
+    const Ax25XidParams& agreed) const {
+  PendingParams p;
+  p.modulus = agreed.Mod128() ? Ax25Modulus::kMod128 : Ax25Modulus::kMod8;
+  std::uint8_t max_window = p.modulus == Ax25Modulus::kMod128 ? 127 : 7;
+  p.window = std::min<std::uint8_t>(std::max<std::uint8_t>(agreed.window_size_rx, 1),
+                                    max_window);
+  p.srej = agreed.Srej();
+  std::size_t peer_n1 = agreed.i_field_length_rx / 8;
+  p.paclen = peer_n1 == 0 ? link_->config().paclen
+                          : std::min(link_->config().paclen, peer_n1);
+  return p;
+}
 
 Ax25Frame Ax25Connection::BaseFrame(bool command) const {
   Ax25Frame f;
@@ -122,15 +217,42 @@ Ax25Frame Ax25Connection::BaseFrame(bool command) const {
 }
 
 void Ax25Connection::StartConnect() {
+  if (link_->config().dialect == Ax25Dialect::kV22) {
+    // v2.2 initiator: negotiate first. SABME goes out only after the peer
+    // answers the XID; a DM or silence downgrades to a v2.0 SABM.
+    state_ = State::kNegotiating;
+    retry_count_ = 0;
+    SendXid(/*command=*/true, LocalXidOffer());
+    t1_.Restart(link_->config().t1);
+    return;
+  }
+  pending_params_ = V20Params();
   state_ = State::kConnecting;
   retry_count_ = 0;
   SendU(Ax25FrameType::kSabm, /*command=*/true, /*pf=*/true);
   t1_.Restart(link_->config().t1);
 }
 
+void Ax25Connection::BeginEstablish(const PendingParams& p) {
+  pending_params_ = p;
+  state_ = State::kConnecting;
+  retry_count_ = 0;
+  SendU(p.modulus == Ax25Modulus::kMod128 ? Ax25FrameType::kSabme
+                                          : Ax25FrameType::kSabm,
+        /*command=*/true, /*pf=*/true);
+  t1_.Restart(link_->config().t1);
+}
+
+void Ax25Connection::Downgrade(const char* why) {
+  ++link_->stats_.downgrades;
+  UPR_DEBUG(kTag, "%s: v2.2 negotiation failed (%s), retrying as v2.0",
+            peer_.ToString().c_str(), why);
+  BeginEstablish(V20Params());
+}
+
 void Ax25Connection::Send(const Bytes& data) {
   // Segment into PACLEN chunks.
-  std::size_t paclen = link_->config().paclen;
+  std::size_t paclen = paclen_;
   for (std::size_t off = 0; off < data.size(); off += paclen) {
     std::size_t n = std::min(paclen, data.size() - off);
     send_queue_.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(off),
@@ -155,18 +277,32 @@ void Ax25Connection::EnterConnected() {
   // On a link reset, sent-but-unacked I frames go back to the head of the
   // send queue (oldest first) instead of being discarded — the peer reset its
   // receive state, so they were never delivered there. Matches the Linux
-  // AX.25 stack's ax25_requeue_frames behaviour.
-  for (std::uint8_t i = Outstanding(vs_, va_); i > 0; --i) {
-    auto it = outstanding_.find(Mod8(va_ + i - 1));
+  // AX.25 stack's ax25_requeue_frames behaviour. This walk runs under the
+  // modulus the frames were sent with, *before* any newly negotiated
+  // parameters take effect below.
+  for (std::uint8_t i = Outstanding(); i > 0; --i) {
+    auto it = outstanding_.find(ModM(va_ + i - 1));
     if (it != outstanding_.end()) {
       send_queue_.push_front(std::move(it->second));
     }
   }
+  outstanding_.clear();
+  if (pending_params_) {
+    modulus_ = pending_params_->modulus;
+    window_ = pending_params_->window;
+    srej_enabled_ = pending_params_->srej;
+    paclen_ = pending_params_->paclen;
+    pending_params_.reset();
+    if (modulus_ == Ax25Modulus::kMod128) {
+      ++link_->stats_.mod128_links;
+    }
+  }
   vs_ = va_ = vr_ = 0;
   rej_outstanding_ = false;
+  srej_outstanding_ = false;
+  rx_pending_.clear();
   peer_busy_ = false;
   retry_count_ = 0;
-  outstanding_.clear();
   t1_.Stop();
   RestartT3();
   if (on_connected_) {
@@ -181,19 +317,21 @@ void Ax25Connection::EnterDisconnected() {
   t3_.Stop();
   send_queue_.clear();
   outstanding_.clear();
+  rx_pending_.clear();
+  srej_outstanding_ = false;
+  pending_params_.reset();
   if (on_disconnected_) {
     on_disconnected_();
   }
 }
 
 void Ax25Connection::PumpSendQueue() {
-  while (!send_queue_.empty() && !peer_busy_ &&
-         Outstanding(vs_, va_) < link_->config().window) {
+  while (!send_queue_.empty() && !peer_busy_ && Outstanding() < window_) {
     Bytes info = std::move(send_queue_.front());
     send_queue_.pop_front();
     outstanding_[vs_] = info;
     SendIFrame(vs_, /*retransmission=*/false);
-    vs_ = Mod8(vs_ + 1);
+    vs_ = ModM(vs_ + 1);
   }
   if (!outstanding_.empty() && !t1_.running()) {
     t1_.Restart(link_->config().t1);
@@ -207,6 +345,7 @@ void Ax25Connection::SendIFrame(std::uint8_t ns, bool retransmission, bool poll)
   }
   Ax25Frame f = BaseFrame(/*command=*/true);
   f.type = Ax25FrameType::kI;
+  f.modulus = modulus_;
   f.ns = ns;
   f.nr = vr_;
   f.pid = link_->config().pid;
@@ -224,8 +363,12 @@ void Ax25Connection::SendIFrame(std::uint8_t ns, bool retransmission, bool poll)
 }
 
 void Ax25Connection::SendSupervisory(Ax25FrameType type, bool response, bool pf) {
+  if (type == Ax25FrameType::kSrej) {
+    ++link_->stats_.srej_sent;
+  }
   Ax25Frame f = BaseFrame(/*command=*/!response);
   f.type = type;
+  f.modulus = modulus_;
   f.nr = vr_;
   f.poll_final = pf;
   link_->SendFrame(f);
@@ -235,6 +378,15 @@ void Ax25Connection::SendU(Ax25FrameType type, bool command, bool pf) {
   Ax25Frame f = BaseFrame(command);
   f.type = type;
   f.poll_final = pf;
+  link_->SendFrame(f);
+}
+
+void Ax25Connection::SendXid(bool command, const Ax25XidParams& params) {
+  ++link_->stats_.xid_sent;
+  Ax25Frame f = BaseFrame(command);
+  f.type = Ax25FrameType::kXid;
+  f.poll_final = false;
+  f.info = params.Encode();
   link_->SendFrame(f);
 }
 
@@ -270,8 +422,22 @@ void Ax25Connection::OnT1Expiry() {
     return;
   }
   switch (state_) {
+    case State::kNegotiating:
+      // One XID retransmission; after that assume a v2.0 peer that silently
+      // dropped the unfamiliar frame and fall back to a plain SABM.
+      if (retry_count_ >= 2) {
+        Downgrade("XID timeout");
+      } else {
+        SendXid(/*command=*/true, LocalXidOffer());
+        t1_.Restart(link_->config().t1);
+      }
+      break;
     case State::kConnecting:
-      SendU(Ax25FrameType::kSabm, true, true);
+      SendU(pending_params_ &&
+                    pending_params_->modulus == Ax25Modulus::kMod128
+                ? Ax25FrameType::kSabme
+                : Ax25FrameType::kSabm,
+            true, true);
       t1_.Restart(link_->config().t1);
       break;
     case State::kDisconnecting:
@@ -279,14 +445,28 @@ void Ax25Connection::OnT1Expiry() {
       t1_.Restart(link_->config().t1);
       break;
     case State::kConnected:
-      // Retransmit everything outstanding starting at V(A) (go-back-N); the
-      // head frame carries the P bit as a checkpoint.
-      for (std::uint8_t i = 0; i < Outstanding(vs_, va_); ++i) {
-        SendIFrame(Mod8(va_ + i), /*retransmission=*/true, /*poll=*/i == 0);
-      }
-      if (outstanding_.empty()) {
-        // Nothing outstanding: poll the peer.
-        SendSupervisory(Ax25FrameType::kRr, /*response=*/false, /*pf=*/true);
+      if (modulus_ == Ax25Modulus::kMod128) {
+        // Extended mode: a window of up to 127 frames makes retransmit-all
+        // a channel-saturating burst (it takes longer to send than T1
+        // itself, so expiries nest and the link melts down). Checkpoint
+        // instead: resend only the oldest unacknowledged frame with P set.
+        // The peer's response — ack, SREJ for its actual hole, or REJ for a
+        // duplicate — tells us precisely what to send next.
+        if (!outstanding_.empty()) {
+          SendIFrame(va_, /*retransmission=*/true, /*poll=*/true);
+        } else {
+          SendSupervisory(Ax25FrameType::kRr, /*response=*/false, /*pf=*/true);
+        }
+      } else {
+        // Retransmit everything outstanding starting at V(A) (go-back-N);
+        // the head frame carries the P bit as a checkpoint.
+        for (std::uint8_t i = 0; i < Outstanding(); ++i) {
+          SendIFrame(ModM(va_ + i), /*retransmission=*/true, /*poll=*/i == 0);
+        }
+        if (outstanding_.empty()) {
+          // Nothing outstanding: poll the peer.
+          SendSupervisory(Ax25FrameType::kRr, /*response=*/false, /*pf=*/true);
+        }
       }
       t1_.Restart(link_->config().t1);
       break;
@@ -298,13 +478,13 @@ void Ax25Connection::OnT1Expiry() {
 void Ax25Connection::HandleAck(std::uint8_t nr) {
   // N(R) acknowledges all frames with N(S) < N(R). Validate that N(R) is in
   // [va, vs] before applying.
-  if (Mod8(nr - va_) > Outstanding(vs_, va_)) {
+  if (ModM(nr - va_) > Outstanding()) {
     return;  // invalid N(R); a full FRMR recovery is out of scope
   }
   bool advanced = false;
   while (va_ != nr) {
     outstanding_.erase(va_);
-    va_ = Mod8(va_ + 1);
+    va_ = ModM(va_ + 1);
     advanced = true;
   }
   if (advanced) {
@@ -317,20 +497,58 @@ void Ax25Connection::HandleAck(std::uint8_t nr) {
   }
 }
 
+void Ax25Connection::DeliverData(const Bytes& info) {
+  vr_ = ModM(vr_ + 1);
+  bytes_delivered_ += info.size();
+  if (on_data_) {
+    on_data_(info);
+  }
+}
+
 void Ax25Connection::HandleI(const Ax25Frame& f) {
   HandleAck(f.nr);
+  // The SREJ receive window: how far ahead of V(R) a frame may be and still
+  // be held for later in-order delivery. Bounded by half the modulus — the
+  // classic selective-repeat safety margin — so a go-back-N burst of
+  // duplicates (already delivered, N(S) just behind V(R)) can never alias
+  // into the hold buffer and resurface as stale data half a cycle later.
+  std::uint8_t srej_rx_window = static_cast<std::uint8_t>(
+      std::min<int>(window_, ModulusValue(modulus_) / 2));
   if (f.ns == vr_) {
-    vr_ = Mod8(vr_ + 1);
     rej_outstanding_ = false;
-    bytes_delivered_ += f.info.size();
-    if (on_data_) {
-      on_data_(f.info);
+    srej_outstanding_ = false;
+    DeliverData(f.info);
+    // Drain any consecutive run held by the SREJ machinery behind the gap
+    // this frame just filled.
+    for (auto it = rx_pending_.find(vr_); it != rx_pending_.end();
+         it = rx_pending_.find(vr_)) {
+      Bytes held = std::move(it->second);
+      rx_pending_.erase(it);
+      DeliverData(held);
     }
-    // Acknowledge. (No delayed-ack / piggyback sophistication: one RR per I
-    // frame, as simple TNC implementations do.)
-    SendSupervisory(Ax25FrameType::kRr, /*response=*/true, f.poll_final);
+    if (srej_enabled_ && !rx_pending_.empty()) {
+      // Another hole further on: ask for the new V(R) straight away.
+      srej_outstanding_ = true;
+      SendSupervisory(Ax25FrameType::kSrej, /*response=*/true, f.poll_final);
+    } else {
+      // Acknowledge. (No delayed-ack / piggyback sophistication: one RR per I
+      // frame, as simple TNC implementations do.)
+      SendSupervisory(Ax25FrameType::kRr, /*response=*/true, f.poll_final);
+    }
+  } else if (srej_enabled_ && ModM(f.ns - vr_) < srej_rx_window) {
+    // Out of sequence but within the receive window: hold the frame and ask
+    // for the missing one once (a single outstanding SREJ, per v2.2's basic
+    // single-SREJ procedure).
+    rx_pending_.emplace(f.ns, f.info);
+    if (!srej_outstanding_) {
+      srej_outstanding_ = true;
+      SendSupervisory(Ax25FrameType::kSrej, /*response=*/true, f.poll_final);
+    } else if (f.poll_final) {
+      SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+    }
   } else {
-    // Out of sequence: reject once until it clears.
+    // Go-back-N (v2.0, or a duplicate outside the SREJ window): reject once
+    // until it clears.
     if (!rej_outstanding_) {
       rej_outstanding_ = true;
       SendSupervisory(Ax25FrameType::kRej, /*response=*/true, f.poll_final);
@@ -341,16 +559,88 @@ void Ax25Connection::HandleI(const Ax25Frame& f) {
   PumpSendQueue();
 }
 
+void Ax25Connection::HandleSrej(const Ax25Frame& f) {
+  ++link_->stats_.srej_received;
+  peer_busy_ = false;
+  // Selective repeat: retransmit exactly N(R). We never treat SREJ's N(R) as
+  // an acknowledgement (our receiver only emits response SREJs, whose N(R)
+  // acks nothing per the spec's F=0 rule); cumulative acks arrive in the
+  // RR that follows once the receiver's gap fills.
+  SendIFrame(f.nr, /*retransmission=*/true);
+  if (f.command && f.poll_final) {
+    SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+  }
+  if (!outstanding_.empty()) {
+    t1_.Restart(link_->config().t1);
+  }
+  PumpSendQueue();
+}
+
 void Ax25Connection::HandleFrame(const Ax25Frame& f) {
   RestartT3();
   switch (f.type) {
     case Ax25FrameType::kSabm:
-      // Connection (re)establishment from the peer.
+      // Connection (re)establishment from the peer, always modulo 8. The
+      // explicit staging matters when an earlier XID staged mod-128
+      // parameters but the initiator downgraded before establishing.
+      pending_params_ = V20Params();
       SendU(Ax25FrameType::kUa, /*command=*/false, f.poll_final);
       if (state_ == State::kConnected) {
         UPR_DEBUG(kTag, "%s: link reset by peer", peer_.ToString().c_str());
       }
       EnterConnected();
+      break;
+    case Ax25FrameType::kSabme:
+      if (link_->config().dialect != Ax25Dialect::kV22) {
+        // v2.0 station: extended mode unsupported — refuse with DM so the
+        // peer can fall back. (Only reachable from a v2.2 peer; pre-v2.2
+        // traffic never carries SABME, so the seeded goldens are unaffected.)
+        SendU(Ax25FrameType::kDm, /*command=*/false, f.poll_final);
+        break;
+      }
+      if (state_ == State::kConnecting && pending_params_ &&
+          pending_params_->modulus == Ax25Modulus::kMod8) {
+        // Crossing establishment: we already committed to a mod-8 link (our
+        // SABM is in flight, typically after an XID downgrade) and the
+        // peer's SABME crossed it. Accepting it here would leave this end
+        // mod 128 while the peer — which accepts our SABM — lands on mod 8,
+        // and a split-modulus link misparses every I/S frame. Drop the
+        // SABME: the peer completes establishment from our SABM instead.
+        UPR_DEBUG(kTag, "%s: ignoring SABME that crossed our SABM",
+                  peer_.ToString().c_str());
+        break;
+      }
+      // Extended (mod 128) establishment. Use parameters agreed in the
+      // preceding XID exchange if there was one. A SABME retransmission (our
+      // UA was lost) or reset on an already-extended link keeps the current
+      // negotiated parameters — the XID stays in effect across resets.
+      // Only a genuinely bare SABME gets mod-128 defaults without SREJ
+      // (nothing negotiated it).
+      if (!pending_params_ ||
+          pending_params_->modulus != Ax25Modulus::kMod128) {
+        PendingParams p;
+        p.modulus = Ax25Modulus::kMod128;
+        if (modulus_ == Ax25Modulus::kMod128) {
+          p.window = window_;
+          p.srej = srej_enabled_;
+          p.paclen = paclen_;
+        } else {
+          p.window = std::min<std::uint8_t>(
+              std::max<std::uint8_t>(link_->config().window, 1), 127);
+          p.srej = false;
+          p.paclen = link_->config().paclen;
+        }
+        pending_params_ = p;
+      }
+      SendU(Ax25FrameType::kUa, /*command=*/false, f.poll_final);
+      if (state_ == State::kConnected) {
+        UPR_DEBUG(kTag, "%s: link reset by peer (SABME)",
+                  peer_.ToString().c_str());
+      }
+      EnterConnected();
+      break;
+    case Ax25FrameType::kXid:
+      HandleXid(f);
       break;
     case Ax25FrameType::kUa:
       if (state_ == State::kConnecting) {
@@ -360,7 +650,20 @@ void Ax25Connection::HandleFrame(const Ax25Frame& f) {
       }
       break;
     case Ax25FrameType::kDm:
-      if (state_ != State::kDisconnected) {
+      if (state_ == State::kNegotiating) {
+        if (!f.poll_final) {
+          // A v2.0 peer DMed our XID (its unknown-frame rule; F mirrors the
+          // XID's P=0): fall straight back to a v2.0 SABM. This is the fast
+          // downgrade path.
+          Downgrade("peer answered XID with DM");
+        }
+        // F=1 is a stale link-failure DM from the session we are replacing,
+        // not an answer to the XID — ignore it and let T1 drive.
+      } else if (state_ == State::kConnecting && pending_params_ &&
+                 pending_params_->modulus == Ax25Modulus::kMod128) {
+        // Our SABME was refused: re-establish as v2.0 rather than giving up.
+        Downgrade("peer refused SABME");
+      } else if (state_ != State::kDisconnected) {
         EnterDisconnected();
       }
       break;
@@ -386,7 +689,16 @@ void Ax25Connection::HandleFrame(const Ax25Frame& f) {
         peer_busy_ = false;
         HandleAck(f.nr);
         if (f.command && f.poll_final) {
-          SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+          if (srej_enabled_ && !rx_pending_.empty()) {
+            // The poll reached us while we still have a hole at V(R): answer
+            // with a fresh SREJ instead of a bare RR. This is the SREJ
+            // retry path — if our earlier SREJ was lost, the sender's
+            // checkpoint poll re-triggers it rather than deadlocking.
+            srej_outstanding_ = true;
+            SendSupervisory(Ax25FrameType::kSrej, /*response=*/true, true);
+          } else {
+            SendSupervisory(Ax25FrameType::kRr, /*response=*/true, true);
+          }
         } else if (!f.command && f.poll_final && outstanding_.empty()) {
           // F-bit answer to our keepalive poll: the link is alive.
           retry_count_ = 0;
@@ -408,14 +720,24 @@ void Ax25Connection::HandleFrame(const Ax25Frame& f) {
       if (state_ == State::kConnected) {
         peer_busy_ = false;
         HandleAck(f.nr);
-        // Retransmit from N(R).
-        for (std::uint8_t i = 0; i < Outstanding(vs_, va_); ++i) {
-          SendIFrame(Mod8(va_ + i), /*retransmission=*/true);
+        // Retransmit from N(R). The burst is capped at 8 frames — a no-op
+        // for mod 8 (the window is at most 7) but essential for mod 128,
+        // where an uncapped go-back-N over a 127 window floods the channel
+        // for longer than T1. The SREJ machinery (or the next checkpoint
+        // poll) recovers whatever lies beyond the cap.
+        std::uint8_t burst = std::min<std::uint8_t>(Outstanding(), 8);
+        for (std::uint8_t i = 0; i < burst; ++i) {
+          SendIFrame(ModM(va_ + i), /*retransmission=*/true);
         }
         if (!outstanding_.empty()) {
           t1_.Restart(link_->config().t1);
         }
         PumpSendQueue();
+      }
+      break;
+    case Ax25FrameType::kSrej:
+      if (state_ == State::kConnected) {
+        HandleSrej(f);
       }
       break;
     case Ax25FrameType::kFrmr:
@@ -427,6 +749,46 @@ void Ax25Connection::HandleFrame(const Ax25Frame& f) {
     case Ax25FrameType::kUi:
     case Ax25FrameType::kUnknown:
       break;
+  }
+}
+
+void Ax25Connection::HandleXid(const Ax25Frame& f) {
+  if (link_->config().dialect != Ax25Dialect::kV22) {
+    // v2.0 dialect: XID is not in the protocol; ignore it like any unknown
+    // frame (the link layer already DMs XIDs from unknown peers).
+    return;
+  }
+  ++link_->stats_.xid_received;
+  auto peer_params = Ax25XidParams::Decode(f.info);
+  if (!peer_params) {
+    // Malformed or non-ISO-8885 offer: stay silent; the initiator's T1
+    // downgrade path takes over.
+    return;
+  }
+  Ax25XidParams agreed = Agree(LocalXidOffer(), *peer_params);
+  if (f.command) {
+    if (state_ == State::kDisconnected) {
+      // Responder: stage the agreed parameters and echo them back. The
+      // initiator commits the negotiation with the SABME (or SABM) it sends
+      // next; until then the connection state is unchanged.
+      pending_params_ = ParamsFrom(agreed);
+      SendXid(/*command=*/false, agreed);
+    } else if (state_ == State::kNegotiating) {
+      // Crossing XID commands: both stations initiated at once. Each side
+      // now holds the other's offer, and Agree() is symmetric (AND/min/max),
+      // so both compute the same parameter set — answer and establish
+      // directly. The SABMEs may cross too; that is harmless since both
+      // carry the same staged parameters.
+      SendXid(/*command=*/false, agreed);
+      BeginEstablish(ParamsFrom(agreed));
+    }
+    // kConnecting/kConnected/kDisconnecting: ignore. Re-staging here could
+    // overwrite the parameters of an establishment already in flight and
+    // desynchronise the two ends' moduli.
+  } else if (state_ == State::kNegotiating) {
+    // Initiator: the peer answered our offer with the agreed (min)
+    // parameter set. Establish with SABME when mod 128 was agreed.
+    BeginEstablish(ParamsFrom(agreed));
   }
 }
 

@@ -1,13 +1,24 @@
-// AX.25 v2.0 connected mode ("level 2"): the balanced link-layer state
-// machine used by TNCs for interactive connections (what the paper's §2.4
-// calls "AX.25 level 3 connections" kept by a user program, and what the BBS
+// AX.25 connected mode ("level 2"): the balanced link-layer state machine
+// used by TNCs for interactive connections (what the paper's §2.4 calls
+// "AX.25 level 3 connections" kept by a user program, and what the BBS
 // scenarios in §1 run over).
 //
-// Implements the SABM/UA/DISC/DM handshake, mod-8 I-frame sequencing with a
-// configurable window, RR/RNR/REJ supervisory handling, the T1 retransmission
-// timer with N2 retry limit, and outbound segmentation into PACLEN-sized
-// I frames. SREJ and mod-128 extended mode are not implemented (they are not
-// in AX.25 v2.0 either).
+// Implements the SABM/UA/DISC/DM handshake, I-frame sequencing generic over
+// the link modulus (8 or 128) with a configurable window, RR/RNR/REJ/SREJ
+// supervisory handling, the T1 retransmission timer with N2 retry limit, and
+// outbound segmentation into PACLEN-sized I frames.
+//
+// Two dialects are supported per link:
+//   - kV20 (default): classic AX.25 v2.0. Mod-8, REJ-only go-back-N, no XID.
+//     Wire behaviour is byte-identical to the pre-v2.2 implementation (the
+//     seeded goldens in tests/golden/ pin this).
+//   - kV22: AX.25 v2.2. An initiator first sends an XID command offering
+//     mod-128 + SREJ + its window; a v2.2 responder answers with the
+//     negotiated (min) parameters and the link is established with SABME. A
+//     v2.0 peer answers the XID with DM (unknown-peer rule) or ignores it
+//     (known connection), and after the XID retry budget the initiator
+//     downgrades to a plain SABM — so v2.2-configured stations interoperate
+//     with v2.0 ones automatically, frame-for-frame like a v2.0 station.
 #ifndef SRC_AX25_LAPB_H_
 #define SRC_AX25_LAPB_H_
 
@@ -16,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/ax25/frame.h"
@@ -24,6 +36,17 @@
 
 namespace upr {
 
+// Which AX.25 revision a link speaks when *initiating*. Incoming SABM is
+// always accepted (mod 8); incoming XID/SABME only when the dialect is kV22.
+enum class Ax25Dialect : std::uint8_t {
+  kV20,  // AX.25 v2.0: mod 8, REJ-only, no XID
+  kV22,  // AX.25 v2.2: XID negotiation, mod 128 via SABME, SREJ
+};
+
+inline const char* Ax25DialectName(Ax25Dialect d) {
+  return d == Ax25Dialect::kV22 ? "2.2" : "2.0";
+}
+
 struct Ax25LinkConfig {
   SimTime t1 = Seconds(10);        // retransmission timeout (frame ack wait)
   // T3: idle-link probe. After this long with no frames from the peer, poll
@@ -31,11 +54,30 @@ struct Ax25LinkConfig {
   // Zero disables keepalive.
   SimTime t3 = Seconds(300);
   int n2 = 10;                     // max retries before declaring link failure
-  std::uint8_t window = 4;         // k: max outstanding I frames (1..7)
+  std::uint8_t window = 4;         // k: max outstanding I frames
+                                   // (1..7 for v2.0, 1..127 for v2.2)
   std::size_t paclen = 128;        // max info bytes per I frame
   // Protocol ID carried in I frames: kPidNoLayer3 for plain connected-mode
   // text, kPidIp when the circuit carries IP datagrams (KA9Q "VC mode").
   std::uint8_t pid = kPidNoLayer3;
+  Ax25Dialect dialect = Ax25Dialect::kV20;
+  // Largest I-field we advertise in XID (N1, bytes). Also bounds the
+  // effective paclen after negotiation.
+  std::size_t max_i_field = kAx25MaxInfo;
+};
+
+// The LAPB state machine predates its AX.25 packaging; some call sites (TNC
+// command tables, the ISSUE tracker) use the generic name.
+using LapbConfig = Ax25LinkConfig;
+
+// Per-link v2.2 protocol counters, aggregated over all connections.
+struct Ax25LinkStats {
+  std::uint64_t xid_sent = 0;
+  std::uint64_t xid_received = 0;
+  std::uint64_t srej_sent = 0;      // SREJ frames we transmitted
+  std::uint64_t srej_received = 0;  // SREJ frames asking us to retransmit
+  std::uint64_t downgrades = 0;     // v2.2 attempts that fell back to v2.0
+  std::uint64_t mod128_links = 0;   // links established in extended mode
 };
 
 class Ax25Connection;
@@ -69,8 +111,26 @@ class Ax25Link {
   // Feed a received frame addressed to `local_`. Returns true if consumed.
   bool HandleFrame(const Ax25Frame& frame);
 
+  // Feed a frame that was pre-parsed with the mod-8 control layout, along
+  // with the raw wire bytes it came from. If the frame belongs to a mod-128
+  // connection the wire is re-parsed with the extended control layout first
+  // (both layouts classify I/S/U identically from the first control byte, so
+  // the mod-8 parse is sufficient to route; only sequence numbers differ).
+  // This is the entry point drivers should use; HandleFrame alone is only
+  // correct for frames that never left process memory.
+  bool HandleDecoded(const Ax25Frame& frame, ByteView wire);
+
   Ax25Connection* FindConnection(const Ax25Address& peer);
   std::size_t connection_count() const { return connections_.size(); }
+
+  // Applies a new configuration to future connections (existing ones keep
+  // their negotiated parameters; timers read the new values live).
+  void set_config(const Ax25LinkConfig& config) { config_ = config; }
+
+  const Ax25LinkStats& stats() const { return stats_; }
+
+  void VisitConnections(
+      const std::function<void(const Ax25Connection&)>& fn) const;
 
   Simulator* sim() { return sim_; }
   const Ax25LinkConfig& config() const { return config_; }
@@ -89,6 +149,7 @@ class Ax25Link {
   Ax25LinkConfig config_;
   AcceptHandler accept_;
   ConnectionHandler on_connection_;
+  Ax25LinkStats stats_;
   std::map<Ax25Address, std::unique_ptr<Ax25Connection>> connections_;
 };
 
@@ -96,7 +157,8 @@ class Ax25Connection {
  public:
   enum class State {
     kDisconnected,
-    kConnecting,    // SABM sent, awaiting UA
+    kNegotiating,    // XID command sent, awaiting XID response (v2.2 only)
+    kConnecting,     // SABM/SABME sent, awaiting UA
     kConnected,
     kDisconnecting,  // DISC sent, awaiting UA
   };
@@ -123,17 +185,42 @@ class Ax25Connection {
   std::uint64_t i_frames_resent() const { return i_resent_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  // Effective (post-negotiation) link parameters.
+  Ax25Modulus modulus() const { return modulus_; }
+  std::uint8_t window() const { return window_; }
+  bool srej_enabled() const { return srej_enabled_; }
+  std::size_t paclen() const { return paclen_; }
+  // The dialect actually in effect on this connection: v2.2 once extended
+  // mode is established, v2.0 otherwise (including after a downgrade).
+  Ax25Dialect dialect() const {
+    return modulus_ == Ax25Modulus::kMod128 ? Ax25Dialect::kV22
+                                            : Ax25Dialect::kV20;
+  }
+
  private:
   friend class Ax25Link;
+
+  // Link parameters staged during establishment and applied atomically when
+  // the connection (re)enters the connected state.
+  struct PendingParams {
+    Ax25Modulus modulus = Ax25Modulus::kMod8;
+    std::uint8_t window = 4;
+    bool srej = false;
+    std::size_t paclen = 128;
+  };
 
   void StartConnect();
   void HandleFrame(const Ax25Frame& f);
   void HandleI(const Ax25Frame& f);
+  void HandleSrej(const Ax25Frame& f);
+  void HandleXid(const Ax25Frame& f);
   void HandleAck(std::uint8_t nr);
   void PumpSendQueue();
+  void DeliverData(const Bytes& info);
   void SendIFrame(std::uint8_t ns, bool retransmission, bool poll = false);
   void SendSupervisory(Ax25FrameType type, bool response, bool pf);
   void SendU(Ax25FrameType type, bool command, bool pf);
+  void SendXid(bool command, const Ax25XidParams& params);
   void OnT1Expiry();
   void OnT3Expiry();
   void RestartT3();
@@ -142,20 +229,51 @@ class Ax25Connection {
   Ax25Frame BaseFrame(bool command) const;
   std::vector<Ax25Digipeater> ReturnPath() const;
 
+  // Sequence arithmetic over the connection's current modulus.
+  std::uint8_t ModM(int v) const {
+    return static_cast<std::uint8_t>(v & (ModulusValue(modulus_) - 1));
+  }
+  // Number of frames in flight between V(A) (inclusive) and V(S) (exclusive).
+  std::uint8_t Outstanding() const { return ModM(vs_ - va_); }
+
+  // The XID offer derived from the link configuration.
+  Ax25XidParams LocalXidOffer() const;
+  // Parameter agreement: the intersection/minimum of our offer and theirs.
+  static Ax25XidParams Agree(const Ax25XidParams& ours,
+                             const Ax25XidParams& theirs);
+  PendingParams ParamsFrom(const Ax25XidParams& agreed) const;
+  PendingParams V20Params() const;
+  // Stages `p` and sends SABM or SABME accordingly (v2.2 establishment step
+  // after XID, or the downgrade path).
+  void BeginEstablish(const PendingParams& p);
+  void Downgrade(const char* why);
+
   Ax25Link* link_;
   Ax25Address peer_;
   std::vector<Ax25Digipeater> digis_;
   State state_ = State::kDisconnected;
 
-  // Sequence variables (all mod 8).
+  // Effective link parameters; defaults match v2.0. Re-negotiated values are
+  // staged in pending_params_ and applied in EnterConnected.
+  Ax25Modulus modulus_ = Ax25Modulus::kMod8;
+  std::uint8_t window_ = 4;
+  bool srej_enabled_ = false;
+  std::size_t paclen_ = 128;
+  std::optional<PendingParams> pending_params_;
+
+  // Sequence variables (mod `modulus_`).
   std::uint8_t vs_ = 0;  // next N(S) to assign
   std::uint8_t va_ = 0;  // oldest unacknowledged N(S)
   std::uint8_t vr_ = 0;  // next expected N(S) from peer
   bool rej_outstanding_ = false;
+  bool srej_outstanding_ = false;  // a SREJ for V(R) is in flight
   bool peer_busy_ = false;
 
   std::deque<Bytes> send_queue_;               // not yet assigned sequence numbers
   std::map<std::uint8_t, Bytes> outstanding_;  // ns -> info, awaiting ack
+  // SREJ receive side: out-of-sequence I frames held until the gap at V(R)
+  // fills, then delivered in order.
+  std::map<std::uint8_t, Bytes> rx_pending_;
 
   Timer t1_;
   Timer t3_;

@@ -181,7 +181,7 @@ void PacketRadioInterface::OnKissFrame(std::uint8_t port, KissCommand command,
   }
   frame.info.assign(decoded->info.begin(), decoded->info.end());
   if (l3_tap_) {
-    l3_tap_(frame);
+    l3_tap_(frame, payload);
     return;
   }
   if (l3_queue_.size() >= config_.l3_queue_limit) {

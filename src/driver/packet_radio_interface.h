@@ -89,8 +89,11 @@ class PacketRadioInterface : public NetInterface {
   // --- User-level AX.25 access (§2.4 future work) -------------------------
 
   // Handler for non-IP frames; if unset they accumulate on the bounded queue
-  // below. The handler receives the decoded frame.
-  using L3Tap = std::function<void(const Ax25Frame&)>;
+  // below. The handler receives the frame decoded with the mod-8 control
+  // layout plus the raw wire bytes (valid only for the duration of the call),
+  // so a LAPB layer running a mod-128 connection can re-parse the control
+  // field — see Ax25Link::HandleDecoded.
+  using L3Tap = std::function<void(const Ax25Frame&, ByteView wire)>;
   void set_l3_tap(L3Tap tap) { l3_tap_ = std::move(tap); }
 
   // Reads one queued non-IP frame (when no tap is installed); nullopt when

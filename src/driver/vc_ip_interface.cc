@@ -16,7 +16,9 @@ Ax25VcIpInterface::Ax25VcIpInterface(Simulator* sim, PacketRadioInterface* drive
   link_ = std::make_unique<Ax25Link>(
       sim, driver->local_ax25(),
       [driver](const Ax25Frame& f) { driver->SendRawFrame(f); }, link_config);
-  driver_->set_l3_tap([this](const Ax25Frame& f) { link_->HandleFrame(f); });
+  driver_->set_l3_tap([this](const Ax25Frame& f, ByteView wire) {
+    link_->HandleDecoded(f, wire);
+  });
   link_->set_accept_handler([](const Ax25Address&) { return true; });
   link_->set_connection_handler([this](Ax25Connection* conn) {
     AttachConnection(conn->peer(), conn);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
 #include "src/util/logging.h"
 
 namespace upr {
@@ -80,6 +81,10 @@ void EthernetInterface::TransmitFrame(std::uint16_t ethertype, const EtherAddr& 
   std::copy(mac_.octets.begin(), mac_.octets.end(), h + 6);
   h[12] = static_cast<std::uint8_t>(ethertype >> 8);
   h[13] = static_cast<std::uint8_t>(ethertype & 0xFF);
+  if (auto* t = trace::Active()) {
+    t->RecordEtherFrame(trace::Kind::kEtherFrameOut, trace::Dir::kTx, name(),
+                        payload.view());
+  }
   segment_->Transmit(this, payload.Release());
 }
 
@@ -91,6 +96,10 @@ void EthernetInterface::ReceiveFrame(const Bytes& frame) {
   std::copy(frame.begin(), frame.begin() + 6, dst.octets.begin());
   if (dst != mac_ && !dst.IsBroadcast()) {
     return;  // hardware address filter
+  }
+  if (auto* t = trace::Active()) {
+    t->RecordEtherFrame(trace::Kind::kEtherFrameIn, trace::Dir::kRx, name(),
+                        frame);
   }
   std::uint16_t ethertype = static_cast<std::uint16_t>(frame[12] << 8 | frame[13]);
   ByteView payload(frame.data() + kEtherHeaderBytes, frame.size() - kEtherHeaderBytes);

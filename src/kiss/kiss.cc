@@ -45,10 +45,13 @@ void KissEncodeInto(ByteView payload, Bytes* out, std::uint8_t port,
   // byte-at-a-time work only at the escapes, no capacity check per byte and
   // no counting pre-pass. The old encoder reserved only payload + 4 and
   // reallocated mid-encode on escape-dense frames.
-  bool was_empty = out->empty();
   std::size_t base = out->size();
-  out->resize(base + 4 + 2 * payload.size());
-  if (was_empty) {
+  std::size_t worst = base + 4 + 2 * payload.size();
+  // Only a resize past the current capacity touches the heap: a reused wire
+  // buffer (cleared between frames, capacity retained) encodes alloc-free.
+  bool grew = worst > out->capacity();
+  out->resize(worst);
+  if (grew) {
     BufNoteAlloc();
   }
   std::uint8_t* w = out->data() + base;

@@ -83,7 +83,10 @@ NetRomNode::NetRomNode(Simulator* sim, PacketRadioInterface* driver, NetRomConfi
       driver_(driver),
       callsign_(driver->local_ax25()),
       config_(std::move(config)) {
-  driver_->set_l3_tap([this](const Ax25Frame& f) { HandleFrame(f); });
+  // NET/ROM rides plain v2.0 mod-8 links (the deployed network never adopted
+  // v2.2), so the pre-parsed mod-8 frame is already correct here.
+  driver_->set_l3_tap(
+      [this](const Ax25Frame& f, ByteView /*wire*/) { HandleFrame(f); });
   nodes_timer_ = std::make_unique<Timer>(sim_, [this] {
     AgeRoutes();
     BroadcastNodes();

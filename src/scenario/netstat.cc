@@ -148,6 +148,49 @@ std::string FormatDriverStats(const PacketRadioInterface& driver) {
   return out;
 }
 
+std::string FormatAx25Link(const Ax25Link& link, const std::string& name) {
+  const Ax25LinkStats& s = link.stats();
+  std::string out = Sprintf(
+      "ax25 %s (%s): %llu xid sent, %llu xid rcvd, %llu srej sent, "
+      "%llu srej rcvd, %llu downgrades, %llu mod128 links\n",
+      name.c_str(), link.local_address().ToString().c_str(),
+      static_cast<unsigned long long>(s.xid_sent),
+      static_cast<unsigned long long>(s.xid_received),
+      static_cast<unsigned long long>(s.srej_sent),
+      static_cast<unsigned long long>(s.srej_received),
+      static_cast<unsigned long long>(s.downgrades),
+      static_cast<unsigned long long>(s.mod128_links));
+  link.VisitConnections([&out](const Ax25Connection& c) {
+    const char* state = "?";
+    switch (c.state()) {
+      case Ax25Connection::State::kDisconnected:
+        state = "DISC";
+        break;
+      case Ax25Connection::State::kNegotiating:
+        state = "XID";
+        break;
+      case Ax25Connection::State::kConnecting:
+        state = "SABM";
+        break;
+      case Ax25Connection::State::kConnected:
+        state = "CONN";
+        break;
+      case Ax25Connection::State::kDisconnecting:
+        state = "DISCING";
+        break;
+    }
+    out += Sprintf(
+        "  %-9s %-7s v%s mod%-3d k=%-3u srej=%s paclen=%zu "
+        "i_sent=%llu i_resent=%llu delivered=%llu\n",
+        c.peer().ToString().c_str(), state, Ax25DialectName(c.dialect()),
+        ModulusValue(c.modulus()), c.window(), c.srej_enabled() ? "on" : "off",
+        c.paclen(), static_cast<unsigned long long>(c.i_frames_sent()),
+        static_cast<unsigned long long>(c.i_frames_resent()),
+        static_cast<unsigned long long>(c.bytes_delivered()));
+  });
+  return out;
+}
+
 std::string FormatSimulator(const Simulator& sim) {
   return Sprintf("sim: %llu events scheduled, %zu executed, %zu pending, "
                  "event pool %zu (%zu free)\n",
@@ -175,6 +218,15 @@ std::string FormatBufStats() {
                  static_cast<unsigned long long>(t.bytes_copied),
                  static_cast<unsigned long long>(t.allocs),
                  static_cast<unsigned long long>(t.prepend_reallocs));
+  BufPoolStats p = BufPoolSnapshot();
+  out += Sprintf(
+      "buf pool: %llu hits, %llu misses, %llu oversize, %llu recycled, "
+      "%llu dropped, %zu parked\n",
+      static_cast<unsigned long long>(p.hits),
+      static_cast<unsigned long long>(p.misses),
+      static_cast<unsigned long long>(p.oversize),
+      static_cast<unsigned long long>(p.recycled),
+      static_cast<unsigned long long>(p.dropped), BufPoolDepth());
   return out;
 }
 

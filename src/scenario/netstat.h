@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "src/ax25/lapb.h"
 #include "src/driver/packet_radio_interface.h"
 #include "src/net/netstack.h"
 #include "src/radio/fault_plan.h"
@@ -36,6 +37,10 @@ std::string FormatSerial(const SerialLine& line, const std::string& name);
 // Driver-side interrupt counters: interrupts taken, characters per
 // interrupt, modelled CPU time.
 std::string FormatDriverStats(const PacketRadioInterface& driver);
+
+// Connected-mode link diagnostics: per-link XID/SREJ/downgrade counters and
+// each connection's negotiated dialect, modulus, window and I-frame stats.
+std::string FormatAx25Link(const Ax25Link& link, const std::string& name);
 
 // Simulator event-pool diagnostics: events scheduled/executed, pool size.
 std::string FormatSimulator(const Simulator& sim);

@@ -1,0 +1,28 @@
+#include "src/scenario/vc_station.h"
+
+namespace upr {
+
+VcStation::VcStation(Simulator* sim, RadioChannel* channel, VcStationConfig config) {
+  callsign_ = *Ax25Address::Parse(config.callsign);
+  stack_ = std::make_unique<NetStack>(sim, config.name);
+  SerialLineConfig serial_cfg;
+  serial_cfg.baud_rate = config.serial_baud;
+  serial_ = std::make_unique<SerialLine>(sim, serial_cfg);
+  TncConfig tnc_cfg;
+  tnc_cfg.mac.turnaround = 0;
+  tnc_cfg.local_addresses.push_back(callsign_);
+  tnc_ = std::make_unique<KissTnc>(sim, channel, &serial_->b(), config.name, tnc_cfg,
+                                   config.seed * 100 + 1);
+  PacketRadioConfig drv;
+  drv.local_address = callsign_;
+  auto driver =
+      std::make_unique<PacketRadioInterface>(sim, &serial_->a(), "pr0", drv);
+  driver_ =
+      static_cast<PacketRadioInterface*>(stack_->AddInterface(std::move(driver)));
+  auto vc = std::make_unique<Ax25VcIpInterface>(sim, driver_, "vc0", config.link);
+  vc->Configure(config.ip, config.prefix_len);
+  vc_ = static_cast<Ax25VcIpInterface*>(stack_->AddInterface(std::move(vc)));
+  tcp_ = std::make_unique<Tcp>(stack_.get(), config.tcp, config.seed * 100 + 2);
+}
+
+}  // namespace upr

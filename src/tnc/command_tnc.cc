@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/util/crc.h"
 #include "src/util/logging.h"
@@ -243,6 +244,37 @@ void CommandModeTnc::OnCommandLine(const std::string& line) {
     } else {
       ToTerminal("DISCONNECTED\r\n");
     }
+  } else if (cmd == "VERSION" || cmd == "V") {
+    // AX.25 dialect for links this TNC initiates: VERSION 2.2 turns on XID
+    // negotiation / mod-128 / SREJ, VERSION 2.0 pins classic behaviour.
+    if (words.size() >= 2) {
+      if (words[1] == "2.2" || words[1] == "V2.2") {
+        config_.link.dialect = Ax25Dialect::kV22;
+      } else if (words[1] == "2.0" || words[1] == "V2.0") {
+        config_.link.dialect = Ax25Dialect::kV20;
+      } else {
+        ToTerminal("?use VERSION 2.0 | 2.2\r\n");
+        Prompt();
+        return;
+      }
+      link_->set_config(config_.link);
+    }
+    ToTerminal(std::string("VERSION ") + Ax25DialectName(config_.link.dialect) +
+               "\r\n");
+  } else if (cmd == "MAXFRAME" || cmd == "MAX") {
+    // Window size k. 1..7 in v2.0; up to 127 negotiable under VERSION 2.2.
+    if (words.size() >= 2) {
+      int k = std::atoi(words[1].c_str());
+      int limit = config_.link.dialect == Ax25Dialect::kV22 ? 127 : 7;
+      if (k < 1 || k > limit) {
+        ToTerminal("?MAXFRAME must be 1.." + std::to_string(limit) + "\r\n");
+        Prompt();
+        return;
+      }
+      config_.link.window = static_cast<std::uint8_t>(k);
+      link_->set_config(config_.link);
+    }
+    ToTerminal("MAXFRAME " + std::to_string(config_.link.window) + "\r\n");
   } else {
     ToTerminal("?EH\r\n");
   }
@@ -270,7 +302,7 @@ void CommandModeTnc::OnRadioReceive(const Bytes& wire, bool corrupted) {
     return;
   }
   if (frame->destination == config_.mycall) {
-    link_->HandleFrame(*frame);
+    link_->HandleDecoded(*frame, body);
     return;
   }
   if (config_.monitor && frame->type == Ax25FrameType::kUi) {

@@ -87,7 +87,8 @@ void PcapngWriter::WriteBlock(const Bytes& block) {
   bytes_written_ += block.size();
 }
 
-std::uint32_t PcapngWriter::InterfaceId(std::string_view name) {
+std::uint32_t PcapngWriter::InterfaceId(std::string_view name,
+                                        std::uint16_t link_type) {
   auto it = interfaces_.find(name);
   if (it != interfaces_.end()) {
     return it->second;
@@ -96,7 +97,7 @@ std::uint32_t PcapngWriter::InterfaceId(std::string_view name) {
   interfaces_.emplace(std::string(name), id);
 
   Bytes body;
-  PutU16(&body, kLinkTypeAx25Kiss);
+  PutU16(&body, link_type);
   PutU16(&body, 0);  // reserved
   PutU32(&body, snaplen_);
   // if_name(2): the simulated port; if_tsresol(9): 10^-9 s, raw sim time.

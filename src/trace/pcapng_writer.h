@@ -27,6 +27,7 @@ inline constexpr std::uint32_t kPcapngShbType = 0x0A0D0D0A;
 inline constexpr std::uint32_t kPcapngIdbType = 0x00000001;
 inline constexpr std::uint32_t kPcapngEpbType = 0x00000006;
 inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1A2B3C4D;
+inline constexpr std::uint16_t kLinkTypeEthernet = 1;
 inline constexpr std::uint16_t kLinkTypeAx25Kiss = 202;
 
 class PcapngWriter {
@@ -39,9 +40,11 @@ class PcapngWriter {
 
   bool ok() const { return file_ != nullptr; }
 
-  // Interface id for `name`, writing its Interface Description Block on
-  // first use.
-  std::uint32_t InterfaceId(std::string_view name);
+  // Interface id for `name`, writing its Interface Description Block — with
+  // the given LINKTYPE_* value — on first use. A name keeps the link type it
+  // was first registered with (one IDB per simulated port).
+  std::uint32_t InterfaceId(std::string_view name,
+                            std::uint16_t link_type = kLinkTypeAx25Kiss);
 
   // Writes one Enhanced Packet Block. `data` is the on-the-wire bytes
   // (already truncated to snaplen by the caller), `orig_len` the original

@@ -45,6 +45,8 @@ const char* LayerName(Layer layer) {
       return "gateway";
     case Layer::kDriver:
       return "driver";
+    case Layer::kEther:
+      return "ether";
   }
   return "?";
 }
@@ -79,6 +81,10 @@ const char* KindName(Kind kind) {
       return "defer";
     case Kind::kDriverDrop:
       return "output-drop";
+    case Kind::kEtherFrameOut:
+      return "frame-out";
+    case Kind::kEtherFrameIn:
+      return "frame-in";
   }
   return "?";
 }
@@ -200,6 +206,37 @@ void Tracer::RecordFrame(Layer layer, Kind kind, Dir dir, std::string_view iface
     stats_.pcap_bytes = pcap_->bytes_written();
   }
   Record(layer, kind, dir, iface, ax25, std::move(note));
+}
+
+void Tracer::RecordEtherFrame(Kind kind, Dir dir, std::string_view iface,
+                              ByteView frame, std::string note) {
+  if (iface.empty()) {
+    iface = CurrentIf();
+  }
+  if (dir == Dir::kNone) {
+    dir = CurrentDir();
+  }
+  if (pcap_ != nullptr && pcap_->ok()) {
+    // LINKTYPE_ETHERNET: the raw Ethernet-II frame, no pseudo-header.
+    std::size_t keep = std::min(frame.size(), config_.snaplen);
+    std::uint32_t flags = dir == Dir::kRx ? 1u : dir == Dir::kTx ? 2u : 0u;
+    std::string comment(LayerName(Layer::kEther));
+    comment += ':';
+    comment += KindName(kind);
+    if (!note.empty()) {
+      comment += ' ';
+      comment += note;
+    }
+    std::uint32_t id = pcap_->InterfaceId(iface.empty() ? "unnamed" : iface,
+                                          kLinkTypeEthernet);
+    pcap_->WritePacket(id, sim_->Now(), frame.first(keep),
+                       static_cast<std::uint32_t>(frame.size()), flags,
+                       comment);
+    stats_.pcap_packets = pcap_->packets();
+    stats_.pcap_interfaces = pcap_->interfaces();
+    stats_.pcap_bytes = pcap_->bytes_written();
+  }
+  Record(Layer::kEther, kind, dir, iface, frame, std::move(note));
 }
 
 std::vector<const Entry*> Tracer::RingSnapshot() const {

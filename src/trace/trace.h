@@ -42,8 +42,9 @@ enum class Layer : std::uint8_t {
   kMac,      // CSMA MAC + radio channel
   kGateway,  // §4.3 gateway policy
   kDriver,   // packet radio pseudo-device driver
+  kEther,    // Ethernet segment (the wired side of the gateway)
 };
-inline constexpr int kLayerCount = 7;
+inline constexpr int kLayerCount = 8;
 
 // What happened at the crossing.
 enum class Kind : std::uint8_t {
@@ -61,6 +62,8 @@ enum class Kind : std::uint8_t {
   kMacCollision,   // a transmission overlapped another (both corrupted)
   kMacDefer,       // the MAC deferred (carrier busy or p-persistence)
   kDriverDrop,     // driver output drop (serial backlog cap)
+  kEtherFrameOut,  // an Ethernet-II frame hit the segment
+  kEtherFrameIn,   // an Ethernet-II frame passed the station's MAC filter
 };
 
 enum class Dir : std::uint8_t { kNone, kTx, kRx };
@@ -127,6 +130,13 @@ class Tracer {
   void RecordFrame(Layer layer, Kind kind, Dir dir, std::string_view iface,
                    ByteView ax25, std::string note = {},
                    std::uint8_t kiss_port = 0);
+
+  // Records a crossing whose bytes are a complete Ethernet-II frame: ring
+  // entry plus, when a pcap file is open, one packet on `iface`'s interface —
+  // registered as LINKTYPE_ETHERNET (1), so a mixed capture carries the
+  // radio ports as AX.25/KISS and the LAN port (`qe0`) as real Ethernet.
+  void RecordEtherFrame(Kind kind, Dir dir, std::string_view iface,
+                        ByteView frame, std::string note = {});
 
   const TracerConfig& config() const { return config_; }
   const TraceStats& stats() const { return stats_; }

@@ -49,11 +49,84 @@ void ResetBufStats() {
   }
 }
 
-PacketBuf::PacketBuf(std::size_t headroom, std::size_t tailroom)
-    : buf_(headroom + tailroom), start_(headroom), end_(headroom) {
-  if (headroom + tailroom > 0) {
+namespace {
+
+// The slab free list. Blocks are vectors whose capacity is exactly
+// kBufSlabSize (they were first allocated by TakeStorage below), so a
+// recycled block's resize() never reallocates.
+std::vector<Bytes> g_buf_pool;
+BufPoolStats g_buf_pool_stats;
+
+// Storage for a PacketBuf needing `n` bytes: a parked slab when one fits,
+// a fresh (counted) allocation otherwise. The returned vector has size n,
+// zero-filled, matching what Bytes(n) would have produced.
+Bytes TakeStorage(std::size_t n) {
+  if (n <= kBufSlabSize) {
+    if (!g_buf_pool.empty()) {
+      Bytes b = std::move(g_buf_pool.back());
+      g_buf_pool.pop_back();
+      ++g_buf_pool_stats.hits;
+      b.clear();
+      b.resize(n);  // within capacity: memset only, no heap traffic
+      return b;
+    }
+    ++g_buf_pool_stats.misses;
     BufNoteAlloc();
+    Bytes b;
+    b.reserve(kBufSlabSize);  // full slab so the block is poolable later
+    b.resize(n);
+    return b;
   }
+  ++g_buf_pool_stats.oversize;
+  BufNoteAlloc();
+  return Bytes(n);
+}
+
+// Retires a PacketBuf's storage: slab-capacity blocks park on the free list
+// (up to the depth cap); everything else goes back to the heap.
+void PutStorage(Bytes&& b) {
+  if (b.capacity() >= kBufSlabSize && b.capacity() <= 2 * kBufSlabSize &&
+      g_buf_pool.size() < kBufPoolMaxDepth) {
+    ++g_buf_pool_stats.recycled;
+    g_buf_pool.push_back(std::move(b));
+    return;
+  }
+  if (b.capacity() > 0) {
+    ++g_buf_pool_stats.dropped;
+  }
+}
+
+}  // namespace
+
+BufPoolStats BufPoolSnapshot() { return g_buf_pool_stats; }
+
+std::size_t BufPoolDepth() { return g_buf_pool.size(); }
+
+void DrainBufPool() {
+  g_buf_pool.clear();
+  g_buf_pool.shrink_to_fit();
+  g_buf_pool_stats = BufPoolStats{};
+}
+
+PacketBuf::PacketBuf(std::size_t headroom, std::size_t tailroom)
+    : start_(headroom), end_(headroom) {
+  if (headroom + tailroom > 0) {
+    buf_ = TakeStorage(headroom + tailroom);
+  }
+}
+
+PacketBuf::~PacketBuf() { PutStorage(std::move(buf_)); }
+
+PacketBuf& PacketBuf::operator=(PacketBuf&& o) noexcept {
+  if (this != &o) {
+    PutStorage(std::move(buf_));
+    buf_ = std::move(o.buf_);
+    start_ = o.start_;
+    end_ = o.end_;
+    o.buf_.clear();
+    o.start_ = o.end_ = 0;
+  }
+  return *this;
 }
 
 PacketBuf PacketBuf::FromView(ByteView payload, std::size_t headroom,
@@ -77,12 +150,12 @@ void PacketBuf::Grow(std::size_t front, std::size_t back) {
   std::size_t new_front = start_ + front + (front > 0 ? kDefaultHeadroom : 0);
   std::size_t data_len = size();
   std::size_t new_back = (buf_.size() - end_) + back + (back > 0 ? kDefaultHeadroom : 0);
-  Bytes grown(new_front + data_len + new_back);
+  Bytes grown = TakeStorage(new_front + data_len + new_back);
   std::memcpy(grown.data() + new_front, data(), data_len);
+  PutStorage(std::move(buf_));
   buf_ = std::move(grown);
   start_ = new_front;
   end_ = new_front + data_len;
-  BufNoteAlloc();
   BufNoteCopy(data_len);
 }
 

@@ -83,6 +83,38 @@ inline void BufNoteCopy(std::size_t n) {
 }
 inline void BufNoteAlloc() { ++detail::CurrentBufStats().allocs; }
 
+// --- Slab recycling ---------------------------------------------------------
+//
+// The gateway's forward path makes exactly one owned allocation per relayed
+// frame (FromView in the driver RX handler). Under load that is one
+// malloc/free per packet — the 4.3BSD answer was the mbuf free list, and this
+// is ours: retired PacketBuf storage of the common size class parks on a
+// process-wide free list and the next construction reuses it instead of
+// touching the heap. Single-threaded by design, like the stats above.
+//
+// A request of at most kBufSlabSize bytes is served from the free list when
+// one is parked (a *hit* — not counted as an alloc in BufLayerStats, since
+// the heap is never involved). Larger requests, and requests that find the
+// list empty, allocate as before. Storage returns to the list when a
+// PacketBuf holding a slab-capacity block is destroyed; beyond
+// kBufPoolMaxDepth blocks the return is dropped to the heap so an idle
+// process does not hoard.
+inline constexpr std::size_t kBufSlabSize = 512;
+inline constexpr std::size_t kBufPoolMaxDepth = 256;
+
+struct BufPoolStats {
+  std::uint64_t hits = 0;      // constructions served from the free list
+  std::uint64_t misses = 0;    // slab-sized requests with an empty list
+  std::uint64_t oversize = 0;  // requests too large for a slab
+  std::uint64_t recycled = 0;  // blocks parked back on the free list
+  std::uint64_t dropped = 0;   // retiring blocks freed (pool full/odd size)
+};
+BufPoolStats BufPoolSnapshot();
+std::size_t BufPoolDepth();  // blocks currently parked
+// Frees every parked block and zeroes the pool counters (benches use this to
+// isolate phases).
+void DrainBufPool();
+
 class PacketBuf {
  public:
   static constexpr std::size_t kDefaultHeadroom = 128;
@@ -91,11 +123,14 @@ class PacketBuf {
   // into. (A Prepend/Append on it grows as usual.)
   PacketBuf() = default;
   // Empty buffer with reserved headroom (for prepends) and tailroom (for
-  // appends). One allocation, counted.
+  // appends). Served from the slab free list when it fits; otherwise one
+  // allocation, counted.
   explicit PacketBuf(std::size_t headroom, std::size_t tailroom = 0);
+  // Retires the storage to the slab free list when it is slab-sized.
+  ~PacketBuf();
 
   PacketBuf(PacketBuf&&) noexcept = default;
-  PacketBuf& operator=(PacketBuf&&) noexcept = default;
+  PacketBuf& operator=(PacketBuf&& o) noexcept;
   PacketBuf(const PacketBuf&) = delete;
   PacketBuf& operator=(const PacketBuf&) = delete;
 

@@ -394,7 +394,7 @@ TEST(BeaconTest, PeriodicIdentification) {
   c.seed = 2;
   RadioStation listener(&sim, &channel, c);
   int heard = 0;
-  listener.radio_if()->set_l3_tap([&](const Ax25Frame& f) {
+  listener.radio_if()->set_l3_tap([&](const Ax25Frame& f, ByteView) {
     if (f.destination.IsBroadcast() &&
         f.info == BytesFromString("UW PACKET GATEWAY 44.24.0.28")) {
       ++heard;

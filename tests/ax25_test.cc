@@ -212,5 +212,204 @@ TEST_F(Ax25FrameTest, ToStringIsInformative) {
   EXPECT_NE(s.find("UI"), std::string::npos);
 }
 
+// --- AX.25 v2.2: XID parameter TLVs and mod-128 control fields -------------
+
+// The golden XID information field, byte for byte as a real v2.2 TNC emits
+// it (captured from a direwolf-lineage stack's XID dump): FI 0x82, GI 0x80,
+// GL 23, then classes / optional-functions / I-field-length / window /
+// ack-timer / retries for the full v2.2 offer (mod 128 + SREJ, k=127,
+// N1=1536 bytes, T1=3 s, N2=10).
+const std::uint8_t kGoldenXidInfo[] = {
+    0x82, 0x80, 0x00, 0x17,              // FI, GI, GL=23
+    0x02, 0x02, 0x21, 0x00,              // PI 2: classes ABM half-duplex
+    0x03, 0x03, 0x86, 0xa8, 0x22,        // PI 3: optional functions
+    0x06, 0x02, 0x30, 0x00,              // PI 6: I field length RX (bits)
+    0x08, 0x01, 0x7f,                    // PI 8: window size RX
+    0x09, 0x02, 0x0b, 0xb8,              // PI 9: ack timer (ms)
+    0x0a, 0x01, 0x0a,                    // PI 10: retries
+};
+
+TEST(Ax25XidTest, DefaultOfferEncodesToGoldenBytes) {
+  Ax25XidParams p;  // defaults are the full v2.2 offer
+  Bytes enc = p.Encode();
+  ASSERT_EQ(enc.size(), sizeof(kGoldenXidInfo));
+  for (std::size_t i = 0; i < sizeof(kGoldenXidInfo); ++i) {
+    EXPECT_EQ(enc[i], kGoldenXidInfo[i]) << "offset " << i;
+  }
+}
+
+TEST(Ax25XidTest, GoldenBytesDecodeToDefaults) {
+  auto p = Ax25XidParams::Decode(
+      ByteView(kGoldenXidInfo, sizeof(kGoldenXidInfo)));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, Ax25XidParams{});
+  EXPECT_TRUE(p->Mod128());
+  EXPECT_TRUE(p->Srej());
+  EXPECT_EQ(p->window_size_rx, 127);
+  EXPECT_EQ(p->i_field_length_rx, 1536u * 8);
+  EXPECT_EQ(p->ack_timer_ms, 3000u);
+  EXPECT_EQ(p->retries, 10u);
+}
+
+TEST(Ax25XidTest, DecodeRejectsWrongFormatAndTruncation) {
+  Bytes good(kGoldenXidInfo, kGoldenXidInfo + sizeof(kGoldenXidInfo));
+  Bytes bad_fi = good;
+  bad_fi[0] = 0x81;
+  EXPECT_FALSE(Ax25XidParams::Decode(bad_fi));
+  Bytes bad_gi = good;
+  bad_gi[1] = 0x81;
+  EXPECT_FALSE(Ax25XidParams::Decode(bad_gi));
+  for (std::size_t len = 0; len < 4; ++len) {
+    EXPECT_FALSE(Ax25XidParams::Decode(ByteView(kGoldenXidInfo, len)));
+  }
+  Bytes bad_gl = good;
+  bad_gl[3] = 0x40;  // GL larger than the remaining bytes
+  EXPECT_FALSE(Ax25XidParams::Decode(bad_gl));
+}
+
+TEST(Ax25XidTest, UnknownParametersAreSkipped) {
+  // PI 0x7f (unknown, 1 byte) between window and timer must not derail the
+  // parse; absent parameters keep their defaults.
+  Bytes info = {0x82, 0x80, 0x00, 0x09, 0x08, 0x01, 0x21,
+                0x7f, 0x01, 0xee, 0x0a, 0x01, 0x05};
+  auto p = Ax25XidParams::Decode(info);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->window_size_rx, 0x21);
+  EXPECT_EQ(p->retries, 5u);
+  EXPECT_EQ(p->ack_timer_ms, 3000u);  // untouched default
+}
+
+TEST_F(Ax25FrameTest, XidFrameUsesControl0xAF) {
+  Ax25Frame f;
+  f.destination = dst_;
+  f.source = src_;
+  f.command = true;
+  f.type = Ax25FrameType::kXid;
+  Ax25XidParams offer;
+  f.info = offer.Encode();
+  Bytes wire = f.Encode();
+  // 14 address bytes, then the XID control byte (P=0), then the TLVs.
+  ASSERT_GT(wire.size(), 15u);
+  EXPECT_EQ(wire[14], 0xAF);
+  ASSERT_EQ(wire.size(), 15u + sizeof(kGoldenXidInfo));
+  for (std::size_t i = 0; i < sizeof(kGoldenXidInfo); ++i) {
+    EXPECT_EQ(wire[15 + i], kGoldenXidInfo[i]) << "offset " << i;
+  }
+  auto back = Ax25Frame::Decode(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->type, Ax25FrameType::kXid);
+  EXPECT_TRUE(back->command);
+  auto params = Ax25XidParams::Decode(back->info);
+  ASSERT_TRUE(params);
+  EXPECT_EQ(*params, offer);
+}
+
+TEST_F(Ax25FrameTest, SabmeControlByte) {
+  Ax25Frame f;
+  f.destination = dst_;
+  f.source = src_;
+  f.command = true;
+  f.poll_final = true;
+  f.type = Ax25FrameType::kSabme;
+  Bytes wire = f.Encode();
+  EXPECT_EQ(wire[14], 0x6F | 0x10);  // SABME with P set
+  auto back = Ax25Frame::Decode(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->type, Ax25FrameType::kSabme);
+  EXPECT_TRUE(back->poll_final);
+}
+
+TEST_F(Ax25FrameTest, Mod128IFrameTwoByteControl) {
+  Ax25Frame f;
+  f.destination = dst_;
+  f.source = src_;
+  f.command = true;
+  f.type = Ax25FrameType::kI;
+  f.modulus = Ax25Modulus::kMod128;
+  f.ns = 93;
+  f.nr = 117;
+  f.poll_final = true;
+  f.pid = kPidIp;
+  f.info = BytesFromString("hello");
+  Bytes wire = f.Encode();
+  // Extended I control: byte 0 = N(S)<<1 (bit 0 clear), byte 1 = N(R)<<1|P.
+  EXPECT_EQ(wire[14], static_cast<std::uint8_t>(93 << 1));
+  EXPECT_EQ(wire[15], static_cast<std::uint8_t>((117 << 1) | 1));
+  auto back = Ax25Frame::Decode(wire, Ax25Modulus::kMod128);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->type, Ax25FrameType::kI);
+  EXPECT_EQ(back->ns, 93);
+  EXPECT_EQ(back->nr, 117);
+  EXPECT_TRUE(back->poll_final);
+  EXPECT_EQ(back->pid, kPidIp);
+  EXPECT_EQ(back->info, BytesFromString("hello"));
+}
+
+TEST_F(Ax25FrameTest, Mod128SupervisoryRoundTrip) {
+  struct Case {
+    Ax25FrameType type;
+    std::uint8_t code;
+  } cases[] = {
+      {Ax25FrameType::kRr, 0x01},
+      {Ax25FrameType::kRnr, 0x05},
+      {Ax25FrameType::kRej, 0x09},
+      {Ax25FrameType::kSrej, 0x0D},
+  };
+  for (const Case& c : cases) {
+    Ax25Frame f;
+    f.destination = dst_;
+    f.source = src_;
+    f.command = false;
+    f.type = c.type;
+    f.modulus = Ax25Modulus::kMod128;
+    f.nr = 100;
+    Bytes wire = f.Encode();
+    EXPECT_EQ(wire[14], c.code);
+    EXPECT_EQ(wire[15], static_cast<std::uint8_t>(100 << 1));
+    auto back = Ax25Frame::Decode(wire, Ax25Modulus::kMod128);
+    ASSERT_TRUE(back) << Ax25FrameTypeName(c.type);
+    EXPECT_EQ(back->type, c.type);
+    EXPECT_EQ(back->nr, 100);
+    EXPECT_FALSE(back->poll_final);
+  }
+}
+
+TEST_F(Ax25FrameTest, Mod128SrejMod8RoundTrip) {
+  // SREJ also exists in mod-8 (single control byte, N(R) in the top bits).
+  Ax25Frame f;
+  f.destination = dst_;
+  f.source = src_;
+  f.command = false;
+  f.type = Ax25FrameType::kSrej;
+  f.nr = 5;
+  Bytes wire = f.Encode();
+  EXPECT_EQ(wire[14], static_cast<std::uint8_t>((5 << 5) | 0x0D));
+  auto back = Ax25Frame::Decode(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->type, Ax25FrameType::kSrej);
+  EXPECT_EQ(back->nr, 5);
+}
+
+TEST_F(Ax25FrameTest, Mod128DecodeRejectsTruncatedSecondControlByte) {
+  Ax25Frame f;
+  f.destination = dst_;
+  f.source = src_;
+  f.command = false;
+  f.type = Ax25FrameType::kRr;
+  f.modulus = Ax25Modulus::kMod128;
+  f.nr = 9;
+  Bytes wire = f.Encode();
+  wire.resize(15);  // keep only the first control byte
+  EXPECT_FALSE(Ax25Frame::Decode(wire, Ax25Modulus::kMod128));
+  // U frames stay one control byte even in mod 128.
+  Ax25Frame ua;
+  ua.destination = dst_;
+  ua.source = src_;
+  ua.command = false;
+  ua.type = Ax25FrameType::kUa;
+  Bytes ua_wire = ua.Encode();
+  EXPECT_TRUE(Ax25Frame::Decode(ua_wire, Ax25Modulus::kMod128));
+}
+
 }  // namespace
 }  // namespace upr

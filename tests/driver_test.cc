@@ -124,7 +124,8 @@ TEST_F(DriverTest, NonIpFramesGoToL3Queue) {
 
 TEST_F(DriverTest, L3TapReceivesInsteadOfQueue) {
   std::vector<Ax25Frame> tapped;
-  b_->radio_if()->set_l3_tap([&](const Ax25Frame& f) { tapped.push_back(f); });
+  b_->radio_if()->set_l3_tap(
+      [&](const Ax25Frame& f, ByteView) { tapped.push_back(f); });
   Ax25Frame ui = Ax25Frame::MakeUi(b_->callsign(), a_->callsign(), kPidNoLayer3,
                                    BytesFromString("chat"));
   a_->radio_if()->SendRawFrame(ui);

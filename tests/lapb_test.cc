@@ -326,5 +326,176 @@ TEST_F(LapbPair, UnknownPeerNonSabmGetsDm) {
   EXPECT_EQ(dm_count, 1);
 }
 
+// --- v2.0 / v2.2 dialect interop matrix -------------------------------------
+//
+// Unlike LapbPair, each end gets its own config (so the two ends can speak
+// different dialects) and frames travel as wire bytes: encode, pre-parse with
+// the mod-8 layout, then HandleDecoded — the exact path the driver uses. A
+// mod-128 control field survives only if the re-parse machinery works.
+class LapbDialectPair : public ::testing::Test {
+ protected:
+  void Build(Ax25LinkConfig config_a, Ax25LinkConfig config_b) {
+    a_ = std::make_unique<Ax25Link>(
+        &sim_, Ax25Address("AAA", 0),
+        [this](const Ax25Frame& f) { Deliver(f, b_.get(), &a_to_b_drop_); },
+        config_a);
+    b_ = std::make_unique<Ax25Link>(
+        &sim_, Ax25Address("BBB", 0),
+        [this](const Ax25Frame& f) { Deliver(f, a_.get(), &b_to_a_drop_); },
+        config_b);
+    a_->set_accept_handler([](const Ax25Address&) { return true; });
+    b_->set_accept_handler([](const Ax25Address&) { return true; });
+    b_->set_connection_handler([this](Ax25Connection* c) {
+      accepted_ = c;
+      c->set_data_handler([this](const Bytes& data) {
+        received_.insert(received_.end(), data.begin(), data.end());
+      });
+    });
+  }
+
+  void Deliver(const Ax25Frame& f, Ax25Link* to, int* drop_budget) {
+    if (*drop_budget > 0) {
+      --*drop_budget;
+      return;
+    }
+    Bytes wire = f.Encode();
+    sim_.Schedule(Milliseconds(500), [to, wire = std::move(wire)] {
+      auto decoded = Ax25Frame::Decode(wire, Ax25Modulus::kMod8);
+      ASSERT_TRUE(decoded.has_value());
+      to->HandleDecoded(*decoded, wire);
+    });
+  }
+
+  static Ax25LinkConfig V22(std::uint8_t window = 127) {
+    Ax25LinkConfig cfg;
+    cfg.dialect = Ax25Dialect::kV22;
+    cfg.window = window;
+    return cfg;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Ax25Link> a_;
+  std::unique_ptr<Ax25Link> b_;
+  Ax25Connection* accepted_ = nullptr;
+  Bytes received_;
+  int a_to_b_drop_ = 0;
+  int b_to_a_drop_ = 0;
+};
+
+TEST_F(LapbDialectPair, V22BothNegotiateMod128AndSrej) {
+  Build(V22(), V22());
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(20));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  EXPECT_EQ(c->modulus(), Ax25Modulus::kMod128);
+  EXPECT_EQ(c->window(), 127);
+  EXPECT_TRUE(c->srej_enabled());
+  ASSERT_NE(accepted_, nullptr);
+  EXPECT_EQ(accepted_->modulus(), Ax25Modulus::kMod128);
+  EXPECT_EQ(accepted_->window(), 127);
+  EXPECT_TRUE(accepted_->srej_enabled());
+  EXPECT_GE(a_->stats().xid_sent, 1u);
+  EXPECT_GE(b_->stats().xid_received, 1u);
+  EXPECT_EQ(a_->stats().mod128_links, 1u);
+  EXPECT_EQ(a_->stats().downgrades, 0u);
+  // And data actually flows over the extended-control wire format.
+  Bytes msg = BytesFromString("modulo 128 payload");
+  c->Send(msg);
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(received_, msg);
+}
+
+TEST_F(LapbDialectPair, V22CallerDowngradesForV20Peer) {
+  Build(V22(), Ax25LinkConfig{});
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(30));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  // The v2.0 peer refused XID with DM; A fell back to a plain SABM link.
+  EXPECT_EQ(c->modulus(), Ax25Modulus::kMod8);
+  EXPECT_LE(c->window(), 7);
+  EXPECT_FALSE(c->srej_enabled());
+  EXPECT_EQ(a_->stats().downgrades, 1u);
+  EXPECT_EQ(a_->stats().mod128_links, 0u);
+  EXPECT_EQ(b_->stats().xid_sent, 0u);
+  Bytes msg = BytesFromString("plain old v2.0");
+  c->Send(msg);
+  sim_.RunUntil(Seconds(90));
+  EXPECT_EQ(received_, msg);
+}
+
+TEST_F(LapbDialectPair, V20CallerConnectsToV22Peer) {
+  Build(Ax25LinkConfig{}, V22());
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(20));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  // A plain SABM never negotiates: the v2.2 responder answers in kind.
+  EXPECT_EQ(c->modulus(), Ax25Modulus::kMod8);
+  ASSERT_NE(accepted_, nullptr);
+  EXPECT_EQ(accepted_->modulus(), Ax25Modulus::kMod8);
+  EXPECT_EQ(a_->stats().xid_sent, 0u);
+  EXPECT_EQ(b_->stats().xid_sent, 0u);
+  EXPECT_EQ(a_->stats().downgrades, 0u);
+  Bytes msg = BytesFromString("v2.0 caller");
+  c->Send(msg);
+  sim_.RunUntil(Seconds(60));
+  EXPECT_EQ(received_, msg);
+}
+
+TEST_F(LapbDialectPair, CrossingXidCommandsBothEstablishMod128) {
+  Build(V22(), V22());
+  // Both ends dial simultaneously: the XID commands cross on the half-second
+  // wire. Agree() is symmetric, so both compute identical parameters and the
+  // crossing must still converge on one extended-mode link at each end.
+  Ax25Connection* ca = a_->Connect(Ax25Address("BBB", 0));
+  Ax25Connection* cb = b_->Connect(Ax25Address("AAA", 0));
+  sim_.RunUntil(Seconds(30));
+  EXPECT_EQ(ca->state(), Ax25Connection::State::kConnected);
+  EXPECT_EQ(cb->state(), Ax25Connection::State::kConnected);
+  EXPECT_EQ(ca->modulus(), Ax25Modulus::kMod128);
+  EXPECT_EQ(cb->modulus(), Ax25Modulus::kMod128);
+  EXPECT_EQ(a_->stats().downgrades, 0u);
+  EXPECT_EQ(b_->stats().downgrades, 0u);
+}
+
+TEST_F(LapbDialectPair, SrejResendsOnlyTheMissingFrame) {
+  Ax25LinkConfig cfg = V22();
+  cfg.paclen = 8;
+  Build(cfg, cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(20));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  ASSERT_TRUE(c->srej_enabled());
+  a_to_b_drop_ = 1;  // exactly one I frame dies; nine follow it intact
+  Bytes msg(80, 0x5C);
+  c->Send(msg);
+  sim_.RunUntil(Seconds(120));
+  EXPECT_EQ(received_, msg);
+  // Selective reject recovered the gap without a go-back-N storm: the peer
+  // asked for the one hole and only (about) that frame went out again.
+  EXPECT_GE(b_->stats().srej_sent, 1u);
+  EXPECT_GE(a_->stats().srej_received, 1u);
+  EXPECT_GE(c->i_frames_resent(), 1u);
+  EXPECT_LE(c->i_frames_resent(), 3u);
+}
+
+TEST_F(LapbDialectPair, Mod128SequenceNumbersWrap) {
+  Ax25LinkConfig cfg = V22();
+  cfg.paclen = 4;
+  Build(cfg, cfg);
+  Ax25Connection* c = a_->Connect(Ax25Address("BBB", 0));
+  sim_.RunUntil(Seconds(20));
+  ASSERT_EQ(c->state(), Ax25Connection::State::kConnected);
+  ASSERT_EQ(c->modulus(), Ax25Modulus::kMod128);
+  // 150 I frames: V(S) runs past 127 and wraps. Delivery must stay exact.
+  Bytes msg(600);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  c->Send(msg);
+  sim_.RunUntil(Seconds(600));
+  EXPECT_EQ(received_, msg);
+  EXPECT_GE(c->i_frames_sent(), 150u);
+}
+
 }  // namespace
 }  // namespace upr

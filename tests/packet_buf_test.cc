@@ -18,8 +18,17 @@ Bytes Seq(std::size_t n, std::uint8_t base = 0) {
 
 class PacketBufTest : public ::testing::Test {
  protected:
-  void SetUp() override { ResetBufStats(); }
-  void TearDown() override { ResetBufStats(); }
+  // Drain the slab pool as well as the counters: a slab parked by an earlier
+  // test would turn this test's first allocation into a pool hit and throw
+  // off its alloc accounting.
+  void SetUp() override {
+    ResetBufStats();
+    DrainBufPool();
+  }
+  void TearDown() override {
+    ResetBufStats();
+    DrainBufPool();
+  }
 };
 
 TEST_F(PacketBufTest, DefaultConstructedIsEmptyAndFree) {
@@ -138,6 +147,48 @@ TEST_F(PacketBufTest, LayerScopesAttributeAndNest) {
   EXPECT_EQ(BufStatsFor(BufLayer::kKiss).bytes_copied, 7u);
   EXPECT_EQ(BufStatsFor(BufLayer::kOther).bytes_copied, 0u);
   EXPECT_EQ(BufStatsTotal().bytes_copied, 20u);
+}
+
+TEST_F(PacketBufTest, PoolRecyclesSlabOnDestruction) {
+  {
+    PacketBuf p(64, 64);
+    EXPECT_EQ(BufStatsTotal().allocs, 1u);
+  }
+  // The dtor parked the slab instead of freeing it.
+  EXPECT_EQ(BufPoolDepth(), 1u);
+  EXPECT_EQ(BufPoolSnapshot().recycled, 1u);
+  {
+    PacketBuf q(32, 32);
+    EXPECT_EQ(BufPoolDepth(), 0u);
+    EXPECT_EQ(BufPoolSnapshot().hits, 1u);
+    // A pool hit is not a heap allocation: the counter must not move.
+    EXPECT_EQ(BufStatsTotal().allocs, 1u);
+  }
+}
+
+TEST_F(PacketBufTest, PoolIgnoresOversizeBuffers) {
+  {
+    PacketBuf p(2 * kBufSlabSize, 2 * kBufSlabSize);  // 4x the slab size
+  }
+  BufPoolStats s = BufPoolSnapshot();
+  EXPECT_EQ(s.oversize, 1u);
+  // Too big to park (a bloated block would pin memory for every later hit).
+  EXPECT_EQ(BufPoolDepth(), 0u);
+  EXPECT_EQ(s.recycled, 0u);
+  EXPECT_EQ(s.dropped, 1u);
+}
+
+TEST_F(PacketBufTest, PoolSurvivesGrowAndMoveAssign) {
+  PacketBuf p(4, 4);
+  p.Append(ByteView(Seq(200)));  // grow: old slab goes back to the pool
+  EXPECT_EQ(BufPoolSnapshot().recycled, 1u);
+  PacketBuf q(8, 8);  // reuses the parked slab
+  EXPECT_EQ(BufPoolSnapshot().hits, 1u);
+  q = std::move(p);  // move-assign recycles q's current storage
+  EXPECT_EQ(BufPoolSnapshot().recycled, 2u);
+  EXPECT_EQ(q.size(), 200u);
+  DrainBufPool();
+  EXPECT_EQ(BufPoolDepth(), 0u);
 }
 
 TEST_F(PacketBufTest, MoveTransfersOwnership) {

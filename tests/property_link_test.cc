@@ -17,12 +17,13 @@ namespace {
 // --- AX.25 connected mode under random loss --------------------------------
 
 class LapbLossProperty
-    : public ::testing::TestWithParam<std::tuple<int /*loss%*/, std::uint64_t /*seed*/>> {
-};
+    : public ::testing::TestWithParam<
+          std::tuple<int /*loss%*/, std::uint64_t /*seed*/, Ax25Dialect>> {};
 
 TEST_P(LapbLossProperty, DeliversInOrderUnderLoss) {
   const int loss_percent = std::get<0>(GetParam());
   Rng loss_rng(std::get<1>(GetParam()));
+  const Ax25Dialect dialect = std::get<2>(GetParam());
   Simulator sim;
 
   Ax25LinkConfig cfg;
@@ -30,6 +31,12 @@ TEST_P(LapbLossProperty, DeliversInOrderUnderLoss) {
   cfg.n2 = 40;
   cfg.paclen = 32;
   cfg.window = 4;
+  cfg.dialect = dialect;
+  if (dialect == Ax25Dialect::kV22) {
+    // Extended mode: a window wider than mod-8 allows, to exercise the
+    // 2-byte control path and SREJ recovery under the same loss sweep.
+    cfg.window = 24;
+  }
 
   std::unique_ptr<Ax25Link> a, b;
   auto deliver = [&](const Ax25Frame& f, Ax25Link* to) {
@@ -67,15 +74,23 @@ TEST_P(LapbLossProperty, DeliversInOrderUnderLoss) {
     // effectively certain.
     EXPECT_GT(conn->i_frames_resent(), 0u);
   }
+  if (dialect == Ax25Dialect::kV22 && loss_percent == 0) {
+    // On a clean channel the XID handshake always succeeds: the link must be
+    // running extended mode, not a silent downgrade.
+    EXPECT_EQ(conn->modulus(), Ax25Modulus::kMod128);
+    EXPECT_TRUE(conn->srej_enabled());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     LossSweep, LapbLossProperty,
     ::testing::Combine(::testing::Values(0, 5, 15, 30),
-                       ::testing::Values(11ull, 22ull, 33ull)),
+                       ::testing::Values(11ull, 22ull, 33ull),
+                       ::testing::Values(Ax25Dialect::kV20, Ax25Dialect::kV22)),
     [](const auto& param_info) {
       return "loss" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
-             std::to_string(std::get<1>(param_info.param));
+             std::to_string(std::get<1>(param_info.param)) + "_v" +
+             (std::get<2>(param_info.param) == Ax25Dialect::kV22 ? "22" : "20");
     });
 
 // --- TCP across the lossy radio testbed -------------------------------------

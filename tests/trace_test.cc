@@ -301,5 +301,70 @@ TEST(Pcapng, WriterReportsUnopenableFile) {
   EXPECT_EQ(tracer.stats().pcap_packets, 0u);
 }
 
+// Satellite: a mixed capture. Radio ports register as LINKTYPE_AX25_KISS and
+// the LAN port as LINKTYPE_ETHERNET, each with its own interface block; the
+// Ethernet packet body is the raw Ethernet-II frame with no pseudo-header.
+TEST(Pcapng, MixedAx25AndEthernetInterfaces) {
+  Simulator sim;
+  const std::string path = "trace_mixed.pcapng";
+  // dst MAC | src MAC | ethertype 0x0800 | 4 payload bytes.
+  Bytes ether_frame{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x02, 0x60,
+                    0x8C, 0x11, 0x22, 0x33, 0x08, 0x00, 0xDE, 0xAD,
+                    0xBE, 0xEF};
+  Bytes ax25_frame{0x10, 0x20, 0x30};
+  {
+    trace::TracerConfig cfg;
+    cfg.pcap_path = path;
+    trace::Tracer tracer(&sim, cfg);
+    ASSERT_TRUE(tracer.pcap_ok());
+    tracer.RecordFrame(trace::Layer::kKiss, trace::Kind::kKissFrameOut,
+                       trace::Dir::kTx, "upr0", ax25_frame);
+    tracer.RecordEtherFrame(trace::Kind::kEtherFrameOut, trace::Dir::kTx,
+                            "qe0", ether_frame);
+    tracer.RecordEtherFrame(trace::Kind::kEtherFrameIn, trace::Dir::kRx,
+                            "qe0", ether_frame);
+    tracer.Flush();
+    EXPECT_EQ(tracer.stats().pcap_interfaces, 2u);
+  }
+  Bytes file = ReadFileBytes(path);
+  ASSERT_FALSE(file.empty());
+  std::string error;
+  auto parsed = trace::PcapngFile::Parse(file, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  ASSERT_EQ(parsed->interfaces.size(), 2u);
+  EXPECT_EQ(parsed->interfaces[0].name, "upr0");
+  EXPECT_EQ(parsed->interfaces[0].link_type, trace::kLinkTypeAx25Kiss);
+  EXPECT_EQ(parsed->interfaces[1].name, "qe0");
+  EXPECT_EQ(parsed->interfaces[1].link_type, trace::kLinkTypeEthernet);
+
+  ASSERT_EQ(parsed->packets.size(), 3u);
+  // The AX.25 packet carries the KISS type byte; the Ethernet packets are
+  // the raw frame, untouched.
+  EXPECT_EQ(parsed->packets[0].interface_id, 0u);
+  Bytes kiss_wire{0x00, 0x10, 0x20, 0x30};
+  EXPECT_EQ(parsed->packets[0].data, kiss_wire);
+  for (std::size_t i : {1u, 2u}) {
+    EXPECT_EQ(parsed->packets[i].interface_id, 1u);
+    EXPECT_EQ(parsed->packets[i].data, ether_frame);
+    EXPECT_EQ(parsed->packets[i].comment.rfind("ether:frame-", 0), 0u)
+        << parsed->packets[i].comment;
+  }
+
+  // Reusing the names must not mint new interface blocks.
+  {
+    trace::TracerConfig cfg;
+    cfg.pcap_path = path;  // overwrite; fresh writer
+    trace::Tracer tracer(&sim, cfg);
+    tracer.RecordEtherFrame(trace::Kind::kEtherFrameOut, trace::Dir::kTx,
+                            "qe0", ether_frame);
+    tracer.RecordEtherFrame(trace::Kind::kEtherFrameOut, trace::Dir::kTx,
+                            "qe0", ether_frame);
+    tracer.Flush();
+    EXPECT_EQ(tracer.stats().pcap_interfaces, 1u);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace upr

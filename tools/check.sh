@@ -230,6 +230,47 @@ run_queue_ab_smoke() {
   echo "queue A/B smoke: wheel == heap (byte-identical trace)"
 }
 
+# A/B gate for the v2.2 refactor (PR 7): the LAPB core is now generic over
+# the modulus, so default (v2.0) stations must emit byte-identical frame
+# sequences to the pre-refactor code. Two seeded scenarios — a VC-mode
+# transfer (connected-mode LAPB datapath) and a UI ping (datagram path) —
+# are re-run and tracediff'd against captures pinned in tests/golden/.
+run_v20_golden_smoke() {
+  builddir=$1
+  gdir="$builddir/v20-golden-smoke"
+  rm -rf "$gdir"
+  mkdir -p "$gdir"
+  for case_name in vc ui; do
+    case "$case_name" in
+      vc)
+        scenario="--workload vc --rate 9600 --loss 0.05 --seed 4242 \
+          --duration 7200"
+        golden="tests/golden/vc_v20_seed4242.pcapng"
+        ;;
+      ui)
+        scenario="--pcs 2 --hosts 0 --digis 1 --workload ping --seed 7 \
+          --duration 900"
+        golden="tests/golden/ui_ping_seed7.pcapng"
+        ;;
+    esac
+    # shellcheck disable=SC2086
+    if ! "$builddir/tools/uprsim" $scenario \
+        --trace "$gdir/$case_name.pcapng" >"$gdir/$case_name.out" 2>&1; then
+      cat "$gdir/$case_name.out" >&2
+      echo "FAIL: v2.0 golden smoke: $case_name run failed" >&2
+      exit 1
+    fi
+    if ! "$builddir/tools/tracediff" "$golden" "$gdir/$case_name.pcapng" \
+        >"$gdir/$case_name.tracediff.txt" 2>&1; then
+      cat "$gdir/$case_name.tracediff.txt" >&2
+      echo "FAIL: v2.0 golden smoke: $case_name trace differs from the" \
+        "pinned pre-v2.2 capture $golden (see above)" >&2
+      exit 1
+    fi
+    echo "v2.0 golden smoke: $case_name == $golden (byte-identical)"
+  done
+}
+
 if [ "$run_regular" = 1 ]; then
   echo "=== tier-1: regular build + ctest ==="
   # shellcheck disable=SC2086
@@ -260,6 +301,11 @@ if [ "$run_regular" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: timer wheel vs heap A/B trace equivalence ==="
     run_queue_ab_smoke ./build
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: v2.0 byte-identity vs pinned pre-v2.2 goldens ==="
+    run_v20_golden_smoke ./build
   fi
 fi
 
@@ -294,6 +340,11 @@ if [ "$run_asan" = 1 ]; then
   if [ "$run_bench" = 1 ]; then
     echo "=== tier-1: timer wheel vs heap A/B trace equivalence under ASan ==="
     run_queue_ab_smoke ./build-asan
+  fi
+
+  if [ "$run_bench" = 1 ]; then
+    echo "=== tier-1: v2.0 byte-identity vs pinned goldens under ASan ==="
+    run_v20_golden_smoke ./build-asan
   fi
 fi
 

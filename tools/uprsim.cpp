@@ -25,7 +25,9 @@
 #include "src/scenario/monitor.h"
 #include "src/scenario/netstat.h"
 #include "src/scenario/testbed.h"
+#include "src/scenario/vc_station.h"
 #include "src/trace/trace.h"
+#include "src/util/logging.h"
 #include "src/util/parse.h"
 
 using namespace upr;
@@ -54,6 +56,9 @@ struct Options {
   std::string record_faults;
   std::string replay_faults;
   std::string event_queue = "wheel";
+  std::string ax25 = "2.0";
+  std::size_t maxframe = 0;  // 0 = dialect default (4 for 2.0, 127 for 2.2)
+  std::string log = "warn";
 };
 
 void Usage(const char* argv0) {
@@ -67,11 +72,19 @@ void Usage(const char* argv0) {
       "  --ber B            per-bit error rate (default 0)\n"
       "  --filter           enable the TNC address filter (the paper's fix)\n"
       "  --access-control   enforce the gateway access table (paper 4.3)\n"
-      "  --workload W       ping | tcp | telnet (default ping)\n"
+      "  --workload W       ping | tcp | telnet | vc (default ping)\n"
+      "                     vc: 8 KB TCP transfer between two IP-over-AX.25\n"
+      "                     virtual-circuit stations (KA9Q VC mode, LAPB ARQ)\n"
+      "  --ax25 V           vc workload AX.25 dialect: 2.0 (default) or 2.2\n"
+      "                     (XID negotiation, mod-128 window, SREJ)\n"
+      "  --maxframe K       vc workload LAPB window; default 4 for --ax25 2.0,\n"
+      "                     127 for --ax25 2.2\n"
       "  --duration SECS    simulated run length (default 600)\n"
       "  --seed S           PRNG seed (default 42)\n"
       "  --silo N           batch serial delivery, N chars per interrupt\n"
       "                     (default 0 = per-character, the paper's DZ)\n"
+      "  --log LEVEL        log threshold: trace | debug | info | warn\n"
+      "                     (default warn)\n"
       "  --monitor          print decoded channel traffic as it happens\n"
       "  --netstat          print per-host netstat at the end\n"
       "  --trace FILE       record KISS/AX.25 crossings to FILE (pcapng,\n"
@@ -144,6 +157,13 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->access_control = true;
     } else if (arg == "--workload") {
       opt->workload = next();
+    } else if (arg == "--ax25") {
+      opt->ax25 = next();
+      if (opt->ax25 != "2.0" && opt->ax25 != "2.2") {
+        BadValue(arg, opt->ax25.c_str(), "'2.0' or '2.2'");
+      }
+    } else if (arg == "--maxframe") {
+      opt->maxframe = count(1, 127, "an integer in [1, 127]");
     } else if (arg == "--duration") {
       opt->duration = real(0.001, 1e7, "seconds in [0.001, 1e7]");
     } else if (arg == "--seed") {
@@ -173,6 +193,12 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->record_faults = next();
     } else if (arg == "--replay-faults") {
       opt->replay_faults = next();
+    } else if (arg == "--log") {
+      opt->log = next();
+      if (opt->log != "trace" && opt->log != "debug" && opt->log != "info" &&
+          opt->log != "warn") {
+        BadValue(arg, opt->log.c_str(), "trace | debug | info | warn");
+      }
     } else if (arg == "--monitor") {
       opt->monitor = true;
     } else if (arg == "--netstat") {
@@ -188,6 +214,123 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
   return true;
 }
 
+// --- IP-over-VC workload -----------------------------------------------------
+//
+// Two KA9Q-style VC stations (IP over AX.25 connected mode) on one channel,
+// one bulk TCP transfer between them. This is the only workload that runs the
+// LAPB state machine over the real serial/KISS wire, so check.sh uses it
+// (seeded, with --trace) to pin the connected-mode wire format against the
+// goldens in tests/golden/.
+int RunVcScenario(const Options& opt) {
+  if (!opt.record_faults.empty() || !opt.replay_faults.empty()) {
+    std::fprintf(stderr, "fault record/replay is not supported for --workload vc\n");
+    return 2;
+  }
+  Simulator::SetDefaultEventQueue(opt.event_queue == "heap"
+                                      ? Simulator::EventQueue::kHeap
+                                      : Simulator::EventQueue::kTimerWheel);
+  Simulator sim;
+  RadioChannelConfig rc;
+  rc.bit_rate = opt.rate;
+  rc.loss_rate = opt.loss;
+  rc.bit_error_rate = opt.ber;
+  RadioChannel channel(&sim, rc, opt.seed);
+
+  auto station = [&](const char* name, const char* call, IpV4Address ip,
+                     std::uint64_t seed) {
+    VcStationConfig cfg;
+    cfg.name = name;
+    cfg.callsign = call;
+    cfg.ip = ip;
+    cfg.serial_baud = static_cast<std::uint32_t>(opt.rate);
+    cfg.link.t1 = Seconds(8);
+    cfg.link.n2 = 40;
+    if (opt.ax25 == "2.2") {
+      cfg.link.dialect = Ax25Dialect::kV22;
+      cfg.link.window = 127;
+    }
+    if (opt.maxframe != 0) {
+      cfg.link.window = static_cast<std::uint8_t>(opt.maxframe);
+    }
+    cfg.tcp.max_retries = 60;
+    cfg.seed = seed;
+    return std::make_unique<VcStation>(&sim, &channel, cfg);
+  };
+  auto a = station("vca", "KD7AA", IpV4Address(44, 24, 11, 1), opt.seed + 1);
+  auto b = station("vcb", "KD7AB", IpV4Address(44, 24, 11, 2), opt.seed + 2);
+  a->vc()->MapIpToCallsign(IpV4Address(44, 24, 11, 2), b->callsign());
+  b->vc()->MapIpToCallsign(IpV4Address(44, 24, 11, 1), a->callsign());
+
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::ScopedInstall> trace_install;
+  if (opt.trace_enabled) {
+    trace::TracerConfig tcfg;
+    tcfg.ring_capacity = opt.trace_ring;
+    tcfg.snaplen = opt.trace_snap;
+    tcfg.pcap_path = opt.trace_file;
+    tracer = std::make_unique<trace::Tracer>(&sim, tcfg);
+    if (!tracer->pcap_ok()) {
+      std::fprintf(stderr, "cannot open trace file %s\n", opt.trace_file.c_str());
+      return 2;
+    }
+    trace_install = std::make_unique<trace::ScopedInstall>(tracer.get());
+  }
+  std::unique_ptr<ChannelMonitor> monitor;
+  if (opt.monitor) {
+    monitor = std::make_unique<ChannelMonitor>(
+        &sim, &channel,
+        [](const std::string& line) { std::printf("%s\n", line.c_str()); });
+  }
+
+  constexpr std::size_t kBytes = 8 * 1024;
+  std::size_t received = 0;
+  b->tcp().Listen(5001, [&](TcpConnection* c) {
+    c->set_data_handler([&](const Bytes& d) { received += d.size(); });
+  });
+  TcpConnection* conn = a->tcp().Connect(IpV4Address(44, 24, 11, 2), 5001);
+  bool workload_ok = false;
+  if (conn != nullptr) {
+    conn->set_connected_handler([conn] { conn->Send(Bytes(kBytes, 0x42)); });
+    SimTime start = sim.Now();
+    while (received < kBytes && sim.Now() < Seconds(opt.duration) && sim.Step()) {
+    }
+    workload_ok = received >= kBytes;
+    if (workload_ok) {
+      double secs = ToSeconds(sim.Now() - start);
+      std::printf("transferred %zu bytes over VC (%.0f bps goodput, %llu rexmits)\n",
+                  received, received * 8.0 / secs,
+                  static_cast<unsigned long long>(conn->stats().retransmissions));
+    } else {
+      std::printf("VC transfer incomplete: %zu/%zu bytes\n", received, kBytes);
+    }
+  }
+
+  if (tracer != nullptr) {
+    tracer->Flush();
+    if (!workload_ok) {
+      trace::DumpActiveRing(stderr);
+    }
+  }
+
+  std::printf("\n=== channel ===\n");
+  std::printf("transmissions %llu, collisions %llu, utilization %.1f%%\n",
+              static_cast<unsigned long long>(channel.transmissions()),
+              static_cast<unsigned long long>(channel.collisions()),
+              channel.Utilization() * 100.0);
+  if (opt.netstat) {
+    std::printf("\n%s", FormatNetstat(a->stack()).c_str());
+    std::printf("%s", FormatAx25Link(a->vc()->link(), "vca/vc0").c_str());
+    std::printf("\n%s", FormatNetstat(b->stack()).c_str());
+    std::printf("%s", FormatAx25Link(b->vc()->link(), "vcb/vc0").c_str());
+    std::printf("\n%s", FormatBufStats().c_str());
+    if (tracer != nullptr) {
+      std::printf("\n%s", FormatTrace(*tracer).c_str());
+    }
+  }
+  std::printf("\nworkload vc: %s\n", workload_ok ? "completed" : "FAILED");
+  return workload_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +339,13 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  if (opt.log == "trace") {
+    SetLogLevel(LogLevel::kTrace);
+  } else if (opt.log == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (opt.log == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  }
   if (opt.pcs == 0) {
     std::fprintf(stderr, "need at least one radio PC\n");
     return 2;
@@ -203,6 +353,9 @@ int main(int argc, char** argv) {
   if (!opt.record_faults.empty() && !opt.replay_faults.empty()) {
     std::fprintf(stderr, "--record-faults and --replay-faults are exclusive\n");
     return 2;
+  }
+  if (opt.workload == "vc") {
+    return RunVcScenario(opt);
   }
 
   // Must precede Testbed construction: the simulator picks up the default at
