@@ -326,7 +326,9 @@ bool Session::ReplayClean() const {
 }
 
 namespace {
-Session* g_session = nullptr;
+// thread_local like the ambient tracer: each parallel-city shard worker can
+// carry its own session (or none) without racing the main thread's.
+thread_local Session* g_session = nullptr;
 }  // namespace
 
 Session* Active() { return g_session; }

@@ -1,0 +1,216 @@
+// upr — sharded event execution + conservative parallel DES (ISSUE 8).
+//
+// The city-scale topology decomposes, as the NS-2 multi-channel model does,
+// into radio channels that only interact through gateways and point-to-point
+// trunks: a channel's MAC, serial lines and stations never touch another
+// channel's state directly, and every cross-channel path crosses a link with
+// a real, bounded latency. A ShardSet exploits that: one Simulator (and so
+// one PR 6 timer wheel) per shard, with cross-shard events carried as
+// explicit handoffs instead of shared-queue inserts. Three execution modes:
+//
+//   * kUnified — every shard aliases ONE Simulator. This is exactly the
+//     classic single-queue execution, byte-for-byte: the tracediff gate runs
+//     the city topology in this mode as the pre-shard reference.
+//   * kSharded — one Simulator per shard, executed on one thread as a
+//     globally time-ordered merge (a lazy min-heap over shard clocks; equal
+//     timestamps break ties by shard index). The default for `--topo`.
+//   * kParallel — conservative parallel DES: the coordinator computes a
+//     window [next, next + lookahead), worker threads run their shards'
+//     events inside the window concurrently, and handoffs — which the
+//     lookahead guarantees land strictly beyond the window — are injected
+//     at the barrier, sorted by (when, src shard, ring seq) so execution is
+//     deterministic for a fixed seed and any thread count.
+//
+// Lookahead comes from the topology: the minimum over all cross-shard links
+// of (propagation delay + one serial byte time); a handoff posted at time t
+// may not be scheduled before t + lookahead, and Post() enforces that with
+// an invariant. Handoffs ride per-(src,dst) SPSC rings (spsc_ring.h),
+// registered at topology build time via EnsureLane; a full ring falls back
+// to a mutex-guarded overflow list, and the barrier merge re-sorts by
+// sequence number so the cold path cannot reorder anything.
+#ifndef SRC_SIM_SHARD_EXEC_H_
+#define SRC_SIM_SHARD_EXEC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/spsc_ring.h"
+
+namespace upr {
+
+struct ShardStats {
+  std::uint64_t posted = 0;         // cross-shard handoffs posted
+  std::uint64_t ring_overflow = 0;  // handoffs that took the cold mutex path
+  std::uint64_t injected = 0;       // handoffs injected at barriers
+  std::uint64_t windows = 0;        // parallel windows executed
+  std::uint64_t merge_steps = 0;    // events run by the kSharded merge loop
+};
+
+class ShardSet {
+ public:
+  enum class Mode { kUnified, kSharded, kParallel };
+
+  struct Config {
+    std::size_t shards = 1;
+    Mode mode = Mode::kSharded;
+    // Worker threads (kParallel only; clamped to [1, shards]).
+    int threads = 1;
+    // Conservative lookahead (ns). Post() rejects handoffs closer than this.
+    // Ignored in kUnified, where every "handoff" is a same-queue insert.
+    SimTime lookahead = 1;
+    // Per-(src,dst) SPSC ring capacity in entries.
+    std::size_t ring_capacity = 256;
+  };
+
+  explicit ShardSet(const Config& config);
+  ~ShardSet();
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  std::size_t shard_count() const { return shard_count_; }
+  Mode mode() const { return config_.mode; }
+  SimTime lookahead() const { return config_.lookahead; }
+  int threads() const { return config_.threads; }
+
+  // The simulator backing shard `k`. In kUnified mode every k returns the
+  // same Simulator; construction order is otherwise identical across modes,
+  // which is what keeps seeded component construction byte-stable.
+  Simulator* shard(std::size_t k);
+
+  // The simulator whose event is currently executing (merge cursor in
+  // kSharded, the single sim in kUnified). Valid on the executing thread
+  // only; the tracer's clock override points here so ring/pcap timestamps
+  // come from the shard that actually recorded the crossing. Parallel-mode
+  // workers never touch it — they install per-shard tracers instead.
+  Simulator* current_sim() const { return current_; }
+  SimTime CurrentTime() const { return current_->Now(); }
+
+  // Registers the (src,dst) handoff lane. Topology build time only (before
+  // workers start); a kParallel Post without a registered lane is an
+  // invariant failure. No-op in the serial modes and for src == dst.
+  void EnsureLane(std::size_t src, std::size_t dst);
+
+  // Schedules `fn` on shard `dst` at absolute sim time `when`. Must be
+  // called from an event executing on shard `src`. In kParallel mode `when`
+  // must be at least the source clock plus the lookahead (invariant-checked);
+  // the serial modes schedule directly and keep the same timestamps.
+  void Post(std::size_t src, std::size_t dst, SimTime when,
+            std::function<void()> fn);
+
+  // Installed hook runs on the worker thread before a shard executes a
+  // parallel window; the city runner uses it to install the shard's
+  // thread_local ambient tracer. kParallel only; set before RunUntil.
+  void set_shard_enter_hook(std::function<void(std::size_t)> hook) {
+    enter_hook_ = std::move(hook);
+  }
+
+  // Runs all shards up to and including `deadline`, per the mode. Returns
+  // the number of events executed across shards.
+  std::size_t RunUntil(SimTime deadline);
+
+  // True when no shard has a pending event (call between RunUntil calls).
+  bool Idle();
+
+  // Aggregated handoff/window counters (call when quiescent).
+  ShardStats stats() const;
+
+  // Aggregate counters across distinct simulators (kUnified counts its one
+  // simulator once).
+  std::uint64_t TotalEventsScheduled() const;
+  std::size_t TotalEventsExecuted() const;
+
+ private:
+  struct Handoff {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // per-(src,dst) FIFO sequence
+    std::size_t src = 0;
+    std::function<void()> fn;
+  };
+  // One handoff lane per registered (src,dst) pair: the hot SPSC ring plus
+  // the cold overflow list and producer-owned counters (only the worker
+  // running `src` touches next_seq/posted/overflowed).
+  struct Lane {
+    explicit Lane(std::size_t cap) : ring(cap) {}
+    SpscRing<Handoff> ring;
+    std::size_t dst = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t posted = 0;
+    std::uint64_t overflowed = 0;
+    std::mutex overflow_mu;
+    std::vector<Handoff> overflow;
+  };
+
+  static std::uint64_t LaneKey(std::size_t src, std::size_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) |
+           static_cast<std::uint64_t>(dst);
+  }
+
+  std::size_t RunUnified(SimTime deadline);
+  std::size_t RunShardedMerge(SimTime deadline);
+  std::size_t RunParallel(SimTime deadline);
+
+  // Barrier-time drain: moves every pending handoff into its destination
+  // simulator, in (when, src, seq) order. Runs on the coordinator with all
+  // workers parked.
+  void DrainLanes();
+
+  // Parallel worker machinery.
+  void StartWorkers();
+  void WorkerLoop(int worker_index);
+  void RunWindowOnWorkers(SimTime window_end);
+
+  Config config_;
+  std::size_t shard_count_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<Simulator*> shards_;  // shard index -> sim (aliased in kUnified)
+  std::function<void(std::size_t)> enter_hook_;
+  Simulator* current_ = nullptr;
+
+  // Handoff lanes (kParallel). The map's structure is frozen once workers
+  // start; per-src dirty counters let the barrier skip untouched rows.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Lane>> lanes_;
+  std::vector<std::vector<Lane*>> lanes_by_src_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> src_pending_;
+  std::vector<std::vector<Handoff>> inject_bufs_;  // per-dst barrier scratch
+
+  // kSharded merge state: lazy min-heap of (next event time, shard).
+  using MergeEntry = std::pair<SimTime, std::size_t>;
+  std::priority_queue<MergeEntry, std::vector<MergeEntry>,
+                      std::greater<MergeEntry>>
+      merge_heap_;
+
+  // Counters. serial_posted_/injected/windows/merge_steps are touched only
+  // by the coordinating thread; per-lane counters only by their producer.
+  std::uint64_t serial_posted_ = 0;
+  std::uint64_t stats_injected_ = 0;
+  std::uint64_t stats_windows_ = 0;
+  std::uint64_t stats_merge_steps_ = 0;
+
+  // Worker pool (kParallel). Workers sleep between windows; an epoch bump
+  // under the mutex publishes the next window_end and doubles as the
+  // happens-before edge that hands shard state worker->coordinator->worker.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  SimTime window_end_ = 0;
+  int workers_done_ = 0;
+  std::size_t window_executed_ = 0;  // summed under mu_
+  bool stopping_ = false;
+};
+
+}  // namespace upr
+
+#endif  // SRC_SIM_SHARD_EXEC_H_

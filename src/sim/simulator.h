@@ -110,6 +110,10 @@ class Simulator {
   bool Step();
 
   bool Idle() const;
+  // Timestamp of the earliest pending event without running it. Returns
+  // false when the queue is empty. The sharded city executor merges shard
+  // queues globally-by-time with this.
+  bool NextEventTime(SimTime* when) { return PeekNextTime(when); }
   std::size_t pending_events() const { return pending_; }
   std::size_t executed_events() const { return executed_; }
   // Total events ever scheduled (the interrupt-rate analogue: every serial

@@ -1,0 +1,84 @@
+// upr — single-producer single-consumer lock-free ring (ISSUE 8).
+//
+// The conservative parallel-DES executor passes cross-shard events through
+// one of these per (source shard, destination shard) pair: the worker thread
+// running the source shard is the only producer, and the coordinator thread
+// draining handoffs at a window barrier is the only consumer. With exactly
+// one thread on each end, a pair of monotone head/tail counters with
+// acquire/release ordering is the entire protocol — no CAS loops, no locks,
+// no ABA. Capacity is fixed (rounded up to a power of two); a full ring is
+// reported to the caller, which takes a cold mutex-guarded overflow path
+// rather than blocking the hot one.
+#ifndef SRC_SIM_SPSC_RING_H_
+#define SRC_SIM_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace upr {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Producer side. False when the ring is full (the value is untouched and
+  // stays with the caller).
+  bool TryPush(T& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t - h == slots_.size()) {
+      return false;
+    }
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty.
+  bool TryPop(T* out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) {
+      return false;
+    }
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side size estimate (exact when the producer is quiescent, as it
+  // is at a window barrier).
+  std::size_t SizeApprox() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Head and tail live on separate cache lines so the producer's stores and
+  // the consumer's stores do not false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace upr
+
+#endif  // SRC_SIM_SPSC_RING_H_

@@ -7,14 +7,8 @@
 
 namespace upr::trace {
 
-namespace detail {
-Tracer* g_tracer = nullptr;
-std::string_view g_if_name;
-Dir g_if_dir = Dir::kNone;
-}  // namespace detail
-
 void Install(Tracer* t) {
-  detail::g_tracer = t;
+  detail::TracerSlot() = t;
   // The ROADMAP's ring-buffer assertion hook: any failed invariant anywhere
   // in the library dumps the flight recorder before the process dies, not
   // just uprsim workload failures. Registered once; a no-op while no tracer
@@ -24,8 +18,8 @@ void Install(Tracer* t) {
 }
 
 void Uninstall(Tracer* t) {
-  if (detail::g_tracer == t) {
-    detail::g_tracer = nullptr;
+  if (detail::TracerSlot() == t) {
+    detail::TracerSlot() = nullptr;
   }
 }
 
@@ -149,7 +143,7 @@ Entry& Tracer::NextSlot() {
 void Tracer::Record(Layer layer, Kind kind, Dir dir, std::string_view iface,
                     ByteView data, std::string note) {
   Entry& e = NextSlot();
-  e.ts = sim_->Now();
+  e.ts = NowForEntry();
   e.seq = seq_++;
   e.layer = layer;
   e.kind = kind;
@@ -198,7 +192,7 @@ void Tracer::RecordFrame(Layer layer, Kind kind, Dir dir, std::string_view iface
       comment += note;
     }
     std::uint32_t id = pcap_->InterfaceId(iface.empty() ? "unnamed" : iface);
-    pcap_->WritePacket(id, sim_->Now(), wire,
+    pcap_->WritePacket(id, NowForEntry(), wire,
                        static_cast<std::uint32_t>(ax25.size() + 1), flags,
                        comment);
     stats_.pcap_packets = pcap_->packets();
@@ -229,7 +223,7 @@ void Tracer::RecordEtherFrame(Kind kind, Dir dir, std::string_view iface,
     }
     std::uint32_t id = pcap_->InterfaceId(iface.empty() ? "unnamed" : iface,
                                           kLinkTypeEthernet);
-    pcap_->WritePacket(id, sim_->Now(), frame.first(keep),
+    pcap_->WritePacket(id, NowForEntry(), frame.first(keep),
                        static_cast<std::uint32_t>(frame.size()), flags,
                        comment);
     stats_.pcap_packets = pcap_->packets();

@@ -15,14 +15,17 @@
 // Cost discipline: tracing is off unless a Tracer is installed, and every
 // hook is guarded by a single `Active() != nullptr` branch — the disabled
 // cost per layer crossing is one predictable-not-taken branch. All strings,
-// copies and formatting happen only inside the taken branch. The simulator
-// is single-threaded, so one process-wide tracer (like BufLayerScope's
-// ambient layer) is safe.
+// copies and formatting happen only inside the taken branch. The ambient
+// tracer (like BufLayerScope's ambient layer) is thread_local: each shard
+// worker of the parallel city executor installs its own shard's tracer, so
+// concurrent shards record into disjoint rings/files without locks, and the
+// classic single-threaded scenarios behave exactly as before.
 #ifndef SRC_TRACE_TRACE_H_
 #define SRC_TRACE_TRACE_H_
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -115,6 +118,11 @@ class Tracer {
  public:
   // `sim` provides the event timestamps (nanosecond sim time).
   Tracer(Simulator* sim, TracerConfig config = {});
+  // Sharded execution: entries are stamped from whichever shard simulator is
+  // currently executing, not a fixed one. When set, `clock` overrides `sim`
+  // for timestamping (the city runner points it at the sharded executor's
+  // current-shard clock).
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
   ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -154,7 +162,10 @@ class Tracer {
  private:
   Entry& NextSlot();
 
+  SimTime NowForEntry() const { return clock_ ? clock_() : sim_->Now(); }
+
   Simulator* sim_;
+  std::function<SimTime()> clock_;
   TracerConfig config_;
   TraceStats stats_;
   std::vector<Entry> ring_;     // grows to ring_capacity, then wraps
@@ -164,14 +175,30 @@ class Tracer {
 };
 
 namespace detail {
-extern Tracer* g_tracer;
-extern std::string_view g_if_name;
-extern Dir g_if_dir;
+// thread_local: each parallel-city worker thread carries its own ambient
+// tracer and interface scope; the main thread's slots behave exactly like
+// the old process-wide globals. Function-local thread_locals behind inline
+// accessors, NOT `extern thread_local` variables — header-inline code
+// touching an extern TLS variable goes through the compiler's TLS wrapper
+// and trips a GCC UBSan false positive ("store to null pointer"); with the
+// definition visible here the access compiles to a plain TLS load.
+inline Tracer*& TracerSlot() {
+  static thread_local Tracer* tracer = nullptr;
+  return tracer;
+}
+inline std::string_view& IfNameSlot() {
+  static thread_local std::string_view name;
+  return name;
+}
+inline Dir& IfDirSlot() {
+  static thread_local Dir dir = Dir::kNone;
+  return dir;
+}
 }  // namespace detail
 
 // The installed tracer, or nullptr. Every hook checks this — the one branch
 // a disabled tracer costs.
-inline Tracer* Active() { return detail::g_tracer; }
+inline Tracer* Active() { return detail::TracerSlot(); }
 
 // Installs `t` as the process-wide tracer (replacing any previous one).
 void Install(Tracer* t);
@@ -198,19 +225,19 @@ class ScopedInstall {
 class IfScope {
  public:
   IfScope(std::string_view name, Dir dir) {
-    if (detail::g_tracer == nullptr) {
+    if (detail::TracerSlot() == nullptr) {
       return;
     }
     active_ = true;
-    prev_name_ = detail::g_if_name;
-    prev_dir_ = detail::g_if_dir;
-    detail::g_if_name = name;
-    detail::g_if_dir = dir;
+    prev_name_ = detail::IfNameSlot();
+    prev_dir_ = detail::IfDirSlot();
+    detail::IfNameSlot() = name;
+    detail::IfDirSlot() = dir;
   }
   ~IfScope() {
     if (active_) {
-      detail::g_if_name = prev_name_;
-      detail::g_if_dir = prev_dir_;
+      detail::IfNameSlot() = prev_name_;
+      detail::IfDirSlot() = prev_dir_;
     }
   }
   IfScope(const IfScope&) = delete;
@@ -224,8 +251,8 @@ class IfScope {
 
 // Interface name / direction the innermost IfScope established ("" / kNone
 // outside any scope).
-inline std::string_view CurrentIf() { return detail::g_if_name; }
-inline Dir CurrentDir() { return detail::g_if_dir; }
+inline std::string_view CurrentIf() { return detail::IfNameSlot(); }
+inline Dir CurrentDir() { return detail::IfDirSlot(); }
 
 // Writes the active tracer's ring to `out` (stderr-style failure dumps).
 // No-op when no tracer is installed.

@@ -4,11 +4,6 @@
 
 namespace upr {
 
-namespace detail {
-BufLayerStats g_buf_stats[kBufLayerCount];
-BufLayer g_current_layer = BufLayer::kOther;
-}  // namespace detail
-
 const char* BufLayerName(BufLayer layer) {
   switch (layer) {
     case BufLayer::kTransport:
@@ -30,12 +25,13 @@ const char* BufLayerName(BufLayer layer) {
 }
 
 BufLayerStats& BufStatsFor(BufLayer layer) {
-  return detail::g_buf_stats[static_cast<int>(layer)];
+  return detail::BufStatsArray()[static_cast<int>(layer)];
 }
 
 BufLayerStats BufStatsTotal() {
   BufLayerStats total;
-  for (const BufLayerStats& s : detail::g_buf_stats) {
+  for (int i = 0; i < kBufLayerCount; ++i) {
+    const BufLayerStats& s = detail::BufStatsArray()[i];
     total.bytes_copied += s.bytes_copied;
     total.allocs += s.allocs;
     total.prepend_reallocs += s.prepend_reallocs;
@@ -44,8 +40,8 @@ BufLayerStats BufStatsTotal() {
 }
 
 void ResetBufStats() {
-  for (BufLayerStats& s : detail::g_buf_stats) {
-    s = BufLayerStats{};
+  for (int i = 0; i < kBufLayerCount; ++i) {
+    detail::BufStatsArray()[i] = BufLayerStats{};
   }
 }
 
@@ -53,9 +49,11 @@ namespace {
 
 // The slab free list. Blocks are vectors whose capacity is exactly
 // kBufSlabSize (they were first allocated by TakeStorage below), so a
-// recycled block's resize() never reallocates.
-std::vector<Bytes> g_buf_pool;
-BufPoolStats g_buf_pool_stats;
+// recycled block's resize() never reallocates. thread_local so each parallel
+// shard worker recycles its own slabs lock-free; buffers never migrate
+// between threads mid-flight (cross-shard handoff copies payload bytes).
+thread_local std::vector<Bytes> g_buf_pool;
+thread_local BufPoolStats g_buf_pool_stats;
 
 // Storage for a PacketBuf needing `n` bytes: a parked slab when one fits,
 // a fresh (counted) allocation otherwise. The returned vector has size n,
@@ -151,7 +149,9 @@ void PacketBuf::Grow(std::size_t front, std::size_t back) {
   std::size_t data_len = size();
   std::size_t new_back = (buf_.size() - end_) + back + (back > 0 ? kDefaultHeadroom : 0);
   Bytes grown = TakeStorage(new_front + data_len + new_back);
-  std::memcpy(grown.data() + new_front, data(), data_len);
+  if (data_len > 0) {  // empty buffer may have null data(); memcpy forbids it
+    std::memcpy(grown.data() + new_front, data(), data_len);
+  }
   PutStorage(std::move(buf_));
   buf_ = std::move(grown);
   start_ = new_front;

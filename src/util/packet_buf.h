@@ -47,17 +47,31 @@ struct BufLayerStats {
   std::uint64_t prepend_reallocs = 0;  // prepends that exhausted headroom
 };
 
-// Per-layer counters (process-wide; the simulator is single-threaded).
+// Per-layer counters (per-thread: the classic scenarios are single-threaded
+// and see the old process-wide behaviour; each parallel-city shard worker
+// accumulates its own counters without synchronization).
 BufLayerStats& BufStatsFor(BufLayer layer);
 BufLayerStats BufStatsTotal();
 void ResetBufStats();
 
 namespace detail {
-extern BufLayerStats g_buf_stats[kBufLayerCount];
-extern BufLayer g_current_layer;
+// Function-local thread_locals behind inline accessors, NOT
+// `extern thread_local` variables: header-inline code touching an extern
+// TLS variable goes through the compiler's TLS wrapper and trips a GCC
+// UBSan false positive ("store to null pointer"). With the definition
+// visible here the access compiles to a plain TLS load and still inlines
+// into the per-packet hot path.
+inline BufLayerStats* BufStatsArray() {
+  static thread_local BufLayerStats stats[kBufLayerCount];
+  return stats;
+}
+inline BufLayer& CurrentLayer() {
+  static thread_local BufLayer layer = BufLayer::kOther;
+  return layer;
+}
 
 inline BufLayerStats& CurrentBufStats() {
-  return g_buf_stats[static_cast<int>(g_current_layer)];
+  return BufStatsArray()[static_cast<int>(CurrentLayer())];
 }
 }  // namespace detail
 
@@ -65,10 +79,10 @@ inline BufLayerStats& CurrentBufStats() {
 // innermost scope wins.
 class BufLayerScope {
  public:
-  explicit BufLayerScope(BufLayer layer) : prev_(detail::g_current_layer) {
-    detail::g_current_layer = layer;
+  explicit BufLayerScope(BufLayer layer) : prev_(detail::CurrentLayer()) {
+    detail::CurrentLayer() = layer;
   }
-  ~BufLayerScope() { detail::g_current_layer = prev_; }
+  ~BufLayerScope() { detail::CurrentLayer() = prev_; }
   BufLayerScope(const BufLayerScope&) = delete;
   BufLayerScope& operator=(const BufLayerScope&) = delete;
 

@@ -11,10 +11,16 @@
 #        metric that moves by one count is a red diff; wall clocks get a
 #        tolerance band.
 #
-# Usage: tools/check.sh [--no-asan] [--asan-only] [--quick] [--ledger-only]
-#                       [--no-ledger] [--rebaseline]
+# Job 4: TSan build of the parallel-DES executor surface — the sharded/
+#        parallel tests, the city determinism gates, and a bench_city smoke —
+#        so data races in the handoff rings and worker barriers fail CI
+#        instead of corrupting a seeded run once in a thousand.
+#
+# Usage: tools/check.sh [--no-asan] [--asan-only] [--tsan] [--quick]
+#                       [--ledger-only] [--no-ledger] [--rebaseline]
 #   --no-asan      run only the regular job (plus the ledger job)
 #   --asan-only    run only the sanitizer job (CI matrix uses this)
+#   --tsan         run only the ThreadSanitizer job (CI matrix uses this)
 #   --quick        regular build + ctest only, no sanitizers and no benches —
 #                  fast enough for a pre-push hook (see README)
 #   --ledger-only  run only the perf-ledger job (CI bench-ledger uses this)
@@ -40,6 +46,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_regular=1
 run_asan=1
+run_tsan=0
 run_bench=1
 run_ledger=1
 rebaseline=0
@@ -52,6 +59,12 @@ for arg in "$@"; do
     --asan-only)
       run_regular=0
       run_ledger=0
+      ;;
+    --tsan)
+      run_regular=0
+      run_asan=0
+      run_ledger=0
+      run_tsan=1
       ;;
     --quick)
       run_asan=0
@@ -70,8 +83,8 @@ for arg in "$@"; do
       ;;
     *)
       echo "unknown option: $arg" >&2
-      echo "usage: tools/check.sh [--no-asan] [--asan-only] [--quick]" \
-        "[--ledger-only] [--no-ledger] [--rebaseline]" >&2
+      echo "usage: tools/check.sh [--no-asan] [--asan-only] [--tsan]" \
+        "[--quick] [--ledger-only] [--no-ledger] [--rebaseline]" >&2
       exit 2
       ;;
   esac
@@ -346,6 +359,28 @@ if [ "$run_asan" = 1 ]; then
     echo "=== tier-1: v2.0 byte-identity vs pinned goldens under ASan ==="
     run_v20_golden_smoke ./build-asan
   fi
+fi
+
+if [ "$run_tsan" = 1 ]; then
+  echo "=== tier-1: TSan build + parallel-DES tests ==="
+  # Reports land in build-tsan/tsan-report.<pid> so CI can upload them as
+  # failure artifacts; halt_on_error turns the first race into a nonzero
+  # exit instead of a warning that scrolls past.
+  TSAN_OPTIONS="halt_on_error=1 log_path=$(pwd)/build-tsan/tsan-report ${TSAN_OPTIONS:-}"
+  export TSAN_OPTIONS
+  # shellcheck disable=SC2086
+  cmake -B build-tsan -S . -DUPR_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo $extra_flags >/dev/null
+  # Only the threaded surface: the serial stack is already covered by the
+  # regular and ASan jobs, and a full TSan build would double CI time for
+  # code that never spawns a thread.
+  cmake --build build-tsan -j"${jobs}" \
+    --target shard_test topo_test uprsim tracediff bench_city
+  ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
+    -R 'shard_test|topo_test|uprsim_topo_rejects_bad_args|uprsim_city'
+
+  echo "=== tier-1: bench_city smoke under TSan (parallel sweep) ==="
+  run_smoke ./build-tsan/bench/bench_city
 fi
 
 if [ "$run_ledger" = 1 ]; then

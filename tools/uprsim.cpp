@@ -20,11 +20,15 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "src/apps/telnet.h"
 #include "src/radio/fault_plan.h"
 #include "src/scenario/monitor.h"
 #include "src/scenario/netstat.h"
 #include "src/scenario/testbed.h"
+#include "src/scenario/topo_gen.h"
 #include "src/scenario/vc_station.h"
 #include "src/trace/trace.h"
 #include "src/util/logging.h"
@@ -59,6 +63,10 @@ struct Options {
   std::string ax25 = "2.0";
   std::size_t maxframe = 0;  // 0 = dialect default (4 for 2.0, 127 for 2.2)
   std::string log = "warn";
+  std::string topo;             // e.g. "city:8x20"
+  topo::CitySpec city_spec;     // validated in ParseOptions
+  int parallel = 0;             // 0 = serial sharded merge
+  bool unsharded = false;       // pre-shard single-queue reference mode
 };
 
 void Usage(const char* argv0) {
@@ -98,7 +106,16 @@ void Usage(const char* argv0) {
       "                     run diverges from the schedule)\n"
       "  --event-queue Q    simulator event store: wheel (default) or heap\n"
       "                     (the legacy priority queue; check.sh tracediffs\n"
-      "                     the two for byte-identical schedules)\n",
+      "                     the two for byte-identical schedules)\n"
+      "  --topo city:CxS    run the city-scale AMPRnet generator instead of\n"
+      "                     the testbed: C radio channels (1..250) of S\n"
+      "                     stations (1..2000) each, one gateway per channel,\n"
+      "                     trunk backbone, seeded ping traffic\n"
+      "  --parallel N       run the city topology on N worker threads\n"
+      "                     (conservative parallel DES; deterministic for a\n"
+      "                     fixed seed + thread count)\n"
+      "  --unsharded        run the city topology on one shared event queue\n"
+      "                     (the pre-shard reference; tracediff gate)\n",
       argv0);
 }
 
@@ -189,6 +206,17 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       if (opt->event_queue != "wheel" && opt->event_queue != "heap") {
         BadValue(arg, opt->event_queue.c_str(), "'wheel' or 'heap'");
       }
+    } else if (arg == "--topo") {
+      opt->topo = next();
+      std::string error;
+      if (!ParseCitySpec(opt->topo, &opt->city_spec, &error)) {
+        std::fprintf(stderr, "invalid --topo spec: %s\n", error.c_str());
+        return false;
+      }
+    } else if (arg == "--parallel") {
+      opt->parallel = static_cast<int>(count(1, 256, "an integer in [1, 256]"));
+    } else if (arg == "--unsharded") {
+      opt->unsharded = true;
     } else if (arg == "--record-faults") {
       opt->record_faults = next();
     } else if (arg == "--replay-faults") {
@@ -331,6 +359,138 @@ int RunVcScenario(const Options& opt) {
   return workload_ok ? 0 : 1;
 }
 
+// --- City-scale topology (ISSUE 8) ------------------------------------------
+//
+// `--topo city:CxS` swaps the testbed for the upr::topo generator: C radio
+// channels of S stations behind per-channel gateways and a trunk backbone,
+// executed per the sharding mode — one shared queue (--unsharded), the
+// default single-thread sharded merge, or conservative parallel DES
+// (--parallel N). Tracing: the serial modes write one pcapng through a
+// tracer whose clock follows the executing shard; parallel mode writes one
+// file per shard (FILE.shard<k>.pcapng), each tracer installed thread-local
+// on the shard's worker.
+int RunCityScenario(const Options& opt) {
+  if (!opt.record_faults.empty() || !opt.replay_faults.empty()) {
+    std::fprintf(stderr, "fault record/replay is not supported for --topo\n");
+    return 2;
+  }
+  if (opt.monitor) {
+    std::fprintf(stderr, "--monitor is not supported for --topo\n");
+    return 2;
+  }
+  if (opt.parallel > 0 && opt.unsharded) {
+    std::fprintf(stderr, "--parallel and --unsharded are exclusive\n");
+    return 2;
+  }
+  Simulator::SetDefaultEventQueue(opt.event_queue == "heap"
+                                      ? Simulator::EventQueue::kHeap
+                                      : Simulator::EventQueue::kTimerWheel);
+
+  topo::CityConfig cfg;
+  cfg.spec = opt.city_spec;
+  cfg.mode = opt.unsharded ? ShardSet::Mode::kUnified
+             : opt.parallel > 0 ? ShardSet::Mode::kParallel
+                                : ShardSet::Mode::kSharded;
+  cfg.threads = opt.parallel > 0 ? opt.parallel : 1;
+  cfg.seed = opt.seed;
+  cfg.radio_bit_rate = opt.rate;
+  if (opt.silo > 0) {
+    cfg.serial.mode = SerialLineConfig::Mode::kSilo;
+    cfg.serial.silo_depth = opt.silo;
+  }
+  topo::CityTopology city(cfg);
+  if (!city.BackboneConnected()) {
+    std::fprintf(stderr, "generated backbone is not connected (bug)\n");
+    return 1;
+  }
+
+  // Tracing. Serial modes: one file, clock override follows the merge
+  // cursor. Parallel: one tracer per shard, installed thread_local by the
+  // shard-enter hook so concurrent shards never share a tracer.
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::ScopedInstall> trace_install;
+  std::vector<std::unique_ptr<trace::Tracer>> shard_tracers;
+  if (opt.trace_enabled) {
+    trace::TracerConfig tcfg;
+    tcfg.ring_capacity = opt.trace_ring;
+    tcfg.snaplen = opt.trace_snap;
+    if (cfg.mode != ShardSet::Mode::kParallel) {
+      tcfg.pcap_path = opt.trace_file;
+      tracer = std::make_unique<trace::Tracer>(city.shards().shard(0), tcfg);
+      if (!opt.trace_file.empty() && !tracer->pcap_ok()) {
+        std::fprintf(stderr, "cannot open trace file %s\n",
+                     opt.trace_file.c_str());
+        return 2;
+      }
+      ShardSet* set = &city.shards();
+      tracer->set_clock([set] { return set->CurrentTime(); });
+      trace_install = std::make_unique<trace::ScopedInstall>(tracer.get());
+    } else {
+      std::string base = opt.trace_file;
+      const std::string ext = ".pcapng";
+      if (base.size() > ext.size() &&
+          base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+        base.resize(base.size() - ext.size());
+      }
+      for (std::size_t k = 0; k < city.shards().shard_count(); ++k) {
+        trace::TracerConfig per = tcfg;
+        if (!opt.trace_file.empty()) {
+          per.pcap_path = base + ".shard" + std::to_string(k) + ext;
+        }
+        auto t = std::make_unique<trace::Tracer>(city.shards().shard(k), per);
+        if (!per.pcap_path.empty() && !t->pcap_ok()) {
+          std::fprintf(stderr, "cannot open trace file %s\n",
+                       per.pcap_path.c_str());
+          return 2;
+        }
+        shard_tracers.push_back(std::move(t));
+      }
+      // Warm the panic-hook registration on the main thread before workers
+      // race to Install their shard tracers.
+      trace::Install(nullptr);
+      auto* tracers = &shard_tracers;
+      city.shards().set_shard_enter_hook(
+          [tracers](std::size_t k) { trace::Install((*tracers)[k].get()); });
+    }
+  }
+
+  const std::size_t executed = city.Run(Seconds(opt.duration));
+
+  if (tracer != nullptr) {
+    tracer->Flush();
+  }
+  for (auto& t : shard_tracers) {
+    t->Flush();
+  }
+
+  const topo::ChannelTraffic total = city.TrafficTotal();
+  const bool workload_ok = total.pings_sent > 0 && total.pings_ok > 0;
+
+  std::printf("%s", city.FormatSummary().c_str());
+  if (opt.netstat) {
+    const ShardStats stats = city.shards().stats();
+    std::printf(
+        "shards %zu mode %s threads %d lookahead %lld ns\n"
+        "events executed %zu scheduled %llu\n"
+        "handoffs posted %llu injected %llu ring-overflow %llu windows %llu "
+        "merge-steps %llu\n",
+        city.shards().shard_count(),
+        cfg.mode == ShardSet::Mode::kUnified    ? "unsharded"
+        : cfg.mode == ShardSet::Mode::kParallel ? "parallel"
+                                                : "sharded",
+        city.shards().threads(), static_cast<long long>(city.lookahead()),
+        executed,
+        static_cast<unsigned long long>(city.shards().TotalEventsScheduled()),
+        static_cast<unsigned long long>(stats.posted),
+        static_cast<unsigned long long>(stats.injected),
+        static_cast<unsigned long long>(stats.ring_overflow),
+        static_cast<unsigned long long>(stats.windows),
+        static_cast<unsigned long long>(stats.merge_steps));
+  }
+  std::printf("\nworkload city: %s\n", workload_ok ? "completed" : "FAILED");
+  return workload_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,6 +513,13 @@ int main(int argc, char** argv) {
   if (!opt.record_faults.empty() && !opt.replay_faults.empty()) {
     std::fprintf(stderr, "--record-faults and --replay-faults are exclusive\n");
     return 2;
+  }
+  if (opt.topo.empty() && (opt.parallel > 0 || opt.unsharded)) {
+    std::fprintf(stderr, "--parallel/--unsharded need --topo\n");
+    return 2;
+  }
+  if (!opt.topo.empty()) {
+    return RunCityScenario(opt);
   }
   if (opt.workload == "vc") {
     return RunVcScenario(opt);
